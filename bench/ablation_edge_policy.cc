@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation: edge-virtualization policy (DESIGN.md).
+ *
+ * The paper virtualizes only calls whose callee has more than one
+ * basic block. This ablation compares that policy's overhead and
+ * EVT footprint against virtualizing every call edge, across the
+ * SPEC applications.
+ */
+
+#include "common.h"
+
+#include "support/stats.h"
+
+using namespace protean;
+
+namespace {
+
+uint64_t
+measureWithPolicy(const std::string &batch, pcc::EdgePolicy policy)
+{
+    workloads::BatchSpec spec = workloads::batchSpec(batch);
+    spec.targetStaticLoads = 0;
+    ir::Module module = workloads::buildBatch(spec);
+    pcc::PccOptions opts;
+    opts.policy = policy;
+    isa::Image image = pcc::compile(module, opts);
+
+    sim::Machine machine;
+    machine.load(image, 0);
+    machine.runFor(machine.msToCycles(bench::kWarmMs));
+    uint64_t before = machine.core(0).hpm().branches;
+    machine.runFor(machine.msToCycles(bench::kMeasureMs));
+    return machine.core(0).hpm().branches - before;
+}
+
+} // namespace
+
+int
+main()
+{
+    TextTable t("Ablation: edge-virtualization policy "
+                "(slowdown vs native)");
+    t.setHeader({"App", "MultiBlockCallees", "AllCallees"});
+
+    std::vector<double> multi, all;
+    for (const auto &name : workloads::specBenchmarkNames()) {
+        uint64_t native = bench::measureBranchesPlain(name, false);
+        double m = static_cast<double>(native) /
+            measureWithPolicy(name,
+                              pcc::EdgePolicy::MultiBlockCallees);
+        double a = static_cast<double>(native) /
+            measureWithPolicy(name, pcc::EdgePolicy::AllCallees);
+        multi.push_back(m);
+        all.push_back(a);
+        t.addRow({name, bench::fmtRatio(m), bench::fmtRatio(a)});
+    }
+    t.addRow({"Mean", bench::fmtRatio(mean(multi)),
+              bench::fmtRatio(mean(all))});
+    t.print();
+    std::printf("\nexpectation: both cheap; AllCallees pays extra "
+                "EVT reads on hot leaf calls\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration benches.
+ *
+ * The simulator is deterministic, so overheads are measured as exact
+ * ratios of retired branches over a fixed cycle window (branches are
+ * control-invariant under every transformation studied, which is why
+ * the paper uses BPS for host progress).
+ */
+
+#ifndef PROTEAN_BENCH_COMMON_H
+#define PROTEAN_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+
+#include "pcc/pcc.h"
+#include "sim/machine.h"
+#include "support/logging.h"
+#include "support/table.h"
+#include "workloads/registry.h"
+
+namespace protean {
+namespace bench {
+
+/** Measurement windows for overhead benches, in simulated ms. */
+constexpr double kWarmMs = 600.0;
+constexpr double kMeasureMs = 1200.0;
+
+/** Retired branches of a batch app running alone under `setup`. */
+template <typename Setup>
+uint64_t
+measureBranches(const std::string &batch, bool protean, Setup &&setup)
+{
+    workloads::BatchSpec spec = workloads::batchSpec(batch);
+    spec.targetStaticLoads = 0; // padding never executes
+    ir::Module module = workloads::buildBatch(spec);
+    isa::Image image =
+        protean ? pcc::compile(module) : pcc::compilePlain(module);
+
+    sim::Machine machine;
+    machine.load(image, 0);
+    setup(machine);
+    machine.runFor(machine.msToCycles(kWarmMs));
+    uint64_t before = machine.core(0).hpm().branches;
+    machine.runFor(machine.msToCycles(kMeasureMs));
+    return machine.core(0).hpm().branches - before;
+}
+
+/** Branches with no special setup. */
+inline uint64_t
+measureBranchesPlain(const std::string &batch, bool protean)
+{
+    return measureBranches(batch, protean, [](sim::Machine &) {});
+}
+
+/** Format a slowdown ratio. */
+inline std::string
+fmtRatio(double v)
+{
+    return TextTable::fmt(v, 3);
+}
+
+} // namespace bench
+} // namespace protean
+
+#endif // PROTEAN_BENCH_COMMON_H

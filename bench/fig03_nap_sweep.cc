@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Figure 3: online empirical evaluation of two variants of
+ * libquantum (host application) running with er-naive (high-priority
+ * co-runner), as a function of the nap intensity applied to
+ * libquantum.
+ *
+ * (a) original program variant 0 — meeting the 95% QoS target takes
+ *     a very high nap intensity;
+ * (b) fully non-temporal variant 1 — a far lower nap intensity
+ *     suffices, leaving the host much faster at its QoS-feasible
+ *     operating point.
+ */
+
+#include "common.h"
+
+using namespace protean;
+
+namespace {
+
+struct Point
+{
+    double hostBps;
+    double coIps;
+};
+
+Point
+runPoint(bool nt_variant, double nap)
+{
+    workloads::BatchSpec host_spec = workloads::batchSpec("libquantum");
+    host_spec.targetStaticLoads = 0;
+    ir::Module host_m = workloads::buildBatch(host_spec);
+    isa::Image host_img = pcc::compilePlain(host_m);
+    if (nt_variant) {
+        for (auto &inst : host_img.code) {
+            if (inst.op == isa::MOp::Load)
+                inst.nonTemporal = true;
+        }
+    }
+
+    workloads::BatchSpec co_spec = workloads::batchSpec("er-naive");
+    co_spec.targetStaticLoads = 0;
+    ir::Module co_m = workloads::buildBatch(co_spec);
+    isa::Image co_img = pcc::compilePlain(co_m);
+
+    sim::Machine machine;
+    machine.load(host_img, 0);
+    machine.load(co_img, 1);
+    machine.core(0).setNapIntensity(nap);
+
+    machine.runFor(machine.msToCycles(300));
+    sim::HpmCounters h0 = machine.core(0).hpm();
+    sim::HpmCounters c0 = machine.core(1).hpm();
+    uint64_t t0 = machine.now();
+    machine.runFor(machine.msToCycles(1200));
+    uint64_t dt = machine.now() - t0;
+
+    Point p;
+    p.hostBps = static_cast<double>(
+        (machine.core(0).hpm() - h0).branches) / dt;
+    p.coIps = static_cast<double>(
+        (machine.core(1).hpm() - c0).instructions) / dt;
+    return p;
+}
+
+double
+soloBps(const std::string &name, bool branches)
+{
+    workloads::BatchSpec spec = workloads::batchSpec(name);
+    spec.targetStaticLoads = 0;
+    ir::Module m = workloads::buildBatch(spec);
+    isa::Image img = pcc::compilePlain(m);
+    sim::Machine machine;
+    machine.load(img, 0);
+    machine.runFor(machine.msToCycles(300));
+    sim::HpmCounters h0 = machine.core(0).hpm();
+    uint64_t t0 = machine.now();
+    machine.runFor(machine.msToCycles(1200));
+    sim::HpmCounters d = machine.core(0).hpm() - h0;
+    uint64_t dt = machine.now() - t0;
+    return static_cast<double>(branches ? d.branches
+                               : d.instructions) / dt;
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr double kTarget = 0.95;
+    double host_solo = soloBps("libquantum", true);
+    double co_solo = soloBps("er-naive", false);
+
+    for (int variant = 0; variant <= 1; ++variant) {
+        TextTable t(strformat(
+            "Figure 3(%c): %s variant %d of libquantum w/ er-naive",
+            variant ? 'b' : 'a',
+            variant ? "fully non-temporal" : "original", variant));
+        t.setHeader({"NapIntensity", "HostBPS(norm)", "CoIPS(norm)",
+                     "QoS>=95%"});
+        double qos_met_at = -1.0;
+        for (int nap = 0; nap <= 100; nap += 10) {
+            double f = nap / 100.0;
+            Point p = runPoint(variant == 1, f);
+            double host_norm = p.hostBps / host_solo;
+            double co_norm = p.coIps / co_solo;
+            bool met = co_norm >= kTarget;
+            if (met && qos_met_at < 0)
+                qos_met_at = f;
+            t.addRow({strformat("%d%%", nap),
+                      TextTable::fmt(host_norm, 3),
+                      TextTable::fmt(co_norm, 3),
+                      met ? "yes" : ""});
+        }
+        t.print();
+        if (qos_met_at >= 0) {
+            std::printf("QoS target first met at nap intensity "
+                        "~%.0f%%\n\n", qos_met_at * 100);
+        } else {
+            std::printf("QoS target not met in sweep\n\n");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 17 (+ Table III): servers required to run each
+ * webservice/batch-mix pairing at equal throughput — 10k PC3D
+ * servers vs the no-co-location policy's 10k + dedicated batch
+ * servers. Batch utilizations come from live PC3D colocation
+ * experiments at a 95% QoS target.
+ */
+
+#include "common.h"
+
+#include "datacenter/experiment.h"
+#include "datacenter/scaleout.h"
+
+using namespace protean;
+
+int
+main()
+{
+    {
+        TextTable t3("Table III: workload mixes for scale-out "
+                     "analysis");
+        t3.setHeader({"Mix", "Members"});
+        t3.addRow({"LS", "web-search, graph-analytics, "
+                   "media-streaming"});
+        for (const auto &[mix, members] :
+             datacenter::tableThreeMixes()) {
+            std::string joined;
+            for (const auto &m : members)
+                joined += (joined.empty() ? "" : ", ") + m;
+            t3.addRow({mix, joined});
+        }
+        t3.print();
+        std::printf("\n");
+    }
+
+    TextTable t("Figure 17: server count for equal throughput");
+    t.setHeader({"Pairing", "PC3D", "No Co-location", "Extra"});
+    for (const auto &service : workloads::webserviceNames()) {
+        for (const auto &[mix, members] :
+             datacenter::tableThreeMixes()) {
+            std::vector<double> utils;
+            for (const auto &batch : members) {
+                datacenter::ColoConfig cfg;
+                cfg.service = service;
+                cfg.batch = batch;
+                cfg.qosTarget = 0.95;
+                cfg.qps = 120.0;
+                cfg.system = datacenter::System::Pc3d;
+                cfg.settleMs = 4000.0;
+                cfg.measureMs = 2000.0;
+                utils.push_back(
+                    datacenter::runColocation(cfg).utilization);
+            }
+            datacenter::ScaleOutResult r =
+                datacenter::analyzeMix(service, mix, utils);
+            t.addRow({service + "/" + mix,
+                      strformat("%uk", r.pc3dServers / 1000),
+                      strformat("%.1fk", r.noColoServers / 1000.0),
+                      strformat("%.1fk",
+                                (r.noColoServers - r.pc3dServers) /
+                                1000.0)});
+        }
+    }
+    t.print();
+    std::printf("\npaper shape: 3.5k-8k extra servers needed "
+                "without co-location\n");
+    return 0;
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Writing a custom protean decision engine.
+ *
+ * The paper positions protean code as a general mechanism: "the
+ * design of protean code optimizations is in the purview of compiler
+ * writers". This example implements a new engine from scratch — a
+ * duty-cycled A/B experimenter that alternates between the original
+ * code and an optimized variant (constant folding + DCE applied to
+ * the embedded IR before lowering), measuring both live and keeping
+ * whichever performs better.
+ *
+ *   ./examples/custom_transform
+ */
+
+#include <cstdio>
+
+#include "codegen/passes.h"
+#include "ir/serializer.h"
+#include "pcc/pcc.h"
+#include "runtime/runtime.h"
+#include "sim/machine.h"
+#include "workloads/registry.h"
+
+using namespace protean;
+
+namespace {
+
+/** A/B tests the original code against an IR-optimized variant. */
+class AbTestEngine : public runtime::DecisionEngine
+{
+  public:
+    void
+    onStart(runtime::ProteanRuntime &rt) override
+    {
+        // Optimize a private copy of the embedded IR, then compile
+        // every virtualized hot function from it. This is the "full
+        // static compiler flexibility" property: the runtime can run
+        // any IR-level pass before lowering.
+        optimized_ = ir::deserialize(ir::serialize(rt.module()));
+        size_t changed = codegen::optimizeModule(*optimized_);
+        std::printf("engine: optimizer changed %zu instructions in "
+                    "the embedded IR\n", changed);
+        windowEnd_ = rt.machine().now() +
+            rt.machine().msToCycles(kWindowMs);
+    }
+
+    void
+    onTick(runtime::ProteanRuntime &rt) override
+    {
+        if (rt.machine().now() < windowEnd_)
+            return;
+        windowEnd_ = rt.machine().now() +
+            rt.machine().msToCycles(kWindowMs);
+
+        sim::HpmCounters w = rt.hpm().window(rt.hostCore());
+        if (phase_ == 0) {
+            baselineBpc_ = w.bpc();
+            deployOptimized(rt);
+            phase_ = 1;
+        } else if (phase_ == 1) {
+            ++phase_; // discard the dispatch-boundary window
+        } else if (phase_ == 2) {
+            optimizedBpc_ = w.bpc();
+            bool keep = optimizedBpc_ > baselineBpc_;
+            std::printf("engine: baseline %.4f bpc vs optimized "
+                        "%.4f bpc -> keeping %s\n", baselineBpc_,
+                        optimizedBpc_,
+                        keep ? "optimized" : "original");
+            if (!keep)
+                rt.revertAll();
+            phase_ = 3; // settled
+        }
+    }
+
+    double baselineBpc_ = 0.0;
+    double optimizedBpc_ = 0.0;
+
+  private:
+    static constexpr double kWindowMs = 150.0;
+
+    std::unique_ptr<ir::Module> optimized_;
+    int phase_ = 0;
+    uint64_t windowEnd_ = 0;
+
+    void
+    deployOptimized(runtime::ProteanRuntime &rt)
+    {
+        // Compile from the optimized module by swapping it into a
+        // private compiler (the stock deployVariant uses the
+        // attachment's module; a custom engine may bring its own).
+        BitVector no_hints(optimized_->numLoads());
+        for (const auto &[func, slot] : rt.evt().slots()) {
+            (void)slot;
+            if (optimized_->function(func).name().rfind("hot_", 0) !=
+                0) {
+                continue;
+            }
+            // Lower from the optimized IR; install via the process
+            // code cache and the EVT, exactly as the runtime does.
+            codegen::LowerOptions lopts;
+            lopts.layout = &rt.host().image().layout;
+            lopts.virtualized = &rt.evt().slots();
+            lopts.ntMask = &no_hints;
+            codegen::LoweredFunction lowered = codegen::lowerFunction(
+                *optimized_, optimized_->function(func), lopts);
+            codegen::relocate(lowered, rt.host().codeSize());
+            isa::CodeAddr entry = rt.host().appendCode(lowered.code);
+            for (auto [offset, callee] : lowered.directCallFixups) {
+                isa::MInst patched = rt.host().inst(entry + offset);
+                patched.target =
+                    rt.host().image().function(callee).entry;
+                rt.host().patchInst(entry + offset, patched);
+            }
+            rt.evt().retarget(func, entry);
+            std::printf("engine: dispatched optimized %s at %u\n",
+                        optimized_->function(func).name().c_str(),
+                        entry);
+        }
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    workloads::BatchSpec spec = workloads::batchSpec("namd");
+    spec.targetStaticLoads = 0;
+    ir::Module module = workloads::buildBatch(spec);
+    isa::Image image = pcc::compile(module);
+
+    sim::Machine machine;
+    sim::Process &proc = machine.load(image, 0);
+
+    runtime::RuntimeOptions opts;
+    opts.runtimeCore = 1;
+    runtime::ProteanRuntime rt(machine, proc, opts);
+    AbTestEngine engine;
+    rt.setEngine(&engine);
+    rt.start();
+
+    machine.runFor(machine.msToCycles(800));
+    std::printf("\nhost retired %llu instructions; runtime share "
+                "%.3f%%\n",
+                static_cast<unsigned long long>(
+                    machine.core(0).hpm().instructions),
+                100.0 * rt.serverCycleShare());
+    return 0;
+}

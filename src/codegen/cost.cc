@@ -1,0 +1,4 @@
+#include "codegen/cost.h"
+
+// CompileCostModel is header-only; this translation unit anchors the
+// library target.

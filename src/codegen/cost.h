@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Dynamic-compilation cost model.
+ *
+ * The paper reports that "the LLVM compiler backend uses an average
+ * of around 5ms to compile a function". The runtime charges compile
+ * work to a core through this model: a fixed per-invocation cost plus
+ * a per-instruction cost, calibrated so a typical hot function costs
+ * about 5 simulated milliseconds.
+ */
+
+#ifndef PROTEAN_CODEGEN_COST_H
+#define PROTEAN_CODEGEN_COST_H
+
+#include <cstdint>
+
+#include "ir/function.h"
+
+namespace protean {
+namespace codegen {
+
+/** Cycle cost model for one dynamic-compiler invocation. */
+struct CompileCostModel
+{
+    /** Fixed cost per compile (IR lookup, dispatch bookkeeping). */
+    uint64_t baseCycles = 2000;
+    /** Marginal cost per IR instruction compiled; calibrated so a
+     *  typical hot function costs a few simulated milliseconds, as
+     *  the paper reports for the LLVM backend (~5 ms/function). */
+    uint64_t cyclesPerInst = 100;
+
+    /** Total cycle cost of compiling fn. */
+    uint64_t cost(const ir::Function &fn) const
+    {
+        return baseCycles + cyclesPerInst * fn.instructionCount();
+    }
+};
+
+} // namespace codegen
+} // namespace protean
+
+#endif // PROTEAN_CODEGEN_COST_H

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * IR-to-PISA lowering.
+ *
+ * lowerFunction() compiles one IR function to machine code. It is
+ * used in two places with the same semantics:
+ *  - statically, by the protean code compiler (pcc) when producing
+ *    the original binary; and
+ *  - online, by the protean runtime's dynamic compiler when minting
+ *    a new variant of a function from the embedded IR.
+ *
+ * A variant is selected by a non-temporal mask over the module's
+ * static LoadIds: a masked load is lowered as a Hint instruction
+ * followed by the load with its nonTemporal flag set, mirroring the
+ * prefetchnta idiom of Figure 2 in the paper.
+ *
+ * Calls to virtualized callees lower to CallIndirect through the
+ * callee's EVT slot; other calls lower to CallDirect with a fixup
+ * recorded so the caller can patch the target once every function
+ * has a final placement.
+ */
+
+#ifndef PROTEAN_CODEGEN_LOWERING_H
+#define PROTEAN_CODEGEN_LOWERING_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ir/module.h"
+#include "isa/image.h"
+#include "support/bitvector.h"
+
+namespace protean {
+namespace codegen {
+
+/** Map from callee FuncId to its EVT slot. */
+using VirtualizationMap = std::unordered_map<ir::FuncId, uint32_t>;
+
+/** Inputs that parameterize lowering. */
+struct LowerOptions
+{
+    /** Global placement (required). */
+    const isa::DataLayout *layout = nullptr;
+    /** Callees reached indirectly through the EVT; may be null. */
+    const VirtualizationMap *virtualized = nullptr;
+    /** Non-temporal mask over module LoadIds; may be null (all 0). */
+    const BitVector *ntMask = nullptr;
+};
+
+/** Result of lowering one function. */
+struct LoweredFunction
+{
+    std::vector<isa::MInst> code;
+    /** (offset in code, callee) pairs needing a direct-call target. */
+    std::vector<std::pair<uint32_t, ir::FuncId>> directCallFixups;
+};
+
+/**
+ * Lower one function.
+ * Panics if the function exceeds machine limits (more than 60 virtual
+ * registers or more than 4 call arguments) — workloads are generated
+ * within those limits by construction.
+ *
+ * Internal branch targets (Jmp/Bnz) are function-local; call
+ * relocate() with the function's placement address before installing
+ * the code into an image or code cache.
+ */
+LoweredFunction lowerFunction(const ir::Module &module,
+                              const ir::Function &fn,
+                              const LowerOptions &opts);
+
+/** Rebase internal branch targets to an absolute placement. */
+void relocate(LoweredFunction &fn, isa::CodeAddr base);
+
+/** Machine register assigned to a virtual register. */
+uint8_t machineReg(ir::Reg v);
+
+} // namespace codegen
+} // namespace protean
+
+#endif // PROTEAN_CODEGEN_LOWERING_H

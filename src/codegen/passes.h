@@ -1,0 +1,47 @@
+/**
+ * @file
+ * IR optimization passes.
+ *
+ * The paper argues that carrying real IR gives the dynamic compiler
+ * "the flexibility of a static compiler". These passes are the
+ * concrete demonstration: classic local constant folding / copy
+ * propagation and a global liveness-based dead-code elimination that
+ * the runtime compiler may run before lowering a variant.
+ *
+ * Passes mutate the module in place and return the number of
+ * instructions they changed or removed, so callers (and tests) can
+ * assert on fixpoints.
+ */
+
+#ifndef PROTEAN_CODEGEN_PASSES_H
+#define PROTEAN_CODEGEN_PASSES_H
+
+#include <cstddef>
+
+#include "ir/module.h"
+
+namespace protean {
+namespace codegen {
+
+/**
+ * Local constant folding and copy propagation.
+ * Tracks register contents within each basic block; binary ALU ops
+ * over two known constants become ConstInt, and Mov chains collapse.
+ */
+size_t foldConstants(ir::Function &fn);
+
+/**
+ * Global dead-code elimination.
+ * Removes side-effect-free instructions whose destinations are never
+ * live. Loads are considered removable (the IR has no volatile), but
+ * stores, calls, and terminators are kept.
+ */
+size_t eliminateDeadCode(ir::Function &fn);
+
+/** Run both passes on every function to a fixpoint. */
+size_t optimizeModule(ir::Module &module);
+
+} // namespace codegen
+} // namespace protean
+
+#endif // PROTEAN_CODEGEN_PASSES_H

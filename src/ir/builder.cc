@@ -1,0 +1,227 @@
+#include "ir/builder.h"
+
+#include "support/logging.h"
+
+namespace protean {
+namespace ir {
+
+IRBuilder::IRBuilder(Module &module)
+    : module_(module)
+{
+}
+
+Function &
+IRBuilder::startFunction(const std::string &name, uint32_t num_params)
+{
+    fn_ = &module_.addFunction(name, num_params);
+    curBlock_ = fn_->newBlock();
+    return *fn_;
+}
+
+Function &
+IRBuilder::func()
+{
+    if (!fn_)
+        panic("IRBuilder: no current function");
+    return *fn_;
+}
+
+BlockId
+IRBuilder::newBlock()
+{
+    return func().newBlock();
+}
+
+void
+IRBuilder::setBlock(BlockId id)
+{
+    func().block(id); // bounds check
+    curBlock_ = id;
+}
+
+Instruction &
+IRBuilder::emit(Instruction inst)
+{
+    BasicBlock &bb = func().block(curBlock_);
+    if (!bb.insts.empty() && bb.insts.back().isTerminator())
+        panic("IRBuilder: emitting %s after terminator in block %u of %s",
+              opcodeName(inst.op), curBlock_, func().name().c_str());
+    bb.insts.push_back(std::move(inst));
+    return bb.insts.back();
+}
+
+Reg
+IRBuilder::constInt(int64_t value)
+{
+    Reg d = func().newReg();
+    constInto(d, value);
+    return d;
+}
+
+void
+IRBuilder::constInto(Reg dest, int64_t value)
+{
+    Instruction i;
+    i.op = Opcode::ConstInt;
+    i.dest = dest;
+    i.imm = value;
+    func().noteReg(dest);
+    emit(std::move(i));
+}
+
+Reg
+IRBuilder::globalAddr(GlobalId g)
+{
+    module_.global(g); // bounds check
+    Instruction i;
+    i.op = Opcode::GlobalAddr;
+    i.dest = func().newReg();
+    i.imm = static_cast<int64_t>(g);
+    Reg d = i.dest;
+    emit(std::move(i));
+    return d;
+}
+
+Reg
+IRBuilder::mov(Reg src)
+{
+    Reg d = func().newReg();
+    movInto(d, src);
+    return d;
+}
+
+void
+IRBuilder::movInto(Reg dest, Reg src)
+{
+    Instruction i;
+    i.op = Opcode::Mov;
+    i.dest = dest;
+    i.srcs = {src};
+    func().noteReg(dest);
+    emit(std::move(i));
+}
+
+Reg
+IRBuilder::binary(Opcode op, Reg a, Reg b)
+{
+    Reg d = func().newReg();
+    binaryInto(d, op, a, b);
+    return d;
+}
+
+void
+IRBuilder::binaryInto(Reg dest, Opcode op, Reg a, Reg b)
+{
+    Instruction probe;
+    probe.op = op;
+    if (!probe.isBinaryAlu())
+        panic("IRBuilder::binary: %s is not a binary ALU op",
+              opcodeName(op));
+    Instruction i;
+    i.op = op;
+    i.dest = dest;
+    i.srcs = {a, b};
+    func().noteReg(dest);
+    emit(std::move(i));
+}
+
+Reg
+IRBuilder::load(Reg addr, int64_t offset)
+{
+    Reg d = func().newReg();
+    loadInto(d, addr, offset);
+    return d;
+}
+
+void
+IRBuilder::loadInto(Reg dest, Reg addr, int64_t offset)
+{
+    Instruction i;
+    i.op = Opcode::Load;
+    i.dest = dest;
+    i.srcs = {addr};
+    i.imm = offset;
+    func().noteReg(dest);
+    emit(std::move(i));
+}
+
+void
+IRBuilder::store(Reg addr, Reg value, int64_t offset)
+{
+    Instruction i;
+    i.op = Opcode::Store;
+    i.srcs = {addr, value};
+    i.imm = offset;
+    emit(std::move(i));
+}
+
+void
+IRBuilder::br(BlockId target)
+{
+    Instruction i;
+    i.op = Opcode::Br;
+    i.targets[0] = target;
+    emit(std::move(i));
+}
+
+void
+IRBuilder::condBr(Reg cond, BlockId if_true, BlockId if_false)
+{
+    Instruction i;
+    i.op = Opcode::CondBr;
+    i.srcs = {cond};
+    i.targets[0] = if_true;
+    i.targets[1] = if_false;
+    emit(std::move(i));
+}
+
+Reg
+IRBuilder::call(FuncId callee, const std::vector<Reg> &args)
+{
+    Instruction i;
+    i.op = Opcode::Call;
+    i.dest = func().newReg();
+    i.srcs = args;
+    i.callee = callee;
+    Reg d = i.dest;
+    emit(std::move(i));
+    return d;
+}
+
+void
+IRBuilder::callVoid(FuncId callee, const std::vector<Reg> &args)
+{
+    Instruction i;
+    i.op = Opcode::Call;
+    i.srcs = args;
+    i.callee = callee;
+    emit(std::move(i));
+}
+
+void
+IRBuilder::ret()
+{
+    Instruction i;
+    i.op = Opcode::Ret;
+    emit(std::move(i));
+}
+
+void
+IRBuilder::ret(Reg value)
+{
+    Instruction i;
+    i.op = Opcode::Ret;
+    i.srcs = {value};
+    emit(std::move(i));
+}
+
+void
+IRBuilder::nop()
+{
+    Instruction i;
+    i.op = Opcode::Nop;
+    emit(std::move(i));
+}
+
+} // namespace ir
+} // namespace protean

@@ -1,0 +1,83 @@
+#include "ir/dominators.h"
+
+#include "support/logging.h"
+
+namespace protean {
+namespace ir {
+
+DominatorTree::DominatorTree(const Function &fn)
+    : idom_(fn.numBlocks(), kInvalidId)
+{
+    if (fn.numBlocks() == 0)
+        return;
+
+    std::vector<BlockId> rpo = fn.reversePostOrder();
+    std::vector<uint32_t> rpo_index(fn.numBlocks(), kInvalidId);
+    for (uint32_t i = 0; i < rpo.size(); ++i)
+        rpo_index[rpo[i]] = i;
+
+    auto preds = fn.predecessors();
+
+    auto intersect = [&](BlockId a, BlockId b) {
+        while (a != b) {
+            while (rpo_index[a] > rpo_index[b])
+                a = idom_[a];
+            while (rpo_index[b] > rpo_index[a])
+                b = idom_[b];
+        }
+        return a;
+    };
+
+    idom_[rpo[0]] = rpo[0];
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t i = 1; i < rpo.size(); ++i) {
+            BlockId b = rpo[i];
+            BlockId new_idom = kInvalidId;
+            for (BlockId p : preds[b]) {
+                if (rpo_index[p] == kInvalidId || idom_[p] == kInvalidId)
+                    continue; // unreachable or not yet processed
+                new_idom = (new_idom == kInvalidId)
+                    ? p : intersect(p, new_idom);
+            }
+            if (new_idom != kInvalidId && idom_[b] != new_idom) {
+                idom_[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+}
+
+BlockId
+DominatorTree::idom(BlockId b) const
+{
+    if (b >= idom_.size())
+        panic("DominatorTree: bad block %u", b);
+    return idom_[b];
+}
+
+bool
+DominatorTree::dominates(BlockId a, BlockId b) const
+{
+    if (!reachable(a) || !reachable(b))
+        return false;
+    BlockId cur = b;
+    for (;;) {
+        if (cur == a)
+            return true;
+        BlockId up = idom_[cur];
+        if (up == cur)
+            return false; // reached entry
+        cur = up;
+    }
+}
+
+bool
+DominatorTree::reachable(BlockId b) const
+{
+    return b < idom_.size() && idom_[b] != kInvalidId;
+}
+
+} // namespace ir
+} // namespace protean

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Dominator tree construction.
+ *
+ * Uses the Cooper-Harvey-Kennedy iterative algorithm over reverse
+ * post order. Dominators feed natural-loop detection, which PC3D
+ * uses to restrict its variant search to maximum-depth loops.
+ */
+
+#ifndef PROTEAN_IR_DOMINATORS_H
+#define PROTEAN_IR_DOMINATORS_H
+
+#include <vector>
+
+#include "ir/function.h"
+
+namespace protean {
+namespace ir {
+
+/** Immediate-dominator table for one function. */
+class DominatorTree
+{
+  public:
+    /** Build for a function (entry = block 0). */
+    explicit DominatorTree(const Function &fn);
+
+    /**
+     * Immediate dominator of block b; the entry block's idom is
+     * itself. Unreachable blocks report kInvalidId.
+     */
+    BlockId idom(BlockId b) const;
+
+    /** True when a dominates b (reflexive). */
+    bool dominates(BlockId a, BlockId b) const;
+
+    /** True when block b is reachable from the entry. */
+    bool reachable(BlockId b) const;
+
+  private:
+    std::vector<BlockId> idom_;
+};
+
+} // namespace ir
+} // namespace protean
+
+#endif // PROTEAN_IR_DOMINATORS_H

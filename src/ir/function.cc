@@ -1,0 +1,137 @@
+#include "ir/function.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace protean {
+namespace ir {
+
+const Instruction &
+BasicBlock::terminator() const
+{
+    if (insts.empty() || !insts.back().isTerminator())
+        panic("block %u has no terminator", id);
+    return insts.back();
+}
+
+std::vector<BlockId>
+BasicBlock::successors() const
+{
+    const Instruction &term = terminator();
+    switch (term.op) {
+      case Opcode::Br:
+        return {term.targets[0]};
+      case Opcode::CondBr:
+        return {term.targets[0], term.targets[1]};
+      case Opcode::Ret:
+        return {};
+      default:
+        panic("bad terminator in block %u", id);
+    }
+}
+
+Function::Function(FuncId id, std::string name, uint32_t num_params)
+    : id_(id), name_(std::move(name)), numParams_(num_params),
+      numRegs_(num_params)
+{
+}
+
+void
+Function::noteReg(Reg reg)
+{
+    if (reg != kInvalidReg && reg >= numRegs_)
+        numRegs_ = reg + 1;
+}
+
+BlockId
+Function::newBlock()
+{
+    BlockId id = static_cast<BlockId>(blocks_.size());
+    blocks_.push_back(BasicBlock{id, {}});
+    return id;
+}
+
+BasicBlock &
+Function::block(BlockId id)
+{
+    if (id >= blocks_.size())
+        panic("function %s: bad block id %u", name_.c_str(), id);
+    return blocks_[id];
+}
+
+const BasicBlock &
+Function::block(BlockId id) const
+{
+    if (id >= blocks_.size())
+        panic("function %s: bad block id %u", name_.c_str(), id);
+    return blocks_[id];
+}
+
+std::vector<std::vector<BlockId>>
+Function::predecessors() const
+{
+    std::vector<std::vector<BlockId>> preds(blocks_.size());
+    for (const auto &bb : blocks_) {
+        for (BlockId succ : bb.successors())
+            preds[succ].push_back(bb.id);
+    }
+    return preds;
+}
+
+std::vector<BlockId>
+Function::reversePostOrder() const
+{
+    std::vector<uint8_t> state(blocks_.size(), 0); // 0=new 1=open 2=done
+    std::vector<BlockId> post;
+    post.reserve(blocks_.size());
+
+    // Iterative DFS to avoid deep recursion on long chains.
+    std::vector<std::pair<BlockId, size_t>> stack;
+    if (blocks_.empty())
+        return {};
+    stack.emplace_back(0, 0);
+    state[0] = 1;
+    while (!stack.empty()) {
+        auto &[bb, idx] = stack.back();
+        auto succs = blocks_[bb].successors();
+        if (idx < succs.size()) {
+            BlockId next = succs[idx++];
+            if (state[next] == 0) {
+                state[next] = 1;
+                stack.emplace_back(next, 0);
+            }
+        } else {
+            state[bb] = 2;
+            post.push_back(bb);
+            stack.pop_back();
+        }
+    }
+    std::reverse(post.begin(), post.end());
+    return post;
+}
+
+size_t
+Function::instructionCount() const
+{
+    size_t n = 0;
+    for (const auto &bb : blocks_)
+        n += bb.insts.size();
+    return n;
+}
+
+size_t
+Function::loadCount() const
+{
+    size_t n = 0;
+    for (const auto &bb : blocks_) {
+        for (const auto &inst : bb.insts) {
+            if (inst.op == Opcode::Load)
+                ++n;
+        }
+    }
+    return n;
+}
+
+} // namespace ir
+} // namespace protean

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * IR basic blocks and functions.
+ */
+
+#ifndef PROTEAN_IR_FUNCTION_H
+#define PROTEAN_IR_FUNCTION_H
+
+#include <string>
+#include <vector>
+
+#include "ir/instruction.h"
+
+namespace protean {
+namespace ir {
+
+/** A straight-line sequence of instructions ending in a terminator. */
+struct BasicBlock
+{
+    BlockId id = kInvalidId;
+    std::vector<Instruction> insts;
+
+    /** The terminator (last instruction); panics if absent. */
+    const Instruction &terminator() const;
+
+    /** Successor block ids implied by the terminator. */
+    std::vector<BlockId> successors() const;
+};
+
+/**
+ * An IR function: a CFG of basic blocks over a private virtual
+ * register file. Parameters arrive in registers 0..numParams-1.
+ * Block 0 is always the entry block.
+ */
+class Function
+{
+  public:
+    Function(FuncId id, std::string name, uint32_t num_params);
+
+    FuncId id() const { return id_; }
+    const std::string &name() const { return name_; }
+    uint32_t numParams() const { return numParams_; }
+
+    /** Number of virtual registers in use (params included). */
+    uint32_t numRegs() const { return numRegs_; }
+
+    /** Raise the register count to cover reg (used by deserializer). */
+    void noteReg(Reg reg);
+
+    /** Allocate a fresh virtual register. */
+    Reg newReg() { return numRegs_++; }
+
+    /** Append a new empty basic block and return its id. */
+    BlockId newBlock();
+
+    size_t numBlocks() const { return blocks_.size(); }
+    BasicBlock &block(BlockId id);
+    const BasicBlock &block(BlockId id) const;
+
+    std::vector<BasicBlock> &blocks() { return blocks_; }
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+
+    /** Predecessor lists for every block (recomputed on call). */
+    std::vector<std::vector<BlockId>> predecessors() const;
+
+    /** Blocks in reverse post order from the entry. */
+    std::vector<BlockId> reversePostOrder() const;
+
+    /** Total static instruction count. */
+    size_t instructionCount() const;
+
+    /** Static Load instruction count. */
+    size_t loadCount() const;
+
+  private:
+    FuncId id_;
+    std::string name_;
+    uint32_t numParams_;
+    uint32_t numRegs_;
+    std::vector<BasicBlock> blocks_;
+};
+
+} // namespace ir
+} // namespace protean
+
+#endif // PROTEAN_IR_FUNCTION_H

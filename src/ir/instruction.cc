@@ -1,0 +1,125 @@
+#include "ir/instruction.h"
+
+#include "support/logging.h"
+
+namespace protean {
+namespace ir {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::ConstInt: return "const";
+      case Opcode::GlobalAddr: return "gaddr";
+      case Opcode::Mov: return "mov";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Mod: return "mod";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::CmpEq: return "cmpeq";
+      case Opcode::CmpNe: return "cmpne";
+      case Opcode::CmpLt: return "cmplt";
+      case Opcode::CmpLe: return "cmple";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::Br: return "br";
+      case Opcode::CondBr: return "condbr";
+      case Opcode::Call: return "call";
+      case Opcode::Ret: return "ret";
+      case Opcode::Nop: return "nop";
+    }
+    panic("opcodeName: bad opcode %d", static_cast<int>(op));
+}
+
+bool
+Instruction::isTerminator() const
+{
+    return op == Opcode::Br || op == Opcode::CondBr || op == Opcode::Ret;
+}
+
+bool
+Instruction::hasDest() const
+{
+    switch (op) {
+      case Opcode::ConstInt:
+      case Opcode::GlobalAddr:
+      case Opcode::Mov:
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::Mod:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::CmpEq:
+      case Opcode::CmpNe:
+      case Opcode::CmpLt:
+      case Opcode::CmpLe:
+      case Opcode::Load:
+        return true;
+      case Opcode::Call:
+        return dest != kInvalidReg;
+      default:
+        return false;
+    }
+}
+
+bool
+Instruction::isBinaryAlu() const
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::Mod:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::CmpEq:
+      case Opcode::CmpNe:
+      case Opcode::CmpLt:
+      case Opcode::CmpLe:
+        return true;
+      default:
+        return false;
+    }
+}
+
+uint32_t
+expectedSrcCount(Opcode op)
+{
+    switch (op) {
+      case Opcode::ConstInt:
+      case Opcode::GlobalAddr:
+      case Opcode::Nop:
+      case Opcode::Br:
+        return 0;
+      case Opcode::Mov:
+      case Opcode::Load:
+      case Opcode::CondBr:
+        return 1;
+      case Opcode::Store:
+        return 2;
+      case Opcode::Ret:
+        return kInvalidId; // 0 or 1
+      case Opcode::Call:
+        return kInvalidId; // variadic
+      default:
+        return 2; // binary ALU
+    }
+}
+
+} // namespace ir
+} // namespace protean

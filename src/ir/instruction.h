@@ -1,0 +1,106 @@
+/**
+ * @file
+ * IR instruction definitions.
+ *
+ * The protean IR is a register-transfer IR (not SSA): each function
+ * owns a set of virtual registers that instructions read and write.
+ * All values are 64-bit unsigned words. This deliberately small IR
+ * carries exactly the high-level information the paper's runtime
+ * needs from LLVM IR: static load identity (for non-temporal hint
+ * masks), control-flow structure (for loop nesting depth), and call
+ * structure (for edge virtualization).
+ */
+
+#ifndef PROTEAN_IR_INSTRUCTION_H
+#define PROTEAN_IR_INSTRUCTION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace protean {
+namespace ir {
+
+/** Virtual register index, local to a function. */
+using Reg = uint32_t;
+/** Basic block index, local to a function. */
+using BlockId = uint32_t;
+/** Function index, local to a module. */
+using FuncId = uint32_t;
+/** Global-variable index, local to a module. */
+using GlobalId = uint32_t;
+/** Module-unique static load index (position in PC3D variant masks). */
+using LoadId = uint32_t;
+
+constexpr uint32_t kInvalidId = 0xffffffffu;
+constexpr Reg kInvalidReg = 0xffffffffu;
+
+/** IR operation codes. */
+enum class Opcode : uint8_t {
+    ConstInt,   ///< dest = imm
+    GlobalAddr, ///< dest = byte address of global #imm
+    Mov,        ///< dest = src0
+    Add,        ///< dest = src0 + src1
+    Sub,        ///< dest = src0 - src1
+    Mul,        ///< dest = src0 * src1
+    Div,        ///< dest = src0 / src1 (unsigned; x/0 == 0)
+    Mod,        ///< dest = src0 % src1 (unsigned; x%0 == x)
+    And,        ///< dest = src0 & src1
+    Or,         ///< dest = src0 | src1
+    Xor,        ///< dest = src0 ^ src1
+    Shl,        ///< dest = src0 << (src1 & 63)
+    Shr,        ///< dest = src0 >> (src1 & 63) (logical)
+    CmpEq,      ///< dest = src0 == src1 ? 1 : 0
+    CmpNe,      ///< dest = src0 != src1 ? 1 : 0
+    CmpLt,      ///< dest = src0 <  src1 ? 1 : 0 (unsigned)
+    CmpLe,      ///< dest = src0 <= src1 ? 1 : 0 (unsigned)
+    Load,       ///< dest = mem64[src0 + imm]; carries a LoadId
+    Store,      ///< mem64[src0 + imm] = src1
+    Br,         ///< jump targets[0]
+    CondBr,     ///< if src0 != 0 jump targets[0] else targets[1]
+    Call,       ///< dest = callee(srcs...) (dest optional)
+    Ret,        ///< return src0 if present, else void
+    Nop,        ///< no effect
+};
+
+/** Printable mnemonic for an opcode. */
+const char *opcodeName(Opcode op);
+
+/** Number of distinct opcodes (for serialization validation). */
+constexpr uint8_t kNumOpcodes = static_cast<uint8_t>(Opcode::Nop) + 1;
+
+/** A single IR instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    /** Destination register, or kInvalidReg when none. */
+    Reg dest = kInvalidReg;
+    /** Source registers (operand count depends on op). */
+    std::vector<Reg> srcs;
+    /** Immediate: constant value, load/store offset, or global id. */
+    int64_t imm = 0;
+    /** Branch targets; [0] = taken/unconditional, [1] = fallthrough. */
+    BlockId targets[2] = {kInvalidId, kInvalidId};
+    /** Callee for Call. */
+    FuncId callee = kInvalidId;
+    /** Static load index for Load (assigned by Module::renumberLoads). */
+    LoadId loadId = kInvalidId;
+
+    /** True for Br/CondBr/Ret. */
+    bool isTerminator() const;
+
+    /** True when the op writes dest. */
+    bool hasDest() const;
+
+    /** True for a pure binary ALU op (Add..CmpLe). */
+    bool isBinaryAlu() const;
+};
+
+/** Number of source operands expected for an opcode (Call: variadic,
+ *  returns kInvalidId sentinel meaning "any"). */
+uint32_t expectedSrcCount(Opcode op);
+
+} // namespace ir
+} // namespace protean
+
+#endif // PROTEAN_IR_INSTRUCTION_H

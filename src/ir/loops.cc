@@ -1,0 +1,81 @@
+#include "ir/loops.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/logging.h"
+
+namespace protean {
+namespace ir {
+
+LoopInfo::LoopInfo(const Function &fn)
+    : depth_(fn.numBlocks(), 0)
+{
+    DominatorTree dom(fn);
+    auto preds = fn.predecessors();
+
+    // Collect back edges: u -> h where h dominates u.
+    // Loops with the same header are merged into a single loop.
+    std::map<BlockId, std::vector<BlockId>> latches_by_header;
+    for (const auto &bb : fn.blocks()) {
+        if (!dom.reachable(bb.id))
+            continue;
+        for (BlockId succ : bb.successors()) {
+            if (dom.dominates(succ, bb.id))
+                latches_by_header[succ].push_back(bb.id);
+        }
+    }
+
+    for (const auto &[header, latches] : latches_by_header) {
+        // Natural loop body: header + all blocks that reach a latch
+        // without passing through the header (walk predecessors).
+        std::vector<uint8_t> in_loop(fn.numBlocks(), 0);
+        in_loop[header] = 1;
+        std::vector<BlockId> work;
+        for (BlockId l : latches) {
+            if (!in_loop[l]) {
+                in_loop[l] = 1;
+                work.push_back(l);
+            }
+        }
+        while (!work.empty()) {
+            BlockId b = work.back();
+            work.pop_back();
+            for (BlockId p : preds[b]) {
+                if (!in_loop[p] && dom.reachable(p)) {
+                    in_loop[p] = 1;
+                    work.push_back(p);
+                }
+            }
+        }
+        Loop loop;
+        loop.header = header;
+        for (BlockId b = 0; b < fn.numBlocks(); ++b) {
+            if (in_loop[b]) {
+                loop.blocks.push_back(b);
+                ++depth_[b];
+            }
+        }
+        loops_.push_back(std::move(loop));
+    }
+
+    for (uint32_t d : depth_)
+        maxDepth_ = std::max(maxDepth_, d);
+}
+
+uint32_t
+LoopInfo::depth(BlockId b) const
+{
+    if (b >= depth_.size())
+        panic("LoopInfo: bad block %u", b);
+    return depth_[b];
+}
+
+bool
+LoopInfo::atMaxDepth(BlockId b) const
+{
+    return maxDepth_ >= 1 && depth(b) == maxDepth_;
+}
+
+} // namespace ir
+} // namespace protean

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Natural-loop detection and nesting depth.
+ *
+ * PC3D's "only innermost loops" heuristic (paper Section IV-C) prunes
+ * every load that is not at the maximum loop depth within its
+ * function. LoopInfo supplies per-block depth and per-function
+ * maximum depth from the IR, which is exactly the information the
+ * paper extracts from the embedded LLVM IR.
+ */
+
+#ifndef PROTEAN_IR_LOOPS_H
+#define PROTEAN_IR_LOOPS_H
+
+#include <vector>
+
+#include "ir/dominators.h"
+#include "ir/function.h"
+
+namespace protean {
+namespace ir {
+
+/** One natural loop: a header plus its body blocks. */
+struct Loop
+{
+    BlockId header = kInvalidId;
+    /** All blocks in the loop, header included. */
+    std::vector<BlockId> blocks;
+};
+
+/** Loop structure of one function. */
+class LoopInfo
+{
+  public:
+    /** Analyze a function. */
+    explicit LoopInfo(const Function &fn);
+
+    /** Detected natural loops (loops sharing a header are merged). */
+    const std::vector<Loop> &loops() const { return loops_; }
+
+    /** Loop nesting depth of a block (0 = not in any loop). */
+    uint32_t depth(BlockId b) const;
+
+    /** Maximum nesting depth over the whole function. */
+    uint32_t maxDepth() const { return maxDepth_; }
+
+    /** True when the block's depth equals the function's maximum and
+     *  that maximum is at least 1. */
+    bool atMaxDepth(BlockId b) const;
+
+  private:
+    std::vector<uint32_t> depth_;
+    std::vector<Loop> loops_;
+    uint32_t maxDepth_ = 0;
+};
+
+} // namespace ir
+} // namespace protean
+
+#endif // PROTEAN_IR_LOOPS_H

@@ -1,0 +1,97 @@
+#include "ir/module.h"
+
+#include "support/logging.h"
+
+namespace protean {
+namespace ir {
+
+Module::Module(std::string name)
+    : name_(std::move(name))
+{
+}
+
+Function &
+Module::addFunction(const std::string &name, uint32_t num_params)
+{
+    if (funcByName_.count(name))
+        panic("module %s: duplicate function %s", name_.c_str(),
+              name.c_str());
+    FuncId id = static_cast<FuncId>(functions_.size());
+    functions_.push_back(std::make_unique<Function>(id, name, num_params));
+    funcByName_[name] = id;
+    return *functions_.back();
+}
+
+GlobalId
+Module::addGlobal(const std::string &name, uint64_t size_bytes)
+{
+    GlobalId id = static_cast<GlobalId>(globals_.size());
+    globals_.push_back(Global{id, name, size_bytes});
+    return id;
+}
+
+Function &
+Module::function(FuncId id)
+{
+    if (id >= functions_.size())
+        panic("module %s: bad function id %u", name_.c_str(), id);
+    return *functions_[id];
+}
+
+const Function &
+Module::function(FuncId id) const
+{
+    if (id >= functions_.size())
+        panic("module %s: bad function id %u", name_.c_str(), id);
+    return *functions_[id];
+}
+
+Function *
+Module::findFunction(const std::string &name)
+{
+    auto it = funcByName_.find(name);
+    return it == funcByName_.end() ? nullptr : functions_[it->second].get();
+}
+
+const Function *
+Module::findFunction(const std::string &name) const
+{
+    auto it = funcByName_.find(name);
+    return it == funcByName_.end() ? nullptr : functions_[it->second].get();
+}
+
+const Global &
+Module::global(GlobalId id) const
+{
+    if (id >= globals_.size())
+        panic("module %s: bad global id %u", name_.c_str(), id);
+    return globals_[id];
+}
+
+uint32_t
+Module::renumberLoads()
+{
+    uint32_t next = 0;
+    for (auto &fn : functions_) {
+        for (auto &bb : fn->blocks()) {
+            for (auto &inst : bb.insts) {
+                if (inst.op == Opcode::Load)
+                    inst.loadId = next++;
+            }
+        }
+    }
+    numLoads_ = next;
+    return next;
+}
+
+size_t
+Module::instructionCount() const
+{
+    size_t n = 0;
+    for (const auto &fn : functions_)
+        n += fn->instructionCount();
+    return n;
+}
+
+} // namespace ir
+} // namespace protean

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * IR module: functions plus global data.
+ */
+
+#ifndef PROTEAN_IR_MODULE_H
+#define PROTEAN_IR_MODULE_H
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace protean {
+namespace ir {
+
+/** A named region of zero-initialized global data. */
+struct Global
+{
+    GlobalId id = kInvalidId;
+    std::string name;
+    /** Size in bytes (word-aligned by the linker). */
+    uint64_t sizeBytes = 0;
+};
+
+/**
+ * A whole-program IR module.
+ *
+ * Owns functions and globals. Static loads are numbered module-wide
+ * by renumberLoads(); that numbering is the coordinate system for
+ * PC3D's non-temporal variant bit vectors.
+ */
+class Module
+{
+  public:
+    explicit Module(std::string name = "module");
+
+    const std::string &name() const { return name_; }
+
+    /** Create a function; the returned reference stays valid. */
+    Function &addFunction(const std::string &name, uint32_t num_params);
+
+    /** Create a global data region. */
+    GlobalId addGlobal(const std::string &name, uint64_t size_bytes);
+
+    size_t numFunctions() const { return functions_.size(); }
+    Function &function(FuncId id);
+    const Function &function(FuncId id) const;
+
+    /** Find a function by name; nullptr if absent. */
+    Function *findFunction(const std::string &name);
+    const Function *findFunction(const std::string &name) const;
+
+    size_t numGlobals() const { return globals_.size(); }
+    const Global &global(GlobalId id) const;
+    const std::vector<Global> &globals() const { return globals_; }
+
+    /**
+     * Assign dense module-wide LoadIds to every Load in function and
+     * block order. Returns the total static load count. Must be
+     * called after the module is structurally complete and before
+     * lowering.
+     */
+    uint32_t renumberLoads();
+
+    /** Static load count from the last renumberLoads() (0 before). */
+    uint32_t numLoads() const { return numLoads_; }
+
+    /** Sum of instructionCount over functions. */
+    size_t instructionCount() const;
+
+  private:
+    std::string name_;
+    std::vector<std::unique_ptr<Function>> functions_;
+    std::vector<Global> globals_;
+    std::unordered_map<std::string, FuncId> funcByName_;
+    uint32_t numLoads_ = 0;
+};
+
+} // namespace ir
+} // namespace protean
+
+#endif // PROTEAN_IR_MODULE_H

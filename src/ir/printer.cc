@@ -1,0 +1,86 @@
+#include "ir/printer.h"
+
+#include "support/logging.h"
+
+namespace protean {
+namespace ir {
+
+std::string
+toString(const Instruction &inst)
+{
+    std::string s = opcodeName(inst.op);
+    if (inst.hasDest())
+        s = strformat("r%u = %s", inst.dest, s.c_str());
+    switch (inst.op) {
+      case Opcode::ConstInt:
+        s += strformat(" %lld", static_cast<long long>(inst.imm));
+        break;
+      case Opcode::GlobalAddr:
+        s += strformat(" @g%lld", static_cast<long long>(inst.imm));
+        break;
+      case Opcode::Load:
+        s += strformat(" [r%u%+lld]", inst.srcs[0],
+                       static_cast<long long>(inst.imm));
+        if (inst.loadId != kInvalidId)
+            s += strformat(" ; load#%u", inst.loadId);
+        break;
+      case Opcode::Store:
+        s += strformat(" [r%u%+lld], r%u", inst.srcs[0],
+                       static_cast<long long>(inst.imm), inst.srcs[1]);
+        break;
+      case Opcode::Br:
+        s += strformat(" bb%u", inst.targets[0]);
+        break;
+      case Opcode::CondBr:
+        s += strformat(" r%u, bb%u, bb%u", inst.srcs[0],
+                       inst.targets[0], inst.targets[1]);
+        break;
+      case Opcode::Call:
+        s += strformat(" f%u(", inst.callee);
+        for (size_t i = 0; i < inst.srcs.size(); ++i)
+            s += strformat("%sr%u", i ? ", " : "", inst.srcs[i]);
+        s += ")";
+        break;
+      case Opcode::Ret:
+        if (!inst.srcs.empty())
+            s += strformat(" r%u", inst.srcs[0]);
+        break;
+      default:
+        for (size_t i = 0; i < inst.srcs.size(); ++i)
+            s += strformat("%s r%u", i ? "," : "", inst.srcs[i]);
+        break;
+    }
+    return s;
+}
+
+std::string
+toString(const Function &fn)
+{
+    std::string s = strformat("func %s(%u) regs=%u {\n",
+                              fn.name().c_str(), fn.numParams(),
+                              fn.numRegs());
+    for (const auto &bb : fn.blocks()) {
+        s += strformat("  bb%u:\n", bb.id);
+        for (const auto &inst : bb.insts)
+            s += "    " + toString(inst) + "\n";
+    }
+    s += "}\n";
+    return s;
+}
+
+std::string
+toString(const Module &module)
+{
+    std::string s = strformat("module %s\n", module.name().c_str());
+    for (const auto &g : module.globals()) {
+        s += strformat("global @g%u %s [%llu bytes]\n", g.id,
+                       g.name.c_str(),
+                       static_cast<unsigned long long>(g.sizeBytes));
+    }
+    for (FuncId f = 0; f < module.numFunctions(); ++f)
+        s += toString(module.function(f));
+    return s;
+}
+
+} // namespace ir
+} // namespace protean

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Textual IR dumping, for debugging and golden tests.
+ */
+
+#ifndef PROTEAN_IR_PRINTER_H
+#define PROTEAN_IR_PRINTER_H
+
+#include <string>
+
+#include "ir/module.h"
+
+namespace protean {
+namespace ir {
+
+/** Render one instruction as text. */
+std::string toString(const Instruction &inst);
+
+/** Render one function as text. */
+std::string toString(const Function &fn);
+
+/** Render a whole module as text. */
+std::string toString(const Module &module);
+
+} // namespace ir
+} // namespace protean
+
+#endif // PROTEAN_IR_PRINTER_H

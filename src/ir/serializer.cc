@@ -1,0 +1,165 @@
+#include "ir/serializer.h"
+
+#include "support/bytebuffer.h"
+#include "support/compression.h"
+#include "support/logging.h"
+
+namespace protean {
+namespace ir {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x50436972; // "PCir"
+constexpr uint32_t kVersion = 2;
+
+void
+writeInstruction(ByteWriter &w, const Instruction &inst)
+{
+    w.writeByte(static_cast<uint8_t>(inst.op));
+    w.writeVarUint(inst.dest == kInvalidReg ? 0 : inst.dest + 1);
+    w.writeVarUint(inst.srcs.size());
+    for (Reg r : inst.srcs)
+        w.writeVarUint(r);
+    w.writeVarInt(inst.imm);
+    w.writeVarUint(inst.targets[0] == kInvalidId ? 0 : inst.targets[0] + 1);
+    w.writeVarUint(inst.targets[1] == kInvalidId ? 0 : inst.targets[1] + 1);
+    w.writeVarUint(inst.callee == kInvalidId ? 0 : inst.callee + 1);
+    w.writeVarUint(inst.loadId == kInvalidId ? 0 : inst.loadId + 1);
+}
+
+Instruction
+readInstruction(ByteReader &r)
+{
+    Instruction inst;
+    uint8_t op = r.readByte();
+    if (op >= kNumOpcodes)
+        panic("IR deserialize: bad opcode %u", op);
+    inst.op = static_cast<Opcode>(op);
+    uint64_t dest = r.readVarUint();
+    inst.dest = dest == 0 ? kInvalidReg : static_cast<Reg>(dest - 1);
+    uint64_t nsrcs = r.readVarUint();
+    if (nsrcs > 64)
+        panic("IR deserialize: absurd src count %llu",
+              static_cast<unsigned long long>(nsrcs));
+    inst.srcs.resize(static_cast<size_t>(nsrcs));
+    for (auto &s : inst.srcs)
+        s = static_cast<Reg>(r.readVarUint());
+    inst.imm = r.readVarInt();
+    uint64_t t0 = r.readVarUint();
+    uint64_t t1 = r.readVarUint();
+    inst.targets[0] = t0 == 0 ? kInvalidId : static_cast<BlockId>(t0 - 1);
+    inst.targets[1] = t1 == 0 ? kInvalidId : static_cast<BlockId>(t1 - 1);
+    uint64_t callee = r.readVarUint();
+    inst.callee = callee == 0 ? kInvalidId
+        : static_cast<FuncId>(callee - 1);
+    uint64_t load_id = r.readVarUint();
+    inst.loadId = load_id == 0 ? kInvalidId
+        : static_cast<LoadId>(load_id - 1);
+    return inst;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+serialize(const Module &module)
+{
+    ByteWriter w;
+    w.writeFixed64((static_cast<uint64_t>(kMagic) << 32) | kVersion);
+    w.writeString(module.name());
+
+    w.writeVarUint(module.numGlobals());
+    for (const auto &g : module.globals()) {
+        w.writeString(g.name);
+        w.writeVarUint(g.sizeBytes);
+    }
+
+    w.writeVarUint(module.numFunctions());
+    for (FuncId f = 0; f < module.numFunctions(); ++f) {
+        const Function &fn = module.function(f);
+        w.writeString(fn.name());
+        w.writeVarUint(fn.numParams());
+        w.writeVarUint(fn.numRegs());
+        w.writeVarUint(fn.numBlocks());
+        for (const auto &bb : fn.blocks()) {
+            w.writeVarUint(bb.insts.size());
+            for (const auto &inst : bb.insts)
+                writeInstruction(w, inst);
+        }
+    }
+    return w.take();
+}
+
+std::unique_ptr<Module>
+deserialize(const std::vector<uint8_t> &bytes)
+{
+    ByteReader r(bytes);
+    uint64_t header = r.readFixed64();
+    if ((header >> 32) != kMagic)
+        panic("IR deserialize: bad magic 0x%llx",
+              static_cast<unsigned long long>(header >> 32));
+    if ((header & 0xffffffff) != kVersion)
+        panic("IR deserialize: unsupported version %llu",
+              static_cast<unsigned long long>(header & 0xffffffff));
+
+    auto module = std::make_unique<Module>(r.readString());
+
+    uint64_t nglobals = r.readVarUint();
+    for (uint64_t i = 0; i < nglobals; ++i) {
+        std::string name = r.readString();
+        uint64_t size = r.readVarUint();
+        module->addGlobal(name, size);
+    }
+
+    uint64_t nfuncs = r.readVarUint();
+    for (uint64_t i = 0; i < nfuncs; ++i) {
+        std::string name = r.readString();
+        uint32_t nparams = static_cast<uint32_t>(r.readVarUint());
+        uint32_t nregs = static_cast<uint32_t>(r.readVarUint());
+        Function &fn = module->addFunction(name, nparams);
+        if (nregs > 0)
+            fn.noteReg(nregs - 1);
+        uint64_t nblocks = r.readVarUint();
+        for (uint64_t b = 0; b < nblocks; ++b) {
+            BlockId bid = fn.newBlock();
+            uint64_t ninsts = r.readVarUint();
+            auto &insts = fn.block(bid).insts;
+            insts.reserve(static_cast<size_t>(ninsts));
+            for (uint64_t k = 0; k < ninsts; ++k)
+                insts.push_back(readInstruction(r));
+        }
+    }
+
+    // Recover the module-wide load numbering without renumbering (the
+    // embedded blob already carries LoadIds; count them).
+    uint32_t max_load = 0;
+    bool any = false;
+    for (FuncId f = 0; f < module->numFunctions(); ++f) {
+        for (const auto &bb : module->function(f).blocks()) {
+            for (const auto &inst : bb.insts) {
+                if (inst.op == Opcode::Load &&
+                    inst.loadId != kInvalidId) {
+                    any = true;
+                    max_load = std::max(max_load, inst.loadId);
+                }
+            }
+        }
+    }
+    if (any)
+        module->renumberLoads(); // deterministic order == stored order
+    return module;
+}
+
+std::vector<uint8_t>
+serializeCompressed(const Module &module)
+{
+    return compress(serialize(module));
+}
+
+std::unique_ptr<Module>
+deserializeCompressed(const std::vector<uint8_t> &bytes)
+{
+    return deserialize(decompress(bytes));
+}
+
+} // namespace ir
+} // namespace protean

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Binary (de)serialization of IR modules.
+ *
+ * This is the payload the protean code compiler compresses and embeds
+ * in the program's data region (paper Section III-A2), and that the
+ * runtime extracts and re-hydrates to drive online analysis and
+ * recompilation. The format is versioned and self-checking.
+ */
+
+#ifndef PROTEAN_IR_SERIALIZER_H
+#define PROTEAN_IR_SERIALIZER_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace protean {
+namespace ir {
+
+/** Serialize a module to bytes. */
+std::vector<uint8_t> serialize(const Module &module);
+
+/**
+ * Reconstruct a module from bytes produced by serialize().
+ * Panics on malformed input (embedded blobs are produced by this
+ * library; corruption indicates an internal error).
+ */
+std::unique_ptr<Module> deserialize(const std::vector<uint8_t> &bytes);
+
+/** Serialize, then compress (the embedded on-binary form). */
+std::vector<uint8_t> serializeCompressed(const Module &module);
+
+/** Decompress, then deserialize. */
+std::unique_ptr<Module>
+deserializeCompressed(const std::vector<uint8_t> &bytes);
+
+} // namespace ir
+} // namespace protean
+
+#endif // PROTEAN_IR_SERIALIZER_H

@@ -1,0 +1,159 @@
+#include "ir/verifier.h"
+
+#include "support/logging.h"
+
+namespace protean {
+namespace ir {
+
+namespace {
+
+class Checker
+{
+  public:
+    explicit Checker(const Module &module, std::vector<std::string> *out)
+        : module_(module), out_(out) {}
+
+    bool
+    run()
+    {
+        for (FuncId f = 0; f < module_.numFunctions(); ++f)
+            checkFunction(module_.function(f));
+        return ok_;
+    }
+
+  private:
+    const Module &module_;
+    std::vector<std::string> *out_;
+    bool ok_ = true;
+
+    void
+    report(const Function &fn, BlockId bb, const std::string &msg)
+    {
+        ok_ = false;
+        if (out_) {
+            out_->push_back(strformat("%s: block %u: %s",
+                                      fn.name().c_str(), bb, msg.c_str()));
+        }
+    }
+
+    void
+    checkFunction(const Function &fn)
+    {
+        if (fn.numBlocks() == 0) {
+            report(fn, 0, "function has no blocks");
+            return;
+        }
+        int ret_arity = -1; // -1 unknown, else 0/1
+        for (const auto &bb : fn.blocks()) {
+            if (bb.insts.empty()) {
+                report(fn, bb.id, "empty block");
+                continue;
+            }
+            for (size_t k = 0; k < bb.insts.size(); ++k) {
+                const Instruction &inst = bb.insts[k];
+                bool last = (k + 1 == bb.insts.size());
+                if (inst.isTerminator() != last) {
+                    report(fn, bb.id, strformat(
+                        "%s at %zu: terminator placement",
+                        opcodeName(inst.op), k));
+                }
+                checkInstruction(fn, bb.id, inst, ret_arity);
+            }
+        }
+    }
+
+    void
+    checkInstruction(const Function &fn, BlockId bb,
+                     const Instruction &inst, int &ret_arity)
+    {
+        // Register bounds.
+        if (inst.hasDest() && inst.dest >= fn.numRegs())
+            report(fn, bb, strformat("%s: dest r%u out of range",
+                                     opcodeName(inst.op), inst.dest));
+        for (Reg r : inst.srcs) {
+            if (r >= fn.numRegs())
+                report(fn, bb, strformat("%s: src r%u out of range",
+                                         opcodeName(inst.op), r));
+        }
+
+        // Operand arity.
+        uint32_t want = expectedSrcCount(inst.op);
+        if (want != kInvalidId && inst.srcs.size() != want) {
+            report(fn, bb, strformat("%s: expected %u srcs, got %zu",
+                                     opcodeName(inst.op), want,
+                                     inst.srcs.size()));
+        }
+
+        switch (inst.op) {
+          case Opcode::GlobalAddr:
+            if (inst.imm < 0 ||
+                static_cast<uint64_t>(inst.imm) >= module_.numGlobals()) {
+                report(fn, bb, strformat("gaddr: bad global %lld",
+                                         static_cast<long long>(inst.imm)));
+            }
+            break;
+          case Opcode::Br:
+            if (inst.targets[0] >= fn.numBlocks())
+                report(fn, bb, "br: bad target");
+            break;
+          case Opcode::CondBr:
+            if (inst.targets[0] >= fn.numBlocks() ||
+                inst.targets[1] >= fn.numBlocks()) {
+                report(fn, bb, "condbr: bad target");
+            }
+            break;
+          case Opcode::Call: {
+            if (inst.callee >= module_.numFunctions()) {
+                report(fn, bb, strformat("call: bad callee %u",
+                                         inst.callee));
+                break;
+            }
+            const Function &callee = module_.function(inst.callee);
+            if (inst.srcs.size() != callee.numParams()) {
+                report(fn, bb, strformat(
+                    "call %s: %zu args for %u params",
+                    callee.name().c_str(), inst.srcs.size(),
+                    callee.numParams()));
+            }
+            break;
+          }
+          case Opcode::Ret: {
+            int arity = static_cast<int>(inst.srcs.size());
+            if (arity > 1) {
+                report(fn, bb, "ret: more than one value");
+            } else if (ret_arity == -1) {
+                ret_arity = arity;
+            } else if (ret_arity != arity) {
+                report(fn, bb, "ret: inconsistent arity in function");
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+};
+
+} // namespace
+
+bool
+verify(const Module &module, std::vector<std::string> *errors)
+{
+    Checker checker(module, errors);
+    return checker.run();
+}
+
+void
+verifyOrDie(const Module &module)
+{
+    std::vector<std::string> errors;
+    if (!verify(module, &errors)) {
+        panic("IR verification failed for module %s: %s (%zu errors)",
+              module.name().c_str(),
+              errors.empty() ? "?" : errors.front().c_str(),
+              errors.size());
+    }
+}
+
+} // namespace ir
+} // namespace protean

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Structural verification of IR modules.
+ *
+ * The verifier enforces the invariants the rest of the stack relies
+ * on: every block ends in exactly one terminator, every register and
+ * block reference is in range, call targets and argument counts
+ * match, and Ret arity is consistent within a function.
+ */
+
+#ifndef PROTEAN_IR_VERIFIER_H
+#define PROTEAN_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace protean {
+namespace ir {
+
+/**
+ * Verify a module.
+ * @param module The module to check.
+ * @param errors If non-null, receives one message per violation.
+ * @return true when the module is well-formed.
+ */
+bool verify(const Module &module, std::vector<std::string> *errors
+            = nullptr);
+
+/** Verify and panic with the first error if malformed. */
+void verifyOrDie(const Module &module);
+
+} // namespace ir
+} // namespace protean
+
+#endif // PROTEAN_IR_VERIFIER_H

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * PISA: the protean virtual instruction set.
+ *
+ * PISA is the machine-level target of the compiler backend and the
+ * input of the simulated cores. It is held in decoded form (one
+ * MInst struct per instruction; code addresses are indices into a
+ * flat instruction array).
+ *
+ * Register convention (enforced by the code generator):
+ *  - r0..r3   argument / return-value registers, caller-managed;
+ *  - r4..r63  general registers; the hardware call stack saves and
+ *             restores r4..r63 across calls (register windows), so
+ *             compiled code needs no callee-save sequences.
+ *
+ * Non-temporal support mirrors x86 prefetchnta: a Hint instruction
+ * placed before a load marks the line's fills as non-temporal, and
+ * the load itself carries the nonTemporal flag that the memory
+ * hierarchy's insertion policy consumes.
+ */
+
+#ifndef PROTEAN_ISA_MINST_H
+#define PROTEAN_ISA_MINST_H
+
+#include <cstdint>
+#include <string>
+
+#include "ir/instruction.h"
+
+namespace protean {
+namespace isa {
+
+/** Index into a process's flat code array. */
+using CodeAddr = uint32_t;
+
+constexpr CodeAddr kInvalidCodeAddr = 0xffffffffu;
+
+/** Total machine registers. */
+constexpr uint32_t kNumMachineRegs = 64;
+/** First general (window-saved) register. */
+constexpr uint32_t kFirstGeneralReg = 4;
+
+/** Machine opcodes. */
+enum class MOp : uint8_t {
+    Const,        ///< rd = imm
+    Mov,          ///< rd = rs1
+    Add, Sub, Mul, Div, Mod, And, Or, Xor, Shl, Shr,
+    CmpEq, CmpNe, CmpLt, CmpLe,
+    Load,         ///< rd = mem64[rs1 + imm]
+    Store,        ///< mem64[rs1 + imm] = rs2
+    Hint,         ///< prefetchnta-style hint for [rs1 + imm]
+    Jmp,          ///< pc = target
+    Bnz,          ///< if rs1 != 0: pc = target
+    CallDirect,   ///< push window; pc = target
+    CallIndirect, ///< push window; pc = mem64[evt + 8*evtSlot]
+    Ret,          ///< pop window; pc = return address
+    Halt,         ///< stop the process
+    Nop,
+};
+
+constexpr uint8_t kNumMOps = static_cast<uint8_t>(MOp::Nop) + 1;
+
+/** Printable mnemonic. */
+const char *mopName(MOp op);
+
+/** One decoded machine instruction. */
+struct MInst
+{
+    MOp op = MOp::Nop;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    /** Constant / memory offset (bytes). */
+    int64_t imm = 0;
+    /** Branch or direct-call target. */
+    CodeAddr target = kInvalidCodeAddr;
+    /** EVT slot for CallIndirect. */
+    uint32_t evtSlot = 0;
+    /** Static load id (Load/Hint), from the IR numbering. */
+    ir::LoadId loadId = ir::kInvalidId;
+    /** Non-temporal insertion for this access (Load/Hint). */
+    bool nonTemporal = false;
+
+    /** True for ops that end a basic block at machine level. */
+    bool isControlFlow() const;
+};
+
+/** Disassemble one instruction (addr only affects formatting). */
+std::string disassemble(const MInst &inst, CodeAddr addr = 0);
+
+} // namespace isa
+} // namespace protean
+
+#endif // PROTEAN_ISA_MINST_H

@@ -1,0 +1,38 @@
+#include "pc3d/heuristics.h"
+
+#include "ir/loops.h"
+#include "support/logging.h"
+
+namespace protean {
+namespace pc3d {
+
+SearchSpace
+buildSearchSpace(const ir::Module &module,
+                 const std::vector<ir::FuncId> &hot_funcs)
+{
+    SearchSpace space;
+    space.fullProgramLoads = module.numLoads();
+    space.functions = hot_funcs;
+
+    for (ir::FuncId f : hot_funcs) {
+        const ir::Function &fn = module.function(f);
+        space.activeRegionLoads += fn.loadCount();
+
+        ir::LoopInfo loops(fn);
+        for (const auto &bb : fn.blocks()) {
+            if (!loops.atMaxDepth(bb.id))
+                continue;
+            for (const auto &inst : bb.insts) {
+                if (inst.op == ir::Opcode::Load &&
+                    inst.loadId != ir::kInvalidId) {
+                    space.loads.push_back(inst.loadId);
+                }
+            }
+        }
+    }
+    space.maxDepthLoads = space.loads.size();
+    return space;
+}
+
+} // namespace pc3d
+} // namespace protean

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * PC3D variant search-space reduction heuristics (paper Section
+ * IV-C, evaluated in Figure 8).
+ *
+ * Three stacked filters shrink the set of static loads the search
+ * considers:
+ *  1. Exclude uncovered code — only functions that appear in the PC
+ *     samples survive;
+ *  2. Prioritize hotter code — surviving loads are ordered by their
+ *     function's sample weight, hottest first;
+ *  3. Only innermost loops — within each surviving function, only
+ *     loads in blocks at the function's maximum loop depth survive
+ *     (depth comes from the embedded IR's loop analysis).
+ */
+
+#ifndef PROTEAN_PC3D_HEURISTICS_H
+#define PROTEAN_PC3D_HEURISTICS_H
+
+#include <vector>
+
+#include "ir/module.h"
+
+namespace protean {
+namespace pc3d {
+
+/** The reduced, ordered search space plus reduction accounting. */
+struct SearchSpace
+{
+    /** Surviving loads, ordered by decreasing expected impact. */
+    std::vector<ir::LoadId> loads;
+    /** Functions contributing loads, hottest first. */
+    std::vector<ir::FuncId> functions;
+
+    // Figure 8 accounting.
+    size_t fullProgramLoads = 0;  ///< all static loads
+    size_t activeRegionLoads = 0; ///< after coverage pruning
+    size_t maxDepthLoads = 0;     ///< after the max-depth filter
+};
+
+/**
+ * Build the search space.
+ * @param module The embedded IR.
+ * @param hot_funcs Covered functions, hottest first (from the PC
+ *        sampler). Functions absent here are "uncovered code".
+ */
+SearchSpace buildSearchSpace(const ir::Module &module,
+                             const std::vector<ir::FuncId> &hot_funcs);
+
+} // namespace pc3d
+} // namespace protean
+
+#endif // PROTEAN_PC3D_HEURISTICS_H

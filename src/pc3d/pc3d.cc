@@ -1,0 +1,267 @@
+#include "pc3d/pc3d.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace protean {
+namespace pc3d {
+
+Pc3dEngine::Pc3dEngine(runtime::QosMonitor &qos, const Pc3dOptions &opts)
+    : qos_(qos), opts_(opts), dispatchedMask_(0)
+{
+}
+
+void
+Pc3dEngine::onStart(runtime::ProteanRuntime &rt)
+{
+    qos_.start();
+    buildFuncLoads(rt.module());
+    dispatchedMask_ = BitVector(rt.module().numLoads());
+    for (size_t i = 0; i < qos_.coCores().size(); ++i)
+        coPhase_.emplace_back(0.5);
+    windowEnd_ = rt.machine().now() +
+        rt.machine().msToCycles(opts_.warmupMs);
+}
+
+void
+Pc3dEngine::buildFuncLoads(const ir::Module &module)
+{
+    for (ir::FuncId f = 0; f < module.numFunctions(); ++f) {
+        auto &loads = funcLoads_[f];
+        for (const auto &bb : module.function(f).blocks()) {
+            for (const auto &inst : bb.insts) {
+                if (inst.op == ir::Opcode::Load &&
+                    inst.loadId != ir::kInvalidId) {
+                    loads.push_back(inst.loadId);
+                }
+            }
+        }
+    }
+}
+
+BitVector
+Pc3dEngine::spaceToModuleMask(const BitVector &space_mask) const
+{
+    BitVector mask(dispatchedMask_.size());
+    for (size_t i = 0; i < space_mask.size(); ++i) {
+        if (space_mask.test(i))
+            mask.set(space_.loads[i]);
+    }
+    return mask;
+}
+
+void
+Pc3dEngine::setNap(runtime::ProteanRuntime &rt, double nap)
+{
+    nap_ = std::clamp(nap, 0.0, opts_.napCap);
+    rt.napGovernor().setControllerNap(nap_);
+}
+
+void
+Pc3dEngine::applyMask(runtime::ProteanRuntime &rt,
+                      const BitVector &mask)
+{
+    const ir::Module &module = rt.module();
+    for (ir::FuncId f : space_.functions) {
+        const auto &loads = funcLoads_[f];
+        bool changed = false;
+        bool all_clear = true;
+        for (ir::LoadId id : loads) {
+            bool want = id < mask.size() && mask.test(id);
+            bool have = id < dispatchedMask_.size() &&
+                dispatchedMask_.test(id);
+            changed |= want != have;
+            all_clear &= !want;
+        }
+        if (!changed)
+            continue;
+        if (!rt.evt().virtualized(f)) {
+            warn("pc3d: hot function %s is not virtualized; skipping",
+                 module.function(f).name().c_str());
+            continue;
+        }
+        if (all_clear) {
+            // Empty mask == the original code: dispatch the static
+            // entry directly, no compile needed.
+            rt.evt().retarget(f, rt.host().image().function(f).entry);
+        } else {
+            ++pendingDispatch_;
+            rt.deployVariant(f, mask, [this] {
+                if (pendingDispatch_ > 0)
+                    --pendingDispatch_;
+            });
+        }
+    }
+    dispatchedMask_ = mask;
+    discardNextWindow_ = true;
+}
+
+void
+Pc3dEngine::startSearch(runtime::ProteanRuntime &rt)
+{
+    // Heuristic search-space construction from current hotness.
+    auto hot = rt.sampler().hotFunctions(opts_.hotFraction);
+    space_ = buildSearchSpace(rt.module(), hot);
+    if (space_.loads.size() > opts_.maxSearchLoads)
+        space_.loads.resize(opts_.maxSearchLoads);
+
+    // Charge the analysis (coverage pruning + loop analysis).
+    rt.chargeWork(300 * hot.size() + 4 * space_.activeRegionLoads);
+
+    SearchConfig scfg;
+    scfg.qosTarget = opts_.qosTarget;
+    scfg.napEpsilon = opts_.napEpsilon;
+    scfg.napCap = opts_.napCap;
+    scfg.reuseNapBounds = opts_.reuseNapBounds;
+    search_ = std::make_unique<VariantSearch>(scfg,
+                                              space_.loads.size());
+    ++searches_;
+    mode_ = Mode::Search;
+    applyRequest(rt);
+}
+
+void
+Pc3dEngine::applyRequest(runtime::ProteanRuntime &rt)
+{
+    VariantSearch::Request req = search_->current();
+    BitVector mask = spaceToModuleMask(req.mask);
+    if (!(mask == dispatchedMask_))
+        applyMask(rt, mask);
+    setNap(rt, req.nap);
+    // Fresh measurement window from here.
+    rt.hpm().window(rt.hostCore());
+    qos_.minQosWindow();
+    qos_.clearTaint();
+    windowEnd_ = rt.machine().now() +
+        rt.machine().msToCycles(opts_.windowMs);
+}
+
+void
+Pc3dEngine::onTick(runtime::ProteanRuntime &rt)
+{
+    if (rt.machine().now() < windowEnd_)
+        return;
+    rt.chargeWork(opts_.windowAnalysisCycles);
+    rt.sampler().decay(0.96);
+
+    switch (mode_) {
+      case Mode::Warmup:
+        startSearch(rt);
+        break;
+      case Mode::Search:
+        windowSearch(rt);
+        break;
+      case Mode::Settled:
+        windowSettled(rt);
+        break;
+    }
+}
+
+void
+Pc3dEngine::windowSearch(runtime::ProteanRuntime &rt)
+{
+    uint64_t window = rt.machine().msToCycles(opts_.windowMs);
+
+    if (pendingDispatch_ > 0) {
+        // Compiles still in flight; give them another window.
+        windowEnd_ = rt.machine().now() + window;
+        return;
+    }
+    if (discardNextWindow_) {
+        // First boundary after a dispatch ran partially on old code.
+        discardNextWindow_ = false;
+        rt.hpm().window(rt.hostCore());
+        qos_.minQosWindow();
+        qos_.clearTaint();
+        windowEnd_ = rt.machine().now() + window;
+        return;
+    }
+
+    Measurement meas;
+    sim::HpmCounters host = rt.hpm().window(rt.hostCore());
+    meas.hostBps = host.bpc();
+    meas.minQos = qos_.minQosWindow();
+    meas.tainted = qos_.windowTainted();
+    qos_.clearTaint();
+    if (!meas.tainted)
+        ++searchWindows_;
+
+    search_->onMeasurement(meas);
+
+    if (search_->done()) {
+        BitVector mask = spaceToModuleMask(search_->bestMask());
+        if (!(mask == dispatchedMask_))
+            applyMask(rt, mask);
+        setNap(rt, search_->bestNap());
+        settledBestNap_ = search_->bestNap();
+        mode_ = Mode::Settled;
+        rt.hpm().window(rt.hostCore());
+        qos_.minQosWindow();
+        qos_.clearTaint();
+        windowEnd_ = rt.machine().now() +
+            rt.machine().msToCycles(opts_.settledWindowMs);
+        return;
+    }
+    applyRequest(rt);
+}
+
+void
+Pc3dEngine::windowSettled(runtime::ProteanRuntime &rt)
+{
+    uint64_t window = rt.machine().msToCycles(opts_.settledWindowMs);
+    windowEnd_ = rt.machine().now() + window;
+
+    if (pendingDispatch_ > 0 || discardNextWindow_) {
+        discardNextWindow_ = false;
+        rt.hpm().window(rt.hostCore());
+        qos_.minQosWindow();
+        qos_.clearTaint();
+        return;
+    }
+
+    sim::HpmCounters host = rt.hpm().window(rt.hostCore());
+    double min_qos = qos_.minQosWindow();
+    bool tainted = qos_.windowTainted();
+    qos_.clearTaint();
+    if (tainted)
+        return;
+    lastQos_ = min_qos;
+
+    // Phase analysis: host progress + hot set, co-runner progress.
+    bool host_changed =
+        hostPhase_.update(host.ipc(),
+                          rt.sampler().hotFunctions(opts_.hotFraction));
+    bool co_changed = false;
+    for (size_t i = 0; i < qos_.coCores().size(); ++i) {
+        sim::HpmCounters co = rt.hpm().window(qos_.coCores()[i]);
+        co_changed |= coPhase_[i].update(co.ipc());
+    }
+
+    if (host_changed || co_changed) {
+        // Co-phase change: the solo reference describes the old
+        // phase, so re-prime it, revert to the original code, and
+        // search again from scratch (Figure 16's t=300/t=600
+        // behavior).
+        if (co_changed)
+            qos_.reprime();
+        applyMask(rt, BitVector(dispatchedMask_.size()));
+        setNap(rt, 0.0);
+        startSearch(rt);
+        return;
+    }
+
+    // Drift control: nap absorbs small QoS shifts; a large excursion
+    // beyond the searched level triggers a fresh search.
+    if (min_qos < opts_.qosTarget - opts_.qosSlack) {
+        setNap(rt, nap_ + opts_.napStep);
+        if (nap_ > settledBestNap_ + 0.25)
+            startSearch(rt);
+    } else if (min_qos > opts_.qosTarget + 2 * opts_.qosSlack &&
+               nap_ > settledBestNap_) {
+        setNap(rt, std::max(settledBestNap_, nap_ - opts_.napStep / 2));
+    }
+}
+
+} // namespace pc3d
+} // namespace protean

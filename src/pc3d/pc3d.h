@@ -1,0 +1,135 @@
+/**
+ * @file
+ * PC3D — Protean Code for Cache Contention in Datacenters (paper
+ * Section IV).
+ *
+ * Pc3dEngine is a protean-runtime decision engine that dynamically
+ * mixes non-temporal-hint code variants with napping so that
+ * co-running latency-sensitive applications meet their QoS targets
+ * while the host batch application retains as much throughput as
+ * possible.
+ *
+ * Lifecycle:
+ *  - Warmup: prime the flux-probe solo reference and accumulate PC
+ *    samples.
+ *  - Search: build the reduced search space (pc3d/heuristics.h) and
+ *    drive the greedy variant search (pc3d/search.h), one evaluation
+ *    window at a time, dispatching variants through the protean
+ *    runtime as the search requests them.
+ *  - Settled: run the winning variant at its nap level; watch QoS
+ *    and host/co-runner phases; re-enter Search on a violation or a
+ *    co-phase change (reverting to the original code first, so an
+ *    unloaded co-runner lets the host run at full speed).
+ */
+
+#ifndef PROTEAN_PC3D_PC3D_H
+#define PROTEAN_PC3D_PC3D_H
+
+#include <unordered_map>
+
+#include "pc3d/heuristics.h"
+#include "pc3d/search.h"
+#include "runtime/qos.h"
+#include "runtime/runtime.h"
+
+namespace protean {
+namespace pc3d {
+
+/** Engine tuning. */
+struct Pc3dOptions
+{
+    double qosTarget = 0.95;
+    /** Evaluation-window length during search. */
+    double windowMs = 60.0;
+    /** Settled-mode check interval. */
+    double settledWindowMs = 200.0;
+    /** Warmup before the first search. */
+    double warmupMs = 250.0;
+    double napEpsilon = 0.04;
+    double napCap = 0.98;
+    /** Hotness mass that defines "covered" functions. */
+    double hotFraction = 0.98;
+    /** Hard cap on the search-space size (keeps search time
+     *  proportionate; the hottest loads survive). */
+    size_t maxSearchLoads = 24;
+    /** Reuse nap bounds across variants (ablation knob). */
+    bool reuseNapBounds = true;
+    /** QoS hysteresis below target before reacting while settled. */
+    double qosSlack = 0.015;
+    /** Nap adjustment step while settled. */
+    double napStep = 0.05;
+    /** Modeled analysis cost per window, in cycles. */
+    uint64_t windowAnalysisCycles = 120;
+};
+
+/** The PC3D decision engine. */
+class Pc3dEngine : public runtime::DecisionEngine
+{
+  public:
+    /**
+     * @param qos QoS monitor over the co-runners (the engine calls
+     *        start() on it).
+     * @param opts Tuning.
+     */
+    explicit Pc3dEngine(runtime::QosMonitor &qos,
+                        const Pc3dOptions &opts = Pc3dOptions{});
+
+    void onStart(runtime::ProteanRuntime &rt) override;
+    void onTick(runtime::ProteanRuntime &rt) override;
+
+    enum class Mode { Warmup, Search, Settled };
+    Mode mode() const { return mode_; }
+
+    /** Search space of the most recent search. */
+    const SearchSpace &space() const { return space_; }
+
+    /** Current controller nap intensity. */
+    double currentNap() const { return nap_; }
+
+    /** Module-wide mask currently dispatched. */
+    const BitVector &currentMask() const { return dispatchedMask_; }
+
+    uint64_t searchesStarted() const { return searches_; }
+    uint64_t searchWindowsTotal() const { return searchWindows_; }
+
+    /** Most recent settled-mode QoS observation. */
+    double lastQos() const { return lastQos_; }
+
+  private:
+    runtime::QosMonitor &qos_;
+    Pc3dOptions opts_;
+
+    Mode mode_ = Mode::Warmup;
+    SearchSpace space_;
+    std::unique_ptr<VariantSearch> search_;
+    BitVector dispatchedMask_;
+    double nap_ = 0.0;
+    double settledBestNap_ = 0.0;
+
+    uint64_t windowEnd_ = 0;
+    uint32_t pendingDispatch_ = 0;
+    bool discardNextWindow_ = false;
+    uint64_t searches_ = 0;
+    uint64_t searchWindows_ = 0;
+    double lastQos_ = 1.0;
+
+    runtime::PhaseDetector hostPhase_{0.35};
+    std::vector<runtime::PhaseDetector> coPhase_;
+
+    /** Per-function loads (for per-function dispatch diffs). */
+    std::unordered_map<ir::FuncId, std::vector<ir::LoadId>> funcLoads_;
+
+    void buildFuncLoads(const ir::Module &module);
+    void startSearch(runtime::ProteanRuntime &rt);
+    void applyRequest(runtime::ProteanRuntime &rt);
+    void applyMask(runtime::ProteanRuntime &rt, const BitVector &mask);
+    void setNap(runtime::ProteanRuntime &rt, double nap);
+    BitVector spaceToModuleMask(const BitVector &space_mask) const;
+    void windowSearch(runtime::ProteanRuntime &rt);
+    void windowSettled(runtime::ProteanRuntime &rt);
+};
+
+} // namespace pc3d
+} // namespace protean
+
+#endif // PROTEAN_PC3D_PC3D_H

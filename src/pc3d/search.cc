@@ -1,0 +1,162 @@
+#include "pc3d/search.h"
+
+#include "support/logging.h"
+
+namespace protean {
+namespace pc3d {
+
+VariantSearch::VariantSearch(const SearchConfig &cfg, size_t num_loads)
+    : cfg_(cfg), n_(num_loads), evalMask_(num_loads), m_(num_loads),
+      bestMask_(num_loads)
+{
+    // Algorithm 1 begins by evaluating variant 0 over the full nap
+    // range.
+    startEval(BitVector(n_), 0.0, cfg_.napCap);
+}
+
+void
+VariantSearch::startEval(const BitVector &mask, double lb, double ub)
+{
+    evalMask_ = mask;
+    lb_ = lb;
+    ub_ = ub;
+    cur_ = lb;
+    probingLb_ = true;
+    everOk_ = false;
+    evalBps_ = 0.0;
+    ++variants_;
+}
+
+VariantSearch::Request
+VariantSearch::current() const
+{
+    if (done())
+        return Request{bestMask_, bestNap_};
+    return Request{evalMask_, cur_};
+}
+
+void
+VariantSearch::onMeasurement(const Measurement &meas)
+{
+    if (done())
+        return;
+    if (meas.tainted)
+        return; // re-run the same window
+    ++windows_;
+
+    bool ok = meas.minQos >= cfg_.qosTarget;
+    if (ok) {
+        everOk_ = true;
+        evalBps_ = meas.hostBps;
+    }
+
+    if (probingLb_) {
+        probingLb_ = false;
+        if (ok) {
+            // The lower bound already satisfies QoS: done with this
+            // variant in one window.
+            evalFinished(lb_, evalBps_);
+            return;
+        }
+        cur_ = (lb_ + ub_) / 2.0;
+        if (ub_ - lb_ <= cfg_.napEpsilon) {
+            // Bounds already tight and lb fails: report ub.
+            evalFinished(ub_, everOk_ ? evalBps_ : 0.0);
+        }
+        return;
+    }
+
+    if (ok)
+        ub_ = cur_;
+    else
+        lb_ = cur_;
+    if (ub_ - lb_ <= cfg_.napEpsilon) {
+        evalFinished(ub_, everOk_ ? evalBps_ : 0.0);
+        return;
+    }
+    cur_ = (lb_ + ub_) / 2.0;
+}
+
+void
+VariantSearch::evalFinished(double nap, double bps)
+{
+    switch (phase_) {
+      case Phase::Eval0:
+        nap0_ = nap;
+        bps0_ = bps;
+        if (nap0_ <= cfg_.napEpsilon / 2.0 && bps > 0.0) {
+            // No mitigation needed: settle on the original code.
+            bestMask_.clearAll();
+            bestNap_ = 0.0;
+            bestBps_ = bps;
+            phase_ = Phase::Done;
+            return;
+        }
+        phase_ = Phase::Eval1;
+        m_.setAll();
+        startEval(m_, 0.0, cfg_.napCap);
+        return;
+
+      case Phase::Eval1:
+        napUB_ = nap0_;
+        napLB_ = nap;
+        bestMask_ = m_;
+        bestNap_ = nap;
+        bestBps_ = bps;
+        flipIndex_ = 0;
+        phase_ = Phase::Flip;
+        startNextFlip();
+        return;
+
+      case Phase::Flip: {
+        if (bps > bestBps_) {
+            // Keep the revoked hint.
+            bestMask_ = m_;
+            bestBps_ = bps;
+            bestNap_ = nap;
+            if (cfg_.reuseNapBounds)
+                napUB_ = nap;
+        } else {
+            m_.flip(flipIndex_); // reject: restore the hint
+        }
+        ++flipIndex_;
+        startNextFlip();
+        return;
+      }
+
+      case Phase::Done:
+        panic("VariantSearch: eval finished after Done");
+    }
+}
+
+void
+VariantSearch::startNextFlip()
+{
+    bool bounds_open = !cfg_.reuseNapBounds ||
+        napLB_ + cfg_.napEpsilon < napUB_;
+    if (flipIndex_ >= n_ || !bounds_open) {
+        finish();
+        return;
+    }
+    m_.flip(flipIndex_);
+    double lb = cfg_.reuseNapBounds ? napLB_ : 0.0;
+    double ub = cfg_.reuseNapBounds ? napUB_ : cfg_.napCap;
+    startEval(m_, lb, ub);
+}
+
+void
+VariantSearch::finish()
+{
+    // Deviation from the pseudocode (documented in the header):
+    // variant 0 wins when it performs at least as well at its own
+    // QoS-satisfying nap level.
+    if (bps0_ >= bestBps_) {
+        bestMask_.clearAll();
+        bestBps_ = bps0_;
+        bestNap_ = nap0_;
+    }
+    phase_ = Phase::Done;
+}
+
+} // namespace pc3d
+} // namespace protean

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * pcc — the protean code compiler (paper Section III-A).
+ *
+ * pcc readies a program for runtime compilation by
+ *  (1) virtualizing a subset of control-flow edges: direct calls to
+ *      selected callees become indirect calls through the Edge
+ *      Virtualization Table (EVT); and
+ *  (2) embedding metadata in the binary: the EVT itself plus the
+ *      serialized, compressed IR, laid out in the data region behind
+ *      a discovery header.
+ *
+ * The produced binary runs unmodified without any runtime attached
+ * (the indirect calls simply keep routing to the original function
+ * entries), which is the deployability property the paper stresses.
+ */
+
+#ifndef PROTEAN_PCC_PCC_H
+#define PROTEAN_PCC_PCC_H
+
+#include <vector>
+
+#include "codegen/lowering.h"
+#include "ir/module.h"
+#include "isa/image.h"
+
+namespace protean {
+namespace pcc {
+
+/** Which call edges to virtualize (DESIGN.md ablation axis). */
+enum class EdgePolicy : uint8_t {
+    /** No virtualization (plain binary). */
+    None,
+    /** Calls whose callee has more than one basic block — the
+     *  paper's production policy. */
+    MultiBlockCallees,
+    /** Every call edge. */
+    AllCallees,
+};
+
+/** Compilation options. */
+struct PccOptions
+{
+    EdgePolicy policy = EdgePolicy::MultiBlockCallees;
+    /** Embed the compressed IR blob (required by runtimes). */
+    bool embedIr = true;
+    /** Name of the entry function. */
+    std::string entryName = "main";
+};
+
+/**
+ * Select the callees to virtualize under a policy.
+ * @return Map from callee FuncId to its assigned EVT slot.
+ */
+codegen::VirtualizationMap
+chooseVirtualizedCallees(const ir::Module &module, EdgePolicy policy);
+
+/**
+ * Compile a module into an executable image.
+ * Renumbers loads, verifies, lowers every function, lays out the
+ * data region, and embeds metadata per the options.
+ */
+isa::Image compile(ir::Module &module, const PccOptions &opts
+                   = PccOptions{});
+
+/** Compile without any protean preparation (baseline binaries). */
+isa::Image compilePlain(ir::Module &module,
+                        const std::string &entry_name = "main");
+
+} // namespace pcc
+} // namespace protean
+
+#endif // PROTEAN_PCC_PCC_H

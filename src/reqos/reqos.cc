@@ -1,0 +1,82 @@
+#include "reqos/reqos.h"
+
+#include <algorithm>
+
+namespace protean {
+namespace reqos {
+
+ReQosController::ReQosController(sim::Machine &machine,
+                                 runtime::NapGovernor &governor,
+                                 runtime::QosMonitor &qos,
+                                 const ReQosOptions &opts)
+    : machine_(machine), governor_(governor), qos_(qos), opts_(opts),
+      hpm_(machine), qosSmooth_(opts.qosAlpha),
+      alive_(std::make_shared<bool>(true))
+{
+    for (size_t i = 0; i < qos.coCores().size(); ++i)
+        coPhase_.emplace_back(0.5);
+}
+
+ReQosController::~ReQosController()
+{
+    *alive_ = false;
+}
+
+void
+ReQosController::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    qos_.start();
+    qos_.clearTaint();
+    machine_.scheduleAfter(machine_.msToCycles(opts_.windowMs),
+                           [this, alive = alive_] {
+                               if (*alive)
+                                   window();
+                           });
+}
+
+void
+ReQosController::window()
+{
+    // Co-runner phase changes invalidate the flux solo reference:
+    // re-prime it and hold the nap until it is re-established.
+    bool phase_change = false;
+    for (size_t i = 0; i < qos_.coCores().size(); ++i) {
+        sim::HpmCounters d = hpm_.window(qos_.coCores()[i]);
+        phase_change |= coPhase_[i].update(d.ipc());
+    }
+    if (phase_change)
+        qos_.reprime();
+
+    double raw = qos_.minQosWindow();
+    bool tainted = qos_.windowTainted() || phase_change;
+    qos_.clearTaint();
+    if (phase_change)
+        qosSmooth_.reset();
+    if (!tainted) {
+        ++windows_;
+        double smooth = qosSmooth_.add(raw);
+        lastQos_ = smooth;
+        // Fast attack on the raw signal (a QoS violation must be
+        // arrested immediately), slow release on the smoothed one
+        // (request quantization makes single windows noisy).
+        if (raw < opts_.qosTarget - opts_.slack) {
+            nap_ += opts_.gain * (opts_.qosTarget - raw);
+        } else if (smooth > opts_.qosTarget + opts_.slack) {
+            nap_ -= std::min(opts_.release +
+                             0.3 * (smooth - opts_.qosTarget), 0.08);
+        }
+        nap_ = std::clamp(nap_, 0.0, opts_.napCap);
+        governor_.setControllerNap(nap_);
+    }
+    machine_.scheduleAfter(machine_.msToCycles(opts_.windowMs),
+                           [this, alive = alive_] {
+                               if (*alive)
+                                   window();
+                           });
+}
+
+} // namespace reqos
+} // namespace protean

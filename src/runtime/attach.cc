@@ -1,0 +1,58 @@
+#include "runtime/attach.h"
+
+#include "ir/serializer.h"
+#include "isa/image.h"
+#include "support/logging.h"
+
+namespace protean {
+namespace runtime {
+
+Attachment
+attach(const sim::Process &proc)
+{
+    Attachment att;
+
+    uint64_t magic = proc.readWord(isa::kHdrMagic);
+    if (magic != isa::kImageMagic)
+        fatal("attach: process %s is not a protean binary "
+              "(magic 0x%llx)", proc.name().c_str(),
+              static_cast<unsigned long long>(magic));
+
+    att.evtBase = proc.readWord(isa::kHdrEvtBase);
+    att.evtCount =
+        static_cast<uint32_t>(proc.readWord(isa::kHdrEvtCount));
+    uint64_t ir_base = proc.readWord(isa::kHdrIrBase);
+    uint64_t ir_size = proc.readWord(isa::kHdrIrSize);
+
+    // Extract and re-hydrate the embedded IR.
+    if (ir_base != 0 && ir_size != 0) {
+        std::vector<uint8_t> blob(static_cast<size_t>(ir_size));
+        for (uint64_t i = 0; i < ir_size; ++i) {
+            // Byte extraction from word-oriented ptrace-style reads.
+            uint64_t addr = ir_base + i;
+            uint64_t word = proc.readWord(addr & ~7ULL);
+            blob[static_cast<size_t>(i)] =
+                static_cast<uint8_t>(word >> (8 * (addr & 7)));
+        }
+        att.module = ir::deserializeCompressed(blob);
+    }
+
+    // Recover slot -> function from the EVT's initial targets using
+    // the binary's function table (symbol information).
+    const isa::Image &image = proc.image();
+    for (uint32_t slot = 0; slot < att.evtCount; ++slot) {
+        auto entry = static_cast<isa::CodeAddr>(
+            proc.readWord(att.evtBase + 8ULL * slot));
+        const isa::FunctionInfo *fi = image.functionAt(entry);
+        if (!fi || fi->entry != entry) {
+            warn("attach: EVT slot %u does not point at a function "
+                 "entry; skipping", slot);
+            continue;
+        }
+        att.slots[fi->irFunc] = slot;
+    }
+    return att;
+}
+
+} // namespace runtime
+} // namespace protean

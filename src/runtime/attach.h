@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Runtime attachment and metadata discovery (paper Section III-B1).
+ *
+ * Operating on an executable prepared by pcc, the runtime begins by
+ * attaching to the process: it locates the discovery header in the
+ * data region, reads the EVT geometry, extracts and decompresses the
+ * embedded IR, and recovers the slot-to-function mapping by matching
+ * the EVT's initial targets against the binary's symbol table.
+ */
+
+#ifndef PROTEAN_RUNTIME_ATTACH_H
+#define PROTEAN_RUNTIME_ATTACH_H
+
+#include <memory>
+
+#include "codegen/lowering.h"
+#include "ir/module.h"
+#include "sim/process.h"
+
+namespace protean {
+namespace runtime {
+
+/** Everything discovered from a protean binary at attach time. */
+struct Attachment
+{
+    uint64_t evtBase = 0;
+    uint32_t evtCount = 0;
+    /** Re-hydrated IR (null when the binary embeds none). */
+    std::unique_ptr<ir::Module> module;
+    /** Virtualized callee -> EVT slot. */
+    codegen::VirtualizationMap slots;
+
+    bool hasIr() const { return module != nullptr; }
+};
+
+/**
+ * Attach to a process.
+ * Fatal when the process is not a protean binary (no magic header).
+ */
+Attachment attach(const sim::Process &proc);
+
+} // namespace runtime
+} // namespace protean
+
+#endif // PROTEAN_RUNTIME_ATTACH_H

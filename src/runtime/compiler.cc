@@ -1,0 +1,112 @@
+#include "runtime/compiler.h"
+
+#include "support/logging.h"
+
+namespace protean {
+namespace runtime {
+
+RuntimeCompiler::RuntimeCompiler(sim::Machine &machine,
+                                 sim::Process &proc,
+                                 const ir::Module &module,
+                                 const codegen::VirtualizationMap &slots,
+                                 uint32_t runtime_core)
+    : machine_(machine), proc_(proc), module_(module), slots_(slots),
+      runtimeCore_(runtime_core)
+{
+    funcLoads_.resize(module.numFunctions());
+    for (ir::FuncId f = 0; f < module.numFunctions(); ++f) {
+        for (const auto &bb : module.function(f).blocks()) {
+            for (const auto &inst : bb.insts) {
+                if (inst.op == ir::Opcode::Load &&
+                    inst.loadId != ir::kInvalidId) {
+                    funcLoads_[f].push_back(inst.loadId);
+                }
+            }
+        }
+    }
+}
+
+std::string
+RuntimeCompiler::maskKey(ir::FuncId func, const BitVector &mask) const
+{
+    if (func >= funcLoads_.size())
+        panic("RuntimeCompiler: bad function %u", func);
+    std::string key = strformat("f%u:", func);
+    for (ir::LoadId id : funcLoads_[func])
+        key.push_back(id < mask.size() && mask.test(id) ? '1' : '0');
+    return key;
+}
+
+isa::CodeAddr
+RuntimeCompiler::cachedEntry(ir::FuncId func, const BitVector &mask) const
+{
+    auto it = cache_.find(maskKey(func, mask));
+    return it == cache_.end() ? isa::kInvalidCodeAddr : it->second;
+}
+
+isa::CodeAddr
+RuntimeCompiler::compileNow(ir::FuncId func, const BitVector &mask,
+                            const std::string &key)
+{
+    const ir::Function &fn = module_.function(func);
+
+    codegen::LowerOptions opts;
+    opts.layout = &proc_.image().layout;
+    opts.virtualized = slots_.empty() ? nullptr : &slots_;
+    opts.ntMask = &mask;
+    codegen::LoweredFunction lowered =
+        codegen::lowerFunction(module_, fn, opts);
+    codegen::relocate(lowered, proc_.codeSize());
+
+    isa::CodeAddr entry = proc_.appendCode(lowered.code);
+    // Direct calls inside the variant resolve to the original static
+    // entries; virtualized callees already go through the EVT.
+    for (auto [offset, callee] : lowered.directCallFixups) {
+        isa::MInst patched = proc_.inst(entry + offset);
+        patched.target = proc_.image().function(callee).entry;
+        proc_.patchInst(entry + offset, patched);
+    }
+
+    VariantRecord rec;
+    rec.func = func;
+    rec.entry = entry;
+    rec.end = proc_.codeSize();
+    rec.key = key;
+    variants_.push_back(rec);
+    cache_[key] = entry;
+    return entry;
+}
+
+void
+RuntimeCompiler::requestVariant(ir::FuncId func, const BitVector &mask,
+                                std::function<void(isa::CodeAddr)>
+                                on_ready, bool force_recompile)
+{
+    std::string key = maskKey(func, mask);
+    auto it = cache_.find(key);
+    if (!force_recompile && it != cache_.end()) {
+        isa::CodeAddr entry = it->second;
+        machine_.scheduleAfter(0, [on_ready = std::move(on_ready),
+                                   entry] { on_ready(entry); });
+        return;
+    }
+
+    uint64_t cycles = cost_.cost(module_.function(func));
+    ++compiles_;
+    compileCycles_ += cycles;
+    machine_.core(runtimeCore_).stealCycles(cycles);
+
+    // The compiler backend is serial: queued compiles finish in
+    // order, each after its own latency.
+    uint64_t start = std::max(machine_.now(), backendFree_);
+    uint64_t done = start + cycles;
+    backendFree_ = done;
+
+    isa::CodeAddr entry = compileNow(func, mask, key);
+    machine_.schedule(done, [on_ready = std::move(on_ready), entry] {
+        on_ready(entry);
+    });
+}
+
+} // namespace runtime
+} // namespace protean

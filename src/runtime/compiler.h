@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The runtime (dynamic) compiler.
+ *
+ * Compiles variants of host functions from the embedded IR,
+ * asynchronously with respect to the host: compile work is charged
+ * to the runtime's core (stalling the host only when they share a
+ * core), and the variant becomes dispatchable once the modeled
+ * compile latency has elapsed. Variants are cached by
+ * (function, restricted non-temporal mask).
+ */
+
+#ifndef PROTEAN_RUNTIME_COMPILER_H
+#define PROTEAN_RUNTIME_COMPILER_H
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "codegen/cost.h"
+#include "codegen/lowering.h"
+#include "sim/machine.h"
+#include "support/bitvector.h"
+
+namespace protean {
+namespace runtime {
+
+/** A compiled variant's bookkeeping record. */
+struct VariantRecord
+{
+    ir::FuncId func = ir::kInvalidId;
+    isa::CodeAddr entry = isa::kInvalidCodeAddr;
+    isa::CodeAddr end = isa::kInvalidCodeAddr;
+    /** Restricted mask key (the function's own load bits). */
+    std::string key;
+};
+
+/** Asynchronous variant compiler with a code cache. */
+class RuntimeCompiler
+{
+  public:
+    /**
+     * @param machine The simulated machine (for time and cycles).
+     * @param proc The host process (receives appended code).
+     * @param module The re-hydrated IR from the attachment.
+     * @param slots Virtualization map (nested calls stay indirect).
+     * @param runtime_core Core charged with compile work.
+     */
+    RuntimeCompiler(sim::Machine &machine, sim::Process &proc,
+                    const ir::Module &module,
+                    const codegen::VirtualizationMap &slots,
+                    uint32_t runtime_core);
+
+    /** Change which core absorbs compile work. */
+    void setRuntimeCore(uint32_t core) { runtimeCore_ = core; }
+
+    /** Override the compile cost model. */
+    void setCostModel(const codegen::CompileCostModel &m) { cost_ = m; }
+
+    /**
+     * Request a variant of func under a module-wide NT mask.
+     * If an identical variant is cached, on_ready fires immediately
+     * (still through the event queue at now). Otherwise the compile
+     * is charged to the runtime core and on_ready fires when the
+     * modeled latency elapses.
+     */
+    void requestVariant(ir::FuncId func, const BitVector &mask,
+                        std::function<void(isa::CodeAddr)> on_ready,
+                        bool force_recompile = false);
+
+    /** All variants compiled so far (newest last). */
+    const std::vector<VariantRecord> &variants() const
+    {
+        return variants_;
+    }
+
+    /** Look up a cached variant; kInvalidCodeAddr if absent. */
+    isa::CodeAddr cachedEntry(ir::FuncId func,
+                              const BitVector &mask) const;
+
+    uint64_t compileCount() const { return compiles_; }
+    uint64_t compileCycles() const { return compileCycles_; }
+
+    /** Restrict a module mask to one function's loads (cache key). */
+    std::string maskKey(ir::FuncId func, const BitVector &mask) const;
+
+  private:
+    sim::Machine &machine_;
+    sim::Process &proc_;
+    const ir::Module &module_;
+    const codegen::VirtualizationMap &slots_;
+    uint32_t runtimeCore_;
+    codegen::CompileCostModel cost_;
+
+    /** Per-function list of its LoadIds (restriction support). */
+    std::vector<std::vector<ir::LoadId>> funcLoads_;
+
+    std::unordered_map<std::string, isa::CodeAddr> cache_;
+    std::vector<VariantRecord> variants_;
+    uint64_t compiles_ = 0;
+    uint64_t compileCycles_ = 0;
+    /** Completion time of the last queued compile (serial backend). */
+    uint64_t backendFree_ = 0;
+
+    isa::CodeAddr compileNow(ir::FuncId func, const BitVector &mask,
+                             const std::string &key);
+};
+
+} // namespace runtime
+} // namespace protean
+
+#endif // PROTEAN_RUNTIME_COMPILER_H

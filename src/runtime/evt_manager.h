@@ -1,0 +1,57 @@
+/**
+ * @file
+ * EVT manager (paper Section III-B2).
+ *
+ * Redirects execution by rewriting target addresses in the Edge
+ * Virtualization Table. Each update is a single word write — the
+ * atomicity property the paper relies on for synchronization-free
+ * dispatch.
+ */
+
+#ifndef PROTEAN_RUNTIME_EVT_MANAGER_H
+#define PROTEAN_RUNTIME_EVT_MANAGER_H
+
+#include "codegen/lowering.h"
+#include "sim/process.h"
+
+namespace protean {
+namespace runtime {
+
+/** Owns the mapping from functions to EVT slots and performs
+ *  retargeting writes into the host process. */
+class EvtManager
+{
+  public:
+    EvtManager(sim::Process &proc, uint64_t evt_base,
+               codegen::VirtualizationMap slots);
+
+    /** True when the function has a virtualized edge. */
+    bool virtualized(ir::FuncId f) const { return slots_.count(f) > 0; }
+
+    /** Point the function's EVT slot at a new code address. */
+    void retarget(ir::FuncId f, isa::CodeAddr entry);
+
+    /** Current target of the function's slot. */
+    isa::CodeAddr target(ir::FuncId f) const;
+
+    /** Restore every slot to the original static entry. */
+    void revertAll();
+
+    /** Number of retarget writes performed (stats). */
+    uint64_t retargetCount() const { return retargets_; }
+
+    const codegen::VirtualizationMap &slots() const { return slots_; }
+
+  private:
+    sim::Process &proc_;
+    uint64_t evtBase_;
+    codegen::VirtualizationMap slots_;
+    uint64_t retargets_ = 0;
+
+    uint64_t slotAddr(ir::FuncId f) const;
+};
+
+} // namespace runtime
+} // namespace protean
+
+#endif // PROTEAN_RUNTIME_EVT_MANAGER_H

@@ -1,0 +1,161 @@
+#include "runtime/monitor.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace protean {
+namespace runtime {
+
+PcSampler::PcSampler(sim::Machine &machine, sim::Process &proc,
+                     uint32_t host_core)
+    : machine_(machine), proc_(proc), hostCore_(host_core)
+{
+}
+
+ir::FuncId
+PcSampler::attribute(isa::CodeAddr pc) const
+{
+    const isa::FunctionInfo *fi = proc_.image().functionAt(pc);
+    if (fi)
+        return fi->irFunc;
+    for (const auto &vr : variantRanges_) {
+        if (pc >= vr.entry && pc < vr.end)
+            return vr.func;
+    }
+    return ir::kInvalidId;
+}
+
+void
+PcSampler::sample()
+{
+    if (proc_.state() != sim::ProcState::Running)
+        return;
+    isa::CodeAddr pc = machine_.core(hostCore_).pc();
+    ir::FuncId f = attribute(pc);
+    if (f != ir::kInvalidId)
+        hot_[f] += 1.0;
+    ++samples_;
+}
+
+void
+PcSampler::registerVariantRange(isa::CodeAddr entry, isa::CodeAddr end,
+                                ir::FuncId func)
+{
+    variantRanges_.push_back(VariantRange{entry, end, func});
+}
+
+std::vector<ir::FuncId>
+PcSampler::hotFunctions(double cum_fraction) const
+{
+    std::vector<std::pair<ir::FuncId, double>> items(hot_.begin(),
+                                                     hot_.end());
+    std::sort(items.begin(), items.end(), [](const auto &a,
+                                             const auto &b) {
+        return a.second != b.second ? a.second > b.second
+            : a.first < b.first;
+    });
+    double total = 0.0;
+    for (const auto &[f, w] : items)
+        total += w;
+    std::vector<ir::FuncId> out;
+    double acc = 0.0;
+    for (const auto &[f, w] : items) {
+        if (w <= 0.0)
+            break;
+        out.push_back(f);
+        acc += w;
+        if (acc >= cum_fraction * total)
+            break;
+    }
+    return out;
+}
+
+void
+PcSampler::decay(double factor)
+{
+    for (auto &[f, w] : hot_)
+        w *= factor;
+}
+
+HpmMonitor::HpmMonitor(sim::Machine &machine)
+    : machine_(machine), last_(machine.numCores())
+{
+}
+
+sim::HpmCounters
+HpmMonitor::window(uint32_t core)
+{
+    sim::HpmCounters cur = machine_.core(core).hpm();
+    sim::HpmCounters delta = cur - last_[core];
+    last_[core] = cur;
+    return delta;
+}
+
+sim::HpmCounters
+HpmMonitor::peek(uint32_t core) const
+{
+    return machine_.core(core).hpm() - last_[core];
+}
+
+PhaseDetector::PhaseDetector(double rate_threshold, double alpha,
+                             uint32_t cooldown)
+    : threshold_(rate_threshold), cooldown_(cooldown),
+      smoothed_(alpha)
+{
+    if (rate_threshold <= 0.0)
+        panic("PhaseDetector: threshold must be positive");
+}
+
+bool
+PhaseDetector::hotSetChanged(const std::vector<ir::FuncId> &a,
+                             const std::vector<ir::FuncId> &b)
+{
+    if (a.empty() && b.empty())
+        return false;
+    // Jaccard similarity below 0.5 counts as turnover.
+    size_t inter = 0;
+    for (ir::FuncId f : a) {
+        if (std::find(b.begin(), b.end(), f) != b.end())
+            ++inter;
+    }
+    size_t uni = a.size() + b.size() - inter;
+    return uni != 0 &&
+        static_cast<double>(inter) / static_cast<double>(uni) < 0.5;
+}
+
+bool
+PhaseDetector::update(double ipc, const std::vector<ir::FuncId> &hot)
+{
+    double smooth = smoothed_.add(ipc);
+    if (!primed_) {
+        primed_ = true;
+        anchorIpc_ = smooth;
+        anchorHot_ = hot;
+        return false;
+    }
+
+    if (quiet_ > 0) {
+        // Cooling down after a reported change: let the smoothed
+        // signal settle on the new phase before re-arming, and keep
+        // the anchor tracking it.
+        --quiet_;
+        anchorIpc_ = smooth;
+        anchorHot_ = hot;
+        return false;
+    }
+
+    bool rate_shift = anchorIpc_ > 0.0 &&
+        std::abs(smooth - anchorIpc_) / anchorIpc_ > threshold_;
+    bool hot_shift = hotSetChanged(anchorHot_, hot);
+    if (rate_shift || hot_shift) {
+        anchorIpc_ = smooth;
+        anchorHot_ = hot;
+        quiet_ = cooldown_;
+        return true;
+    }
+    return false;
+}
+
+} // namespace runtime
+} // namespace protean

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Lightweight monitoring: PC sampling, HPM windows, phase analysis
+ * (paper Section III-B3).
+ *
+ * Introspection: the runtime samples the host's program counter
+ * through the debug interface and attributes samples to high-level
+ * code structures (functions), tracking which regions are hot and
+ * how hotness shifts over time.
+ *
+ * Extrospection: per-core hardware performance-monitor deltas give
+ * progress rates (IPC/BPC) and memory behavior for both the host and
+ * external co-runners. The phase detector reports a change when a
+ * core's progress rate moves beyond a threshold or the host's hot
+ * set turns over.
+ */
+
+#ifndef PROTEAN_RUNTIME_MONITOR_H
+#define PROTEAN_RUNTIME_MONITOR_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/instruction.h"
+#include "sim/machine.h"
+#include "support/stats.h"
+
+namespace protean {
+namespace runtime {
+
+/** Program-counter sampler with decayed per-function hotness. */
+class PcSampler
+{
+  public:
+    PcSampler(sim::Machine &machine, sim::Process &proc,
+              uint32_t host_core);
+
+    /** Take one PC sample and attribute it. */
+    void sample();
+
+    /** Teach the sampler a runtime variant's code range. */
+    void registerVariantRange(isa::CodeAddr entry, isa::CodeAddr end,
+                              ir::FuncId func);
+
+    /** Decayed hotness per function (unnormalized weights). */
+    const std::unordered_map<ir::FuncId, double> &hotness() const
+    {
+        return hot_;
+    }
+
+    /**
+     * Functions covering cum_fraction of total hotness, hottest
+     * first. Functions with zero weight never appear — they are the
+     * "uncovered code" PC3D prunes.
+     */
+    std::vector<ir::FuncId> hotFunctions(double cum_fraction
+                                         = 0.99) const;
+
+    /** Exponential decay applied between analysis windows. */
+    void decay(double factor = 0.9);
+
+    uint64_t totalSamples() const { return samples_; }
+
+  private:
+    struct VariantRange
+    {
+        isa::CodeAddr entry;
+        isa::CodeAddr end;
+        ir::FuncId func;
+    };
+
+    sim::Machine &machine_;
+    sim::Process &proc_;
+    uint32_t hostCore_;
+    std::unordered_map<ir::FuncId, double> hot_;
+    std::vector<VariantRange> variantRanges_;
+    uint64_t samples_ = 0;
+
+    ir::FuncId attribute(isa::CodeAddr pc) const;
+};
+
+/** Per-core HPM delta windows. */
+class HpmMonitor
+{
+  public:
+    explicit HpmMonitor(sim::Machine &machine);
+
+    /** Counter delta on core since the previous window() call. */
+    sim::HpmCounters window(uint32_t core);
+
+    /** Peek at the delta without consuming it. */
+    sim::HpmCounters peek(uint32_t core) const;
+
+  private:
+    sim::Machine &machine_;
+    std::vector<sim::HpmCounters> last_;
+};
+
+/** Progress-rate + hot-set phase detection. */
+class PhaseDetector
+{
+  public:
+    /**
+     * @param rate_threshold Relative IPC shift that signals a phase
+     *        change (e.g. 0.3 = 30%).
+     * @param alpha EWMA weight for smoothing the rate signal; heavy
+     *        smoothing rides out bursty services whose per-window
+     *        IPC alternates between idle and request processing.
+     * @param cooldown Windows to stay quiet after reporting a change
+     *        (the fresh anchor needs time to stabilize).
+     */
+    explicit PhaseDetector(double rate_threshold = 0.3,
+                           double alpha = 0.25,
+                           uint32_t cooldown = 6);
+
+    /**
+     * Fold in one window.
+     * @param ipc Progress rate of the window.
+     * @param hot Hot-function set of the window (may be empty for
+     *        external programs monitored only through HPMs).
+     * @return true when a phase change is detected (anchor resets).
+     */
+    bool update(double ipc, const std::vector<ir::FuncId> &hot = {});
+
+    /** Current anchor progress rate. */
+    double anchorIpc() const { return anchorIpc_; }
+
+  private:
+    double threshold_;
+    uint32_t cooldown_;
+    uint32_t quiet_ = 0;
+    bool primed_ = false;
+    double anchorIpc_ = 0.0;
+    std::vector<ir::FuncId> anchorHot_;
+    Ewma smoothed_;
+
+    static bool hotSetChanged(const std::vector<ir::FuncId> &a,
+                              const std::vector<ir::FuncId> &b);
+};
+
+} // namespace runtime
+} // namespace protean
+
+#endif // PROTEAN_RUNTIME_MONITOR_H

@@ -1,0 +1,171 @@
+#include "runtime/qos.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace protean {
+namespace runtime {
+
+NapGovernor::NapGovernor(sim::Machine &machine, uint32_t core)
+    : machine_(machine), core_(core)
+{
+}
+
+void
+NapGovernor::setControllerNap(double f)
+{
+    controllerNap_ = std::clamp(f, 0.0, 1.0);
+    apply();
+}
+
+void
+NapGovernor::setProbeActive(bool active)
+{
+    probeActive_ = active;
+    apply();
+}
+
+void
+NapGovernor::apply()
+{
+    machine_.core(core_).setNapIntensity(
+        probeActive_ ? 1.0 : controllerNap_);
+}
+
+QosMonitor::QosMonitor(sim::Machine &machine, NapGovernor &governor,
+                       std::vector<uint32_t> co_cores,
+                       const QosOptions &opts)
+    : machine_(machine), governor_(governor),
+      coCores_(std::move(co_cores)), opts_(opts)
+{
+    for (size_t i = 0; i < coCores_.size(); ++i) {
+        solo_.emplace_back(SoloEstimator(opts_.soloAlpha));
+        winStart_.push_back(machine_.core(coCores_[i]).hpm());
+        winStartCycle_.push_back(machine_.now());
+    }
+}
+
+size_t
+QosMonitor::indexOf(uint32_t co_core) const
+{
+    for (size_t i = 0; i < coCores_.size(); ++i) {
+        if (coCores_[i] == co_core)
+            return i;
+    }
+    panic("QosMonitor: core %u is not a monitored co-runner", co_core);
+}
+
+void
+QosMonitor::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    primingLeft_ = opts_.primingProbes;
+    machine_.scheduleAfter(machine_.msToCycles(opts_.initialDelayMs),
+                           [this] { beginProbe(); });
+}
+
+void
+QosMonitor::reprime()
+{
+    for (auto &est : solo_)
+        est.invalidate();
+    primingLeft_ = opts_.primingProbes;
+    // The regular cadence keeps running; the next probes simply feed
+    // the fresh estimators. Pull the next probe forward if one is
+    // not already imminent.
+    if (started_ && !probeInFlight_) {
+        machine_.scheduleAfter(machine_.msToCycles(20.0), [this] {
+            if (!probeInFlight_)
+                beginProbe();
+        });
+    }
+}
+
+void
+QosMonitor::beginProbe()
+{
+    if (probeInFlight_)
+        return;
+    probeInFlight_ = true;
+    governor_.setProbeActive(true);
+    tainted_ = true;
+    ++probes_;
+
+    std::vector<sim::HpmCounters> snaps;
+    snaps.reserve(coCores_.size());
+    for (uint32_t c : coCores_)
+        snaps.push_back(machine_.core(c).hpm());
+    uint64_t start_cycle = machine_.now();
+
+    machine_.scheduleAfter(
+        machine_.msToCycles(opts_.probeLenMs),
+        [this, snaps = std::move(snaps), start_cycle]() mutable {
+            endProbe(std::move(snaps), start_cycle);
+        });
+}
+
+void
+QosMonitor::endProbe(std::vector<sim::HpmCounters> snaps,
+                     uint64_t start_cycle)
+{
+    uint64_t elapsed = machine_.now() - start_cycle;
+    for (size_t i = 0; i < coCores_.size(); ++i) {
+        sim::HpmCounters delta =
+            machine_.core(coCores_[i]).hpm() - snaps[i];
+        if (elapsed > 0) {
+            double ips = static_cast<double>(delta.instructions) /
+                static_cast<double>(elapsed);
+            if (ips > 0.0)
+                solo_[i].add(ips, opts_.primingProbes);
+        }
+    }
+    governor_.setProbeActive(false);
+    probeInFlight_ = false;
+    if (primingLeft_ > 0)
+        --primingLeft_;
+
+    double period = primingLeft_ > 0 ? opts_.primingPeriodMs
+        : opts_.probePeriodMs;
+    machine_.scheduleAfter(
+        machine_.msToCycles(period - opts_.probeLenMs),
+        [this] { beginProbe(); });
+}
+
+double
+QosMonitor::soloIps(uint32_t co_core) const
+{
+    return solo_[indexOf(co_core)].value();
+}
+
+double
+QosMonitor::qosWindow(uint32_t co_core)
+{
+    size_t i = indexOf(co_core);
+    sim::HpmCounters cur = machine_.core(co_core).hpm();
+    sim::HpmCounters delta = cur - winStart_[i];
+    uint64_t elapsed = machine_.now() - winStartCycle_[i];
+    winStart_[i] = cur;
+    winStartCycle_[i] = machine_.now();
+
+    if (elapsed == 0 || !solo_[i].primed())
+        return 1.0;
+    double ips = static_cast<double>(delta.instructions) /
+        static_cast<double>(elapsed);
+    double q = ips / solo_[i].value();
+    return std::min(q, 1.5); // clamp probe-window artifacts
+}
+
+double
+QosMonitor::minQosWindow()
+{
+    double q = 1.0;
+    for (uint32_t c : coCores_)
+        q = std::min(q, qosWindow(c));
+    return q;
+}
+
+} // namespace runtime
+} // namespace protean

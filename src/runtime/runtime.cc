@@ -1,0 +1,129 @@
+#include "runtime/runtime.h"
+
+#include "support/logging.h"
+
+namespace protean {
+namespace runtime {
+
+ProteanRuntime::ProteanRuntime(sim::Machine &machine,
+                               sim::Process &host,
+                               const RuntimeOptions &opts)
+    : machine_(machine), host_(host), opts_(opts),
+      att_(attach(host)), alive_(std::make_shared<bool>(true))
+{
+    if (!att_.hasIr())
+        fatal("ProteanRuntime: host %s carries no embedded IR",
+              host.name().c_str());
+    evt_ = std::make_unique<EvtManager>(host_, att_.evtBase,
+                                        att_.slots);
+    compiler_ = std::make_unique<RuntimeCompiler>(
+        machine_, host_, *att_.module, evt_->slots(),
+        opts_.runtimeCore);
+    compiler_->setCostModel(opts_.costModel);
+    sampler_ = std::make_unique<PcSampler>(machine_, host_,
+                                           host_.coreId());
+    hpm_ = std::make_unique<HpmMonitor>(machine_);
+    governor_ = std::make_unique<NapGovernor>(machine_,
+                                              host_.coreId());
+    attachCycle_ = machine_.now();
+}
+
+ProteanRuntime::~ProteanRuntime()
+{
+    *alive_ = false;
+}
+
+void
+ProteanRuntime::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    if (engine_)
+        engine_->onStart(*this);
+    machine_.scheduleAfter(machine_.msToCycles(opts_.tickMs),
+                           [this, alive = alive_] {
+                               if (*alive)
+                                   tick();
+                           });
+}
+
+void
+ProteanRuntime::stop()
+{
+    running_ = false;
+}
+
+void
+ProteanRuntime::tick()
+{
+    if (!running_)
+        return;
+    ++ticks_;
+    sampler_->sample();
+    chargeWork(opts_.tickCostCycles);
+    if (engine_)
+        engine_->onTick(*this);
+    machine_.scheduleAfter(machine_.msToCycles(opts_.tickMs),
+                           [this, alive = alive_] {
+                               if (*alive)
+                                   tick();
+                           });
+}
+
+void
+ProteanRuntime::deployVariant(ir::FuncId func, const BitVector &mask,
+                              std::function<void()> on_dispatched)
+{
+    uint64_t before = compiler_->compileCycles();
+    compiler_->requestVariant(
+        func, mask,
+        [this, func, alive = alive_,
+         on_dispatched = std::move(on_dispatched)](isa::CodeAddr e) {
+            if (!*alive)
+                return;
+            // Teach the PC sampler the new range, then dispatch by
+            // retargeting the EVT slot.
+            for (const auto &v : compiler_->variants()) {
+                if (v.entry == e) {
+                    sampler_->registerVariantRange(v.entry, v.end,
+                                                   v.func);
+                    break;
+                }
+            }
+            if (evt_->virtualized(func))
+                evt_->retarget(func, e);
+            else
+                warn("deployVariant: %u is not virtualized; variant "
+                     "compiled but not dispatched", func);
+            if (on_dispatched)
+                on_dispatched();
+        });
+    runtimeCycles_ += compiler_->compileCycles() - before;
+}
+
+void
+ProteanRuntime::revertAll()
+{
+    evt_->revertAll();
+}
+
+void
+ProteanRuntime::chargeWork(uint64_t cycles)
+{
+    machine_.core(opts_.runtimeCore).stealCycles(cycles);
+    runtimeCycles_ += cycles;
+}
+
+double
+ProteanRuntime::serverCycleShare() const
+{
+    uint64_t elapsed = machine_.now() - attachCycle_;
+    if (elapsed == 0)
+        return 0.0;
+    return static_cast<double>(runtimeCycles_) /
+        (static_cast<double>(elapsed) * machine_.numCores());
+}
+
+} // namespace runtime
+} // namespace protean

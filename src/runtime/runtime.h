@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The protean code runtime (paper Section III-B).
+ *
+ * ProteanRuntime assembles the runtime mechanisms — attachment, EVT
+ * management, the asynchronous dynamic compiler, PC sampling, HPM
+ * monitoring — and drives a pluggable DecisionEngine on a periodic
+ * tick. The runtime's own work (sampling, analysis, compiles) is
+ * charged to a designated core, which may be the host's own core or
+ * a separate one (Figures 5/6 of the paper study exactly this).
+ */
+
+#ifndef PROTEAN_RUNTIME_RUNTIME_H
+#define PROTEAN_RUNTIME_RUNTIME_H
+
+#include <memory>
+
+#include "runtime/attach.h"
+#include "runtime/compiler.h"
+#include "runtime/evt_manager.h"
+#include "runtime/monitor.h"
+#include "runtime/qos.h"
+
+namespace protean {
+namespace runtime {
+
+class ProteanRuntime;
+
+/** Policy plug-in invoked on every monitoring tick. */
+class DecisionEngine
+{
+  public:
+    virtual ~DecisionEngine() = default;
+
+    /** Called once when the runtime starts. */
+    virtual void onStart(ProteanRuntime &rt) { (void)rt; }
+
+    /** Called every tick after monitoring updates. */
+    virtual void onTick(ProteanRuntime &rt) = 0;
+};
+
+/** Runtime configuration. */
+struct RuntimeOptions
+{
+    /** Core charged with runtime work (compiles, analysis). */
+    uint32_t runtimeCore = 0;
+    /** Monitoring tick period. */
+    double tickMs = 5.0;
+    /** Modeled analysis cost per tick, in cycles. */
+    uint64_t tickCostCycles = 60;
+    /** Dynamic-compile cost model. */
+    codegen::CompileCostModel costModel;
+};
+
+/** The runtime process attached to one host. */
+class ProteanRuntime
+{
+  public:
+    /**
+     * Attach to a host process.
+     * Fatal when the host carries no embedded IR.
+     */
+    ProteanRuntime(sim::Machine &machine, sim::Process &host,
+                   const RuntimeOptions &opts = RuntimeOptions{});
+
+    ~ProteanRuntime();
+
+    /** Install the decision engine (must outlive the runtime). */
+    void setEngine(DecisionEngine *engine) { engine_ = engine; }
+
+    /** Begin ticking. */
+    void start();
+
+    /** Stop ticking (the host keeps running). */
+    void stop();
+
+    // --- Services for engines.
+    sim::Machine &machine() { return machine_; }
+    sim::Process &host() { return host_; }
+    uint32_t hostCore() const { return host_.coreId(); }
+    uint32_t runtimeCore() const { return opts_.runtimeCore; }
+
+    const ir::Module &module() const { return *att_.module; }
+    EvtManager &evt() { return *evt_; }
+    RuntimeCompiler &compiler() { return *compiler_; }
+    PcSampler &sampler() { return *sampler_; }
+    HpmMonitor &hpm() { return *hpm_; }
+    NapGovernor &napGovernor() { return *governor_; }
+
+    /**
+     * Compile (or fetch) a variant and dispatch it through the EVT
+     * once ready. No-op callback variant of the common pattern.
+     */
+    void deployVariant(ir::FuncId func, const BitVector &mask,
+                       std::function<void()> on_dispatched = {});
+
+    /** Revert every virtualized function to its original code. */
+    void revertAll();
+
+    /** Charge ad-hoc runtime work (engines' own analysis). */
+    void chargeWork(uint64_t cycles);
+
+    /** Total cycles the runtime has consumed so far. */
+    uint64_t runtimeCycles() const { return runtimeCycles_; }
+
+    /** Fraction of all server cycles consumed by the runtime since
+     *  attach. */
+    double serverCycleShare() const;
+
+    uint64_t ticks() const { return ticks_; }
+
+  private:
+    sim::Machine &machine_;
+    sim::Process &host_;
+    RuntimeOptions opts_;
+    Attachment att_;
+    std::unique_ptr<EvtManager> evt_;
+    std::unique_ptr<RuntimeCompiler> compiler_;
+    std::unique_ptr<PcSampler> sampler_;
+    std::unique_ptr<HpmMonitor> hpm_;
+    std::unique_ptr<NapGovernor> governor_;
+    DecisionEngine *engine_ = nullptr;
+    bool running_ = false;
+    bool destroyed_ = false;
+    std::shared_ptr<bool> alive_;
+    uint64_t ticks_ = 0;
+    uint64_t runtimeCycles_ = 0;
+    uint64_t attachCycle_ = 0;
+
+    void tick();
+};
+
+} // namespace runtime
+} // namespace protean
+
+#endif // PROTEAN_RUNTIME_RUNTIME_H

@@ -1,0 +1,55 @@
+#include "runtime/stress.h"
+
+#include "support/logging.h"
+
+namespace protean {
+namespace runtime {
+
+StressEngine::StressEngine(double interval_ms, uint64_t seed)
+    : intervalMs_(interval_ms), rng_(seed)
+{
+    if (interval_ms <= 0.0)
+        panic("StressEngine: interval must be positive");
+}
+
+void
+StressEngine::onStart(ProteanRuntime &rt)
+{
+    for (const auto &[func, slot] : rt.evt().slots()) {
+        (void)slot;
+        candidates_.push_back(func);
+    }
+    std::sort(candidates_.begin(), candidates_.end());
+    nextFire_ = rt.machine().now();
+}
+
+void
+StressEngine::onTick(ProteanRuntime &rt)
+{
+    if (candidates_.empty())
+        return;
+    uint64_t interval = rt.machine().msToCycles(intervalMs_);
+    while (rt.machine().now() >= nextFire_) {
+        nextFire_ += interval;
+        ir::FuncId f = candidates_[static_cast<size_t>(
+            rng_.nextBelow(candidates_.size()))];
+
+        // The paper's stress test makes *no* code modifications:
+        // recompile the unmodified function (bypassing the variant
+        // cache so the dynamic compiler genuinely works) and
+        // dispatch the fresh copy.
+        BitVector mask(rt.module().numLoads());
+        ++recompiles_;
+        ++salt_;
+        rt.compiler().requestVariant(
+            f, mask,
+            [&rt, f](isa::CodeAddr entry) {
+                if (rt.evt().virtualized(f))
+                    rt.evt().retarget(f, entry);
+            },
+            /*force_recompile=*/true);
+    }
+}
+
+} // namespace runtime
+} // namespace protean

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Dynamic-compilation stress engine (paper Section V-A).
+ *
+ * Reproduces the paper's stress tests: "the host program is run with
+ * a protean runtime configured to periodically recompile randomly
+ * selected functions throughout the life of the running application."
+ * The recompile interval (5 ms .. 5000 ms) and the runtime core
+ * placement (same vs. separate core) are the two studied axes.
+ */
+
+#ifndef PROTEAN_RUNTIME_STRESS_H
+#define PROTEAN_RUNTIME_STRESS_H
+
+#include "runtime/runtime.h"
+#include "support/random.h"
+
+namespace protean {
+namespace runtime {
+
+/** Recompiles a random virtualized function every interval. */
+class StressEngine : public DecisionEngine
+{
+  public:
+    /**
+     * @param interval_ms Time between recompilations.
+     * @param seed Deterministic function selection.
+     */
+    explicit StressEngine(double interval_ms, uint64_t seed = 1);
+
+    void onStart(ProteanRuntime &rt) override;
+    void onTick(ProteanRuntime &rt) override;
+
+    uint64_t recompiles() const { return recompiles_; }
+
+  private:
+    double intervalMs_;
+    Rng rng_;
+    uint64_t nextFire_ = 0;
+    uint64_t recompiles_ = 0;
+    std::vector<ir::FuncId> candidates_;
+    /** Toggles between identity recompile and mask-variant recompile
+     *  so the cache does not absorb every request. */
+    uint64_t salt_ = 0;
+};
+
+} // namespace runtime
+} // namespace protean
+
+#endif // PROTEAN_RUNTIME_STRESS_H

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Set-associative cache model (timing/occupancy only).
+ *
+ * Caches track tags and recency; data values live in the functional
+ * memory (sim/memory.h). The non-temporal insertion policy implements
+ * the microarchitectural effect of prefetchnta-style hints: lines
+ * filled on behalf of a non-temporal access are inserted at the LRU
+ * position (or bypass the level entirely, per NtPolicy), so they
+ * relinquish the level's capacity quickly instead of polluting it.
+ */
+
+#ifndef PROTEAN_SIM_CACHE_H
+#define PROTEAN_SIM_CACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+
+namespace protean {
+namespace sim {
+
+/** Cumulative per-cache statistics. */
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+    uint64_t ntFills = 0;
+
+    double missRate() const
+    {
+        return accesses == 0 ? 0.0 :
+            static_cast<double>(misses) / static_cast<double>(accesses);
+    }
+};
+
+/** One level of set-associative cache with LRU replacement. */
+class Cache
+{
+  public:
+    /**
+     * @param name Stats label.
+     * @param cfg Geometry; sizeBytes must be divisible by
+     *            ways * lineBytes and the set count must be a power
+     *            of two.
+     */
+    Cache(std::string name, const CacheConfig &cfg);
+
+    /**
+     * Look up a line; updates recency on hit.
+     * @return true on hit.
+     */
+    bool access(uint64_t addr);
+
+    /**
+     * Install a line after a miss.
+     * @param nonTemporal Insert with the non-temporal policy.
+     */
+    void fill(uint64_t addr, bool nonTemporal);
+
+    /** Probe without updating recency or stats (tests/occupancy). */
+    bool contains(uint64_t addr) const;
+
+    /** Number of resident lines whose address tag matches the given
+     *  owner id in the upper address bits (occupancy accounting). */
+    uint64_t linesOwnedBy(uint64_t owner_base, uint64_t owner_span) const;
+
+    const CacheStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CacheStats{}; }
+
+    const std::string &name() const { return name_; }
+    uint32_t numSets() const { return sets_; }
+    uint32_t numWays() const { return ways_; }
+    uint32_t lineBytes() const { return lineBytes_; }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::string name_;
+    uint32_t sets_;
+    uint32_t ways_;
+    uint32_t lineBytes_;
+    uint32_t indexShift_;
+    uint64_t useCounter_ = 1;
+    std::vector<Line> lines_; // sets_ * ways_, set-major
+    CacheStats stats_;
+
+    uint64_t lineAddr(uint64_t addr) const;
+    uint32_t setIndex(uint64_t line_addr) const;
+    Line *findLine(uint64_t line_addr);
+    const Line *findLine(uint64_t line_addr) const;
+};
+
+} // namespace sim
+} // namespace protean
+
+#endif // PROTEAN_SIM_CACHE_H

@@ -1,0 +1,287 @@
+#include "sim/core.h"
+
+#include "sim/memsys.h"
+#include "support/logging.h"
+
+namespace protean {
+namespace sim {
+
+using isa::MInst;
+using isa::MOp;
+
+Core::Core(uint32_t id, const MachineConfig &cfg, MemorySystem &memsys)
+    : id_(id), cfg_(cfg), memsys_(memsys)
+{
+}
+
+void
+Core::bind(Process *proc)
+{
+    proc_ = proc;
+    regs_.fill(0);
+    stack_.clear();
+    btBlocks_.clear();
+    if (proc_) {
+        proc_->setCoreId(id_);
+        pc_ = proc_->image().entryPoint();
+        if (bt_.enabled) {
+            // Entry block translation.
+            btBlocks_.insert(pc_);
+            cycle_ += bt_.translateCycles;
+            hpm_.cycles += bt_.translateCycles;
+        }
+    }
+}
+
+bool
+Core::runnable() const
+{
+    if (stolenBacklog_ > 0)
+        return true;
+    return proc_ && proc_->state() == ProcState::Running;
+}
+
+void
+Core::syncIdleClock(uint64_t now)
+{
+    if (cycle_ < now)
+        cycle_ = now;
+}
+
+void
+Core::setNapIntensity(double f)
+{
+    if (f < 0.0 || f > 1.0)
+        panic("nap intensity %g out of [0, 1]", f);
+    napIntensity_ = f;
+}
+
+void
+Core::stealCycles(uint64_t cycles)
+{
+    stolenBacklog_ += cycles;
+}
+
+void
+Core::setBtConfig(const BtConfig &bt)
+{
+    bt_ = bt;
+    btBlocks_.clear();
+    if (bt_.enabled && proc_) {
+        btBlocks_.insert(pc_);
+        cycle_ += bt_.translateCycles;
+        hpm_.cycles += bt_.translateCycles;
+    }
+}
+
+bool
+Core::consumeThrottles()
+{
+    // Runtime work charged to this core runs ahead of the host.
+    if (stolenBacklog_ > 0) {
+        cycle_ += stolenBacklog_;
+        hpm_.cycles += stolenBacklog_;
+        hpm_.stolenCycles += stolenBacklog_;
+        stolenBacklog_ = 0;
+        return true;
+    }
+    // Nap: sleep for the first f of every period.
+    if (napIntensity_ > 0.0) {
+        uint64_t period = cfg_.napPeriodCycles;
+        uint64_t pos = cycle_ % period;
+        auto sleep_len = static_cast<uint64_t>(
+            napIntensity_ * static_cast<double>(period));
+        if (pos < sleep_len) {
+            uint64_t delta = sleep_len - pos;
+            cycle_ += delta;
+            hpm_.cycles += delta;
+            hpm_.nappedCycles += delta;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Core::step()
+{
+    if (consumeThrottles())
+        return;
+    if (!proc_ || proc_->state() != ProcState::Running)
+        panic("core %u stepped without runnable work", id_);
+    const MInst &inst = proc_->inst(pc_);
+    execute(inst);
+}
+
+uint64_t
+Core::memAccess(uint64_t vaddr, bool nonTemporal)
+{
+    AccessResult res = memsys_.access(id_, proc_->physAddr(vaddr),
+                                      nonTemporal, cycle_, hpm_);
+    return res.latency;
+}
+
+void
+Core::doCall(isa::CodeAddr target)
+{
+    Frame frame;
+    frame.ret = pc_ + 1;
+    for (uint32_t i = 0; i < kSavedRegs; ++i)
+        frame.saved[i] = regs_[isa::kFirstGeneralReg + i];
+    stack_.push_back(frame);
+    transferTo(target, false);
+}
+
+void
+Core::doRet()
+{
+    if (stack_.empty()) {
+        halt();
+        return;
+    }
+    Frame frame = stack_.back();
+    stack_.pop_back();
+    for (uint32_t i = 0; i < kSavedRegs; ++i)
+        regs_[isa::kFirstGeneralReg + i] = frame.saved[i];
+    transferTo(frame.ret, true);
+}
+
+void
+Core::transferTo(isa::CodeAddr target, bool indirect)
+{
+    pc_ = target;
+    if (bt_.enabled) {
+        uint64_t extra = indirect ? bt_.indirectCycles
+            : bt_.takenExtraCycles;
+        if (btBlocks_.insert(target).second)
+            extra += bt_.translateCycles;
+        cycle_ += extra;
+        hpm_.cycles += extra;
+    }
+}
+
+void
+Core::halt()
+{
+    proc_->setState(ProcState::Halted);
+}
+
+void
+Core::execute(const MInst &inst)
+{
+    uint64_t cost = 1;
+    ++hpm_.instructions;
+    isa::CodeAddr next = pc_ + 1;
+    bool transferred = false;
+
+    auto &r = regs_;
+    switch (inst.op) {
+      case MOp::Const:
+        r[inst.rd] = static_cast<uint64_t>(inst.imm);
+        break;
+      case MOp::Mov:
+        r[inst.rd] = r[inst.rs1];
+        break;
+      case MOp::Add: r[inst.rd] = r[inst.rs1] + r[inst.rs2]; break;
+      case MOp::Sub: r[inst.rd] = r[inst.rs1] - r[inst.rs2]; break;
+      case MOp::Mul:
+        r[inst.rd] = r[inst.rs1] * r[inst.rs2];
+        cost = 3;
+        break;
+      case MOp::Div:
+        r[inst.rd] = r[inst.rs2] == 0 ? 0 : r[inst.rs1] / r[inst.rs2];
+        cost = 12;
+        break;
+      case MOp::Mod:
+        r[inst.rd] = r[inst.rs2] == 0 ? r[inst.rs1]
+            : r[inst.rs1] % r[inst.rs2];
+        cost = 12;
+        break;
+      case MOp::And: r[inst.rd] = r[inst.rs1] & r[inst.rs2]; break;
+      case MOp::Or: r[inst.rd] = r[inst.rs1] | r[inst.rs2]; break;
+      case MOp::Xor: r[inst.rd] = r[inst.rs1] ^ r[inst.rs2]; break;
+      case MOp::Shl:
+        r[inst.rd] = r[inst.rs1] << (r[inst.rs2] & 63);
+        break;
+      case MOp::Shr:
+        r[inst.rd] = r[inst.rs1] >> (r[inst.rs2] & 63);
+        break;
+      case MOp::CmpEq: r[inst.rd] = r[inst.rs1] == r[inst.rs2]; break;
+      case MOp::CmpNe: r[inst.rd] = r[inst.rs1] != r[inst.rs2]; break;
+      case MOp::CmpLt: r[inst.rd] = r[inst.rs1] < r[inst.rs2]; break;
+      case MOp::CmpLe: r[inst.rd] = r[inst.rs1] <= r[inst.rs2]; break;
+      case MOp::Load: {
+        uint64_t vaddr = r[inst.rs1] + static_cast<uint64_t>(inst.imm);
+        ++hpm_.loads;
+        cost += memAccess(vaddr, inst.nonTemporal);
+        r[inst.rd] = proc_->readWord(vaddr);
+        break;
+      }
+      case MOp::Store: {
+        uint64_t vaddr = r[inst.rs1] + static_cast<uint64_t>(inst.imm);
+        ++hpm_.stores;
+        // Stores retire through a write buffer: cache state is
+        // updated but the core does not stall on the fill.
+        memsys_.access(id_, proc_->physAddr(vaddr), inst.nonTemporal,
+                       cycle_, hpm_);
+        proc_->writeWord(vaddr, r[inst.rs2]);
+        break;
+      }
+      case MOp::Hint:
+        // The executed prefetchnta: costs its slot; the line's
+        // insertion policy is carried by the following NT load.
+        ++hpm_.hints;
+        break;
+      case MOp::Jmp:
+        ++hpm_.branches;
+        transferTo(inst.target, false);
+        transferred = true;
+        break;
+      case MOp::Bnz:
+        ++hpm_.branches;
+        if (r[inst.rs1] != 0) {
+            transferTo(inst.target, false);
+            transferred = true;
+        }
+        break;
+      case MOp::CallDirect:
+        ++hpm_.branches;
+        if (inst.target == isa::kInvalidCodeAddr)
+            panic("core %u: unpatched direct call at %u", id_, pc_);
+        doCall(inst.target);
+        transferred = true;
+        break;
+      case MOp::CallIndirect: {
+        ++hpm_.branches;
+        uint64_t slot_addr = proc_->image().evtBase +
+            8ULL * inst.evtSlot;
+        // The EVT read is a real (cached) memory access; this is the
+        // entire cost of edge virtualization.
+        cost += memAccess(slot_addr, false);
+        auto target =
+            static_cast<isa::CodeAddr>(proc_->readWord(slot_addr));
+        doCall(target);
+        transferred = true;
+        break;
+      }
+      case MOp::Ret:
+        ++hpm_.branches;
+        doRet();
+        transferred = true;
+        break;
+      case MOp::Halt:
+        halt();
+        transferred = true;
+        break;
+      case MOp::Nop:
+        break;
+    }
+
+    if (!transferred)
+        pc_ = next;
+    cycle_ += cost;
+    hpm_.cycles += cost;
+}
+
+} // namespace sim
+} // namespace protean

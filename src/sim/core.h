@@ -1,0 +1,131 @@
+/**
+ * @file
+ * In-order simulated core.
+ *
+ * Single-issue, blocking loads. Each instruction costs one cycle
+ * plus memory latency for loads. Calls use register windows: the
+ * hardware call stack saves r4..r63, so compiled code carries no
+ * callee-save sequences (see isa/minst.h).
+ *
+ * Two mechanisms external controllers use:
+ *  - Napping: a duty-cycle throttle (the ReQoS/flux mechanism). With
+ *    intensity f, the core sleeps for f of every nap period.
+ *  - Stolen cycles: runtime work (dynamic compiles) charged to this
+ *    core delays the host when they share a core.
+ *
+ * The core can also run in a binary-translation mode that models a
+ *  DynamoRIO-style system's dispatch costs (Figure 4's baseline).
+ */
+
+#ifndef PROTEAN_SIM_CORE_H
+#define PROTEAN_SIM_CORE_H
+
+#include <array>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "isa/minst.h"
+#include "sim/config.h"
+#include "sim/hpm.h"
+#include "sim/process.h"
+
+namespace protean {
+namespace sim {
+
+class MemorySystem;
+
+/** One simulated core. */
+class Core
+{
+  public:
+    Core(uint32_t id, const MachineConfig &cfg, MemorySystem &memsys);
+
+    uint32_t id() const { return id_; }
+
+    /** Bind a process and reset architectural state to its entry. */
+    void bind(Process *proc);
+
+    /** The bound process (may be null). */
+    Process *process() { return proc_; }
+    const Process *process() const { return proc_; }
+
+    /** True when this core has runnable work. */
+    bool runnable() const;
+
+    /** Local time of this core. */
+    uint64_t cycle() const { return cycle_; }
+
+    /** Advance an idle core's clock (keeps spawn-time sane). */
+    void syncIdleClock(uint64_t now);
+
+    /**
+     * Execute one instruction (or consume one nap/stolen interval).
+     * Only call when runnable().
+     */
+    void step();
+
+    /** Current program counter (PC-sampling interface). */
+    isa::CodeAddr pc() const { return pc_; }
+
+    /** Register read (tests). */
+    uint64_t reg(uint32_t r) const { return regs_[r]; }
+
+    const HpmCounters &hpm() const { return hpm_; }
+
+    /** Nap intensity in [0, 1]: fraction of each period slept. */
+    void setNapIntensity(double f);
+    double napIntensity() const { return napIntensity_; }
+
+    /** Charge runtime work to this core. */
+    void stealCycles(uint64_t cycles);
+
+    /** Enable/disable the binary-translation execution mode. */
+    void setBtConfig(const BtConfig &bt);
+
+    /** Call-stack depth (tests). */
+    size_t stackDepth() const { return stack_.size(); }
+
+  private:
+    static constexpr uint32_t kSavedRegs =
+        isa::kNumMachineRegs - isa::kFirstGeneralReg;
+
+    struct Frame
+    {
+        isa::CodeAddr ret;
+        std::array<uint64_t, kSavedRegs> saved;
+    };
+
+    uint32_t id_;
+    const MachineConfig &cfg_;
+    MemorySystem &memsys_;
+
+    Process *proc_ = nullptr;
+    isa::CodeAddr pc_ = 0;
+    std::array<uint64_t, isa::kNumMachineRegs> regs_{};
+    std::vector<Frame> stack_;
+
+    uint64_t cycle_ = 0;
+    HpmCounters hpm_;
+
+    double napIntensity_ = 0.0;
+    uint64_t stolenBacklog_ = 0;
+
+    BtConfig bt_;
+    std::unordered_set<isa::CodeAddr> btBlocks_;
+
+    /** Returns true if the core consumed a nap/stolen interval. */
+    bool consumeThrottles();
+
+    void execute(const isa::MInst &inst);
+    uint64_t memAccess(uint64_t vaddr, bool nonTemporal);
+    void doCall(isa::CodeAddr target);
+    void doRet();
+    void transferTo(isa::CodeAddr target, bool indirect);
+    void halt();
+};
+
+} // namespace sim
+} // namespace protean
+
+#endif // PROTEAN_SIM_CORE_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Hardware performance-monitor counters.
+ *
+ * Each simulated core exposes the counters the protean runtime's
+ * monitoring layer samples: cycles, instructions, branches retired,
+ * memory traffic at each level. Deltas between snapshots give the
+ * IPS/BPS/miss-rate signals used for phase analysis and QoS
+ * monitoring (paper Section III-B3).
+ */
+
+#ifndef PROTEAN_SIM_HPM_H
+#define PROTEAN_SIM_HPM_H
+
+#include <cstdint>
+
+namespace protean {
+namespace sim {
+
+/** One core's counter file. */
+struct HpmCounters
+{
+    uint64_t cycles = 0;
+    uint64_t nappedCycles = 0;
+    uint64_t instructions = 0;
+    uint64_t branches = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t hints = 0;
+    uint64_t l1Misses = 0;
+    uint64_t l2Misses = 0;
+    uint64_t l3Accesses = 0;
+    uint64_t l3Misses = 0;
+    uint64_t dramAccesses = 0;
+    /** Cycles consumed by injected runtime work (compiles etc.). */
+    uint64_t stolenCycles = 0;
+
+    HpmCounters operator-(const HpmCounters &o) const
+    {
+        HpmCounters d;
+        d.cycles = cycles - o.cycles;
+        d.nappedCycles = nappedCycles - o.nappedCycles;
+        d.instructions = instructions - o.instructions;
+        d.branches = branches - o.branches;
+        d.loads = loads - o.loads;
+        d.stores = stores - o.stores;
+        d.hints = hints - o.hints;
+        d.l1Misses = l1Misses - o.l1Misses;
+        d.l2Misses = l2Misses - o.l2Misses;
+        d.l3Accesses = l3Accesses - o.l3Accesses;
+        d.l3Misses = l3Misses - o.l3Misses;
+        d.dramAccesses = dramAccesses - o.dramAccesses;
+        d.stolenCycles = stolenCycles - o.stolenCycles;
+        return d;
+    }
+
+    /** Instructions per cycle over this (delta) window. */
+    double ipc() const
+    {
+        return cycles == 0 ? 0.0 :
+            static_cast<double>(instructions) /
+            static_cast<double>(cycles);
+    }
+
+    /** Branches per cycle over this (delta) window. */
+    double bpc() const
+    {
+        return cycles == 0 ? 0.0 :
+            static_cast<double>(branches) / static_cast<double>(cycles);
+    }
+};
+
+} // namespace sim
+} // namespace protean
+
+#endif // PROTEAN_SIM_HPM_H

@@ -1,0 +1,137 @@
+#include "sim/machine.h"
+
+#include "support/logging.h"
+
+namespace protean {
+namespace sim {
+
+Machine::Machine(const MachineConfig &cfg)
+    : cfg_(cfg), memsys_(std::make_unique<MemorySystem>(cfg))
+{
+    for (uint32_t c = 0; c < cfg.numCores; ++c)
+        cores_.push_back(std::make_unique<Core>(c, cfg_, *memsys_));
+}
+
+Core &
+Machine::core(uint32_t id)
+{
+    if (id >= cores_.size())
+        panic("machine: bad core %u", id);
+    return *cores_[id];
+}
+
+const Core &
+Machine::core(uint32_t id) const
+{
+    if (id >= cores_.size())
+        panic("machine: bad core %u", id);
+    return *cores_[id];
+}
+
+Process &
+Machine::load(const isa::Image &image, uint32_t core_id)
+{
+    Core &c = core(core_id);
+    if (c.process() && c.process()->state() == ProcState::Running)
+        fatal("machine: core %u already busy with %s", core_id,
+              c.process()->name().c_str());
+    auto proc = std::make_unique<Process>(
+        static_cast<uint32_t>(procs_.size()), image);
+    procs_.push_back(std::move(proc));
+    c.syncIdleClock(now_);
+    c.bind(procs_.back().get());
+    return *procs_.back();
+}
+
+void
+Machine::unload(uint32_t core_id)
+{
+    Core &c = core(core_id);
+    if (c.process())
+        c.process()->setState(ProcState::Halted);
+    c.bind(nullptr);
+}
+
+Process &
+Machine::process(uint32_t proc_id)
+{
+    if (proc_id >= procs_.size())
+        panic("machine: bad process %u", proc_id);
+    return *procs_[proc_id];
+}
+
+Core *
+Machine::nextCore()
+{
+    Core *best = nullptr;
+    for (auto &c : cores_) {
+        if (c->runnable() && (!best || c->cycle() < best->cycle()))
+            best = c.get();
+    }
+    return best;
+}
+
+void
+Machine::run(uint64_t until_cycle)
+{
+    for (;;) {
+        Core *c = nextCore();
+        uint64_t core_t = c ? c->cycle() : UINT64_MAX;
+        uint64_t event_t =
+            events_.empty() ? UINT64_MAX : events_.top().cycle;
+
+        uint64_t t = std::min(core_t, event_t);
+        if (t >= until_cycle) {
+            now_ = until_cycle;
+            break;
+        }
+
+        if (event_t <= core_t) {
+            // const_cast: priority_queue::top() is const but we must
+            // move the callback out before popping.
+            auto fn =
+                std::move(const_cast<Event &>(events_.top()).fn);
+            events_.pop();
+            now_ = event_t;
+            fn();
+        } else {
+            now_ = core_t;
+            c->step();
+        }
+    }
+}
+
+void
+Machine::runToCompletion(uint64_t max_cycles)
+{
+    uint64_t cap = now_ + max_cycles;
+    while (!allHalted() && now_ < cap) {
+        uint64_t chunk = std::min<uint64_t>(cap - now_, 1 << 20);
+        run(now_ + chunk);
+    }
+    if (!allHalted())
+        warn("runToCompletion: cycle cap reached before halt");
+}
+
+bool
+Machine::allHalted() const
+{
+    for (const auto &c : cores_) {
+        if (c->runnable())
+            return false;
+    }
+    return true;
+}
+
+void
+Machine::schedule(uint64_t cycle, std::function<void()> fn)
+{
+    if (cycle < now_)
+        panic("machine: scheduling into the past (%llu < %llu)",
+              static_cast<unsigned long long>(cycle),
+              static_cast<unsigned long long>(now_));
+    events_.push(Event{cycle, eventSeq_++, std::move(fn)});
+}
+
+} // namespace sim
+} // namespace protean

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The multicore machine: cores, shared memory system, processes and
+ * an event calendar.
+ *
+ * Simulation is event-driven at instruction granularity: the core
+ * with the smallest local clock steps next, so interleaving at the
+ * shared L3 and DRAM is deterministic. Scheduled events (runtime
+ * monitoring ticks, compile completions, load-trace changes) fire
+ * between instructions at exact cycles.
+ */
+
+#ifndef PROTEAN_SIM_MACHINE_H
+#define PROTEAN_SIM_MACHINE_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "isa/image.h"
+#include "sim/core.h"
+#include "sim/memsys.h"
+#include "sim/process.h"
+
+namespace protean {
+namespace sim {
+
+/** The simulated server. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &cfg = MachineConfig{});
+
+    const MachineConfig &config() const { return cfg_; }
+
+    uint32_t numCores() const
+    {
+        return static_cast<uint32_t>(cores_.size());
+    }
+
+    Core &core(uint32_t id);
+    const Core &core(uint32_t id) const;
+
+    MemorySystem &memsys() { return *memsys_; }
+
+    /** Current global simulated time. */
+    uint64_t now() const { return now_; }
+
+    /**
+     * Create a process from an image and bind it to a core.
+     * The core must currently be free.
+     */
+    Process &load(const isa::Image &image, uint32_t core_id);
+
+    /** Unbind and discard a core's process. */
+    void unload(uint32_t core_id);
+
+    size_t numProcesses() const { return procs_.size(); }
+    Process &process(uint32_t proc_id);
+
+    /** Run until the global clock reaches until_cycle. */
+    void run(uint64_t until_cycle);
+
+    /** Run for a duration from now. */
+    void runFor(uint64_t cycles) { run(now_ + cycles); }
+
+    /** Run until every bound process halts (or until the cap). */
+    void runToCompletion(uint64_t max_cycles = 1ULL << 40);
+
+    /** True when no bound process is runnable. */
+    bool allHalted() const;
+
+    /** Schedule a callback at an absolute cycle (>= now). */
+    void schedule(uint64_t cycle, std::function<void()> fn);
+
+    /** Schedule a callback after a delay. */
+    void scheduleAfter(uint64_t delay, std::function<void()> fn)
+    {
+        schedule(now_ + delay, std::move(fn));
+    }
+
+    /** Convert simulated milliseconds to cycles. */
+    uint64_t msToCycles(double ms) const { return cfg_.msToCycles(ms); }
+
+  private:
+    struct Event
+    {
+        uint64_t cycle;
+        uint64_t seq;
+        std::function<void()> fn;
+        bool operator>(const Event &o) const
+        {
+            return cycle != o.cycle ? cycle > o.cycle : seq > o.seq;
+        }
+    };
+
+    MachineConfig cfg_;
+    std::unique_ptr<MemorySystem> memsys_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<std::unique_ptr<Process>> procs_;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>>
+        events_;
+    uint64_t now_ = 0;
+    uint64_t eventSeq_ = 0;
+
+    /** Runnable core with the smallest clock; null if none. */
+    Core *nextCore();
+};
+
+} // namespace sim
+} // namespace protean
+
+#endif // PROTEAN_SIM_MACHINE_H

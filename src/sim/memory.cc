@@ -1,0 +1,62 @@
+#include "sim/memory.h"
+
+#include "support/logging.h"
+
+namespace protean {
+namespace sim {
+
+void
+PagedMemory::checkAligned(uint64_t byte_addr)
+{
+    if (byte_addr % 8 != 0)
+        panic("PagedMemory: unaligned access at %llu",
+              static_cast<unsigned long long>(byte_addr));
+}
+
+uint64_t
+PagedMemory::read(uint64_t byte_addr) const
+{
+    checkAligned(byte_addr);
+    uint64_t word = byte_addr / 8;
+    auto it = pages_.find(word / kPageWords);
+    if (it == pages_.end())
+        return 0;
+    return (*it->second)[word % kPageWords];
+}
+
+void
+PagedMemory::write(uint64_t byte_addr, uint64_t value)
+{
+    checkAligned(byte_addr);
+    uint64_t word = byte_addr / 8;
+    auto &page = pages_[word / kPageWords];
+    if (!page)
+        page = std::make_unique<Page>(kPageWords, 0);
+    (*page)[word % kPageWords] = value;
+}
+
+void
+PagedMemory::loadImage(const std::vector<uint8_t> &bytes)
+{
+    for (uint64_t off = 0; off + 8 <= bytes.size(); off += 8) {
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(bytes[off + i]) << (8 * i);
+        if (v != 0)
+            write(off, v);
+    }
+    // A trailing partial word (images are word-aligned by the linker,
+    // but be safe).
+    uint64_t rem = bytes.size() % 8;
+    if (rem != 0) {
+        uint64_t off = bytes.size() - rem;
+        uint64_t v = 0;
+        for (uint64_t i = 0; i < rem; ++i)
+            v |= static_cast<uint64_t>(bytes[off + i]) << (8 * i);
+        if (v != 0)
+            write(off, v);
+    }
+}
+
+} // namespace sim
+} // namespace protean

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Functional (value) memory.
+ *
+ * Values are held separately from cache timing state. PagedMemory is
+ * a sparse word store: reads of untouched addresses return zero,
+ * which the workload generators rely on for zero-initialized global
+ * data. Addresses are byte addresses and must be 8-byte aligned —
+ * the compiler only emits aligned word accesses.
+ */
+
+#ifndef PROTEAN_SIM_MEMORY_H
+#define PROTEAN_SIM_MEMORY_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace protean {
+namespace sim {
+
+/** Sparse paged 64-bit word memory. */
+class PagedMemory
+{
+  public:
+    /** Read the word at an 8-byte-aligned byte address. */
+    uint64_t read(uint64_t byte_addr) const;
+
+    /** Write the word at an 8-byte-aligned byte address. */
+    void write(uint64_t byte_addr, uint64_t value);
+
+    /** Bulk-initialize from a byte image starting at address 0. */
+    void loadImage(const std::vector<uint8_t> &bytes);
+
+    /** Number of resident pages (tests). */
+    size_t residentPages() const { return pages_.size(); }
+
+  private:
+    static constexpr uint64_t kPageWords = 512; // 4 KiB pages
+    using Page = std::vector<uint64_t>;
+    std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+
+    static void checkAligned(uint64_t byte_addr);
+};
+
+} // namespace sim
+} // namespace protean
+
+#endif // PROTEAN_SIM_MEMORY_H

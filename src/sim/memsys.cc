@@ -1,0 +1,133 @@
+#include "sim/memsys.h"
+
+#include "support/logging.h"
+
+namespace protean {
+namespace sim {
+
+MemorySystem::MemorySystem(const MachineConfig &cfg)
+    : cfg_(cfg)
+{
+    for (uint32_t c = 0; c < cfg.numCores; ++c) {
+        l1_.push_back(std::make_unique<Cache>(
+            strformat("l1.%u", c), cfg.l1));
+        l2_.push_back(std::make_unique<Cache>(
+            strformat("l2.%u", c), cfg.l2));
+    }
+    l3_ = std::make_unique<Cache>("l3", cfg.l3);
+    lastLine_.assign(cfg.numCores, ~0ULL);
+    seqRun_.assign(cfg.numCores, 0);
+}
+
+void
+MemorySystem::noteAccess(uint32_t core, uint64_t addr)
+{
+    uint64_t line = addr / cfg_.l1.lineBytes;
+    uint64_t last = lastLine_[core];
+    if (line == last) {
+        // Same line: no change to the run.
+    } else if (line == last + 1) {
+        ++seqRun_[core];
+    } else {
+        seqRun_[core] = 0;
+    }
+    lastLine_[core] = line;
+}
+
+bool
+MemorySystem::streaming(uint32_t core) const
+{
+    return seqRun_[core] >= cfg_.prefetchMinRun;
+}
+
+AccessResult
+MemorySystem::access(uint32_t core, uint64_t addr, bool nonTemporal,
+                     uint64_t now, HpmCounters &hpm)
+{
+    if (core >= l1_.size())
+        panic("MemorySystem: bad core %u", core);
+
+    noteAccess(core, addr);
+
+    AccessResult res;
+    res.latency = cfg_.l1.latency;
+    if (l1_[core]->access(addr)) {
+        res.l1Hit = true;
+        return res;
+    }
+    ++hpm.l1Misses;
+
+    res.latency += cfg_.l2.latency;
+    if (l2_[core]->access(addr)) {
+        res.l2Hit = true;
+        // L1 always fills normally: the hint targets shared levels.
+        l1_[core]->fill(addr, false);
+        return res;
+    }
+    ++hpm.l2Misses;
+
+    res.latency += cfg_.l3.latency;
+    ++hpm.l3Accesses;
+    bool l3_hit = l3_->access(addr);
+    if (!l3_hit) {
+        ++hpm.l3Misses;
+        ++hpm.dramAccesses;
+        ++dramAccesses_;
+        res.dram = true;
+        uint64_t start = std::max(now, dramNextFree_);
+        uint64_t queue = start - now;
+        dramNextFree_ = start + cfg_.dramOccupancy;
+        res.latency += queue + cfg_.dramLatency;
+    } else {
+        res.l3Hit = true;
+    }
+
+    bool nt = nonTemporal;
+    bool bypass = nt && cfg_.ntPolicy == NtPolicy::Bypass;
+    if (!l3_hit && !bypass)
+        l3_->fill(addr, nt);
+    if (!bypass)
+        l2_[core]->fill(addr, nt);
+    l1_[core]->fill(addr, false);
+
+    if (!l3_hit && streaming(core))
+        prefetch(core, addr, nt);
+    return res;
+}
+
+void
+MemorySystem::prefetch(uint32_t core, uint64_t addr, bool nonTemporal)
+{
+    // Next-line stride prefetches: background fills into L2/L3 that
+    // consume DRAM bandwidth but never stall the core. They inherit
+    // the demand access's non-temporal flag, as prefetchnta does.
+    uint32_t line = cfg_.l3.lineBytes;
+    // Under the bypass policy there is nowhere to put a non-temporal
+    // prefetch, so none is issued (and no bandwidth is spent).
+    if (nonTemporal && cfg_.ntPolicy == NtPolicy::Bypass)
+        return;
+    for (uint32_t i = 1; i <= cfg_.prefetchDegree; ++i) {
+        uint64_t target = addr + static_cast<uint64_t>(i) * line;
+        if (l2_[core]->contains(target) || l3_->contains(target))
+            continue;
+        dramNextFree_ += cfg_.dramOccupancy;
+        ++dramAccesses_;
+        l3_->fill(target, nonTemporal);
+        l2_[core]->fill(target, nonTemporal);
+        ++prefetches_;
+    }
+}
+
+void
+MemorySystem::resetStats()
+{
+    for (auto &c : l1_)
+        c->resetStats();
+    for (auto &c : l2_)
+        c->resetStats();
+    l3_->resetStats();
+    dramAccesses_ = 0;
+}
+
+} // namespace sim
+} // namespace protean

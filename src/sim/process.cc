@@ -1,0 +1,41 @@
+#include "sim/process.h"
+
+#include "support/logging.h"
+
+namespace protean {
+namespace sim {
+
+Process::Process(uint32_t id, isa::Image image)
+    : id_(id), image_(std::move(image)),
+      physBase_(static_cast<uint64_t>(id + 1) * kPhysStride)
+{
+    mem_.loadImage(image_.initialData);
+}
+
+const isa::MInst &
+Process::inst(isa::CodeAddr addr) const
+{
+    if (addr >= image_.code.size())
+        panic("process %s: wild pc %u (code size %zu)",
+              name().c_str(), addr, image_.code.size());
+    return image_.code[addr];
+}
+
+isa::CodeAddr
+Process::appendCode(const std::vector<isa::MInst> &code)
+{
+    auto entry = static_cast<isa::CodeAddr>(image_.code.size());
+    image_.code.insert(image_.code.end(), code.begin(), code.end());
+    return entry;
+}
+
+void
+Process::patchInst(isa::CodeAddr addr, const isa::MInst &inst)
+{
+    if (addr >= image_.code.size())
+        panic("process %s: patch at wild pc %u", name().c_str(), addr);
+    image_.code[addr] = inst;
+}
+
+} // namespace sim
+} // namespace protean

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * A simulated process: an executable image plus functional memory.
+ *
+ * The process owns a mutable copy of the image code array; the
+ * protean runtime's code cache is realized by appending newly
+ * compiled variants to it (the shared-mmap region of the paper's
+ * Section III-B1). Each process occupies a disjoint physical address
+ * window so co-running processes contend in the shared cache without
+ * aliasing.
+ */
+
+#ifndef PROTEAN_SIM_PROCESS_H
+#define PROTEAN_SIM_PROCESS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/image.h"
+#include "sim/memory.h"
+
+namespace protean {
+namespace sim {
+
+/** Process lifecycle states. */
+enum class ProcState : uint8_t { Running, Halted };
+
+/** One simulated process. */
+class Process
+{
+  public:
+    /** Physical address stride between processes (1 TiB). */
+    static constexpr uint64_t kPhysStride = 1ULL << 40;
+
+    Process(uint32_t id, isa::Image image);
+
+    uint32_t id() const { return id_; }
+    const std::string &name() const { return image_.name; }
+
+    const isa::Image &image() const { return image_; }
+
+    /** Fetch an instruction; panics on a wild PC. */
+    const isa::MInst &inst(isa::CodeAddr addr) const;
+
+    /** Current code size (static image + appended variants). */
+    isa::CodeAddr codeSize() const
+    {
+        return static_cast<isa::CodeAddr>(image_.code.size());
+    }
+
+    /**
+     * Append a compiled variant to the code cache region.
+     * @return The entry address of the appended code.
+     */
+    isa::CodeAddr appendCode(const std::vector<isa::MInst> &code);
+
+    /** Patch one instruction in place (direct-call fixups). */
+    void patchInst(isa::CodeAddr addr, const isa::MInst &inst);
+
+    /** Functional (untimed) word read — the ptrace analogue. */
+    uint64_t readWord(uint64_t vaddr) const { return mem_.read(vaddr); }
+
+    /** Functional word write — EVT updates, pokes from the runtime. */
+    void writeWord(uint64_t vaddr, uint64_t v) { mem_.write(vaddr, v); }
+
+    /** Physical address of a virtual address (for cache indexing). */
+    uint64_t physAddr(uint64_t vaddr) const { return physBase_ + vaddr; }
+
+    uint64_t physBase() const { return physBase_; }
+
+    ProcState state() const { return state_; }
+    void setState(ProcState s) { state_ = s; }
+
+    /** Core this process is bound to (set by Machine::load). */
+    uint32_t coreId() const { return coreId_; }
+    void setCoreId(uint32_t c) { coreId_ = c; }
+
+  private:
+    uint32_t id_;
+    isa::Image image_;
+    PagedMemory mem_;
+    uint64_t physBase_;
+    ProcState state_ = ProcState::Running;
+    uint32_t coreId_ = 0xffffffffu;
+};
+
+} // namespace sim
+} // namespace protean
+
+#endif // PROTEAN_SIM_PROCESS_H

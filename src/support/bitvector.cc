@@ -1,0 +1,127 @@
+#include "support/bitvector.h"
+
+#include <bit>
+
+#include "support/logging.h"
+
+namespace protean {
+
+BitVector::BitVector(size_t size, bool initial)
+    : size_(size), words_((size + 63) / 64, initial ? ~0ULL : 0ULL)
+{
+    maskTail();
+}
+
+void
+BitVector::checkIndex(size_t i) const
+{
+    if (i >= size_)
+        panic("BitVector index %zu out of range (size %zu)", i, size_);
+}
+
+void
+BitVector::maskTail()
+{
+    size_t rem = size_ % 64;
+    if (rem != 0 && !words_.empty())
+        words_.back() &= (1ULL << rem) - 1;
+}
+
+bool
+BitVector::test(size_t i) const
+{
+    checkIndex(i);
+    return (words_[i / 64] >> (i % 64)) & 1ULL;
+}
+
+void
+BitVector::set(size_t i, bool value)
+{
+    checkIndex(i);
+    uint64_t mask = 1ULL << (i % 64);
+    if (value)
+        words_[i / 64] |= mask;
+    else
+        words_[i / 64] &= ~mask;
+}
+
+bool
+BitVector::flip(size_t i)
+{
+    checkIndex(i);
+    words_[i / 64] ^= 1ULL << (i % 64);
+    return test(i);
+}
+
+void
+BitVector::setAll()
+{
+    for (auto &w : words_)
+        w = ~0ULL;
+    maskTail();
+}
+
+void
+BitVector::clearAll()
+{
+    for (auto &w : words_)
+        w = 0ULL;
+}
+
+size_t
+BitVector::count() const
+{
+    size_t n = 0;
+    for (auto w : words_)
+        n += static_cast<size_t>(std::popcount(w));
+    return n;
+}
+
+BitVector &
+BitVector::operator|=(const BitVector &other)
+{
+    if (other.size_ != size_)
+        panic("BitVector size mismatch: %zu vs %zu", size_, other.size_);
+    for (size_t i = 0; i < words_.size(); ++i)
+        words_[i] |= other.words_[i];
+    return *this;
+}
+
+BitVector &
+BitVector::operator&=(const BitVector &other)
+{
+    if (other.size_ != size_)
+        panic("BitVector size mismatch: %zu vs %zu", size_, other.size_);
+    for (size_t i = 0; i < words_.size(); ++i)
+        words_[i] &= other.words_[i];
+    return *this;
+}
+
+bool
+BitVector::operator==(const BitVector &other) const
+{
+    return size_ == other.size_ && words_ == other.words_;
+}
+
+std::string
+BitVector::toString() const
+{
+    std::string s;
+    s.reserve(size_);
+    for (size_t i = 0; i < size_; ++i)
+        s.push_back(test(i) ? '1' : '0');
+    return s;
+}
+
+std::vector<size_t>
+BitVector::setBits() const
+{
+    std::vector<size_t> out;
+    for (size_t i = 0; i < size_; ++i) {
+        if (test(i))
+            out.push_back(i);
+    }
+    return out;
+}
+
+} // namespace protean

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Dynamic bit vector.
+ *
+ * PC3D represents a program variant as a bit vector over the static
+ * loads of the program (1 = the load carries a non-temporal hint).
+ * BitVector is the canonical representation for those variant masks
+ * and for coverage sets in the search heuristics.
+ */
+
+#ifndef PROTEAN_SUPPORT_BITVECTOR_H
+#define PROTEAN_SUPPORT_BITVECTOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace protean {
+
+/** A fixed-size vector of bits with set-algebra helpers. */
+class BitVector
+{
+  public:
+    /** Construct with all bits clear. */
+    explicit BitVector(size_t size = 0, bool initial = false);
+
+    /** Number of bits. */
+    size_t size() const { return size_; }
+
+    /** Read bit i (bounds-checked). */
+    bool test(size_t i) const;
+
+    /** Set bit i to value (bounds-checked). */
+    void set(size_t i, bool value = true);
+
+    /** Flip bit i, returning the new value. */
+    bool flip(size_t i);
+
+    /** Set all bits. */
+    void setAll();
+
+    /** Clear all bits. */
+    void clearAll();
+
+    /** Number of set bits. */
+    size_t count() const;
+
+    /** True if no bit is set. */
+    bool none() const { return count() == 0; }
+
+    /** True if every bit is set. */
+    bool all() const { return count() == size_; }
+
+    /** Bitwise OR with another vector of the same size. */
+    BitVector &operator|=(const BitVector &other);
+
+    /** Bitwise AND with another vector of the same size. */
+    BitVector &operator&=(const BitVector &other);
+
+    bool operator==(const BitVector &other) const;
+
+    /** Render as a string of '0'/'1', index 0 first. */
+    std::string toString() const;
+
+    /** Indices of set bits, ascending. */
+    std::vector<size_t> setBits() const;
+
+  private:
+    size_t size_;
+    std::vector<uint64_t> words_;
+
+    void checkIndex(size_t i) const;
+    void maskTail();
+};
+
+} // namespace protean
+
+#endif // PROTEAN_SUPPORT_BITVECTOR_H

@@ -1,0 +1,129 @@
+#include "support/bytebuffer.h"
+
+#include <cstring>
+
+#include "support/logging.h"
+
+namespace protean {
+
+void
+ByteWriter::writeVarUint(uint64_t v)
+{
+    while (v >= 0x80) {
+        bytes_.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    bytes_.push_back(static_cast<uint8_t>(v));
+}
+
+void
+ByteWriter::writeVarInt(int64_t v)
+{
+    // Zig-zag encoding maps small negative values to small varints.
+    uint64_t zz = (static_cast<uint64_t>(v) << 1) ^
+        static_cast<uint64_t>(v >> 63);
+    writeVarUint(zz);
+}
+
+void
+ByteWriter::writeFixed64(uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+ByteWriter::writeDouble(double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    writeFixed64(bits);
+}
+
+void
+ByteWriter::writeString(const std::string &s)
+{
+    writeVarUint(s.size());
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void
+ByteWriter::writeBytes(const uint8_t *data, size_t len)
+{
+    bytes_.insert(bytes_.end(), data, data + len);
+}
+
+uint8_t
+ByteReader::readByte()
+{
+    if (pos_ >= len_)
+        panic("ByteReader: read past end (pos %zu, len %zu)", pos_, len_);
+    return data_[pos_++];
+}
+
+uint64_t
+ByteReader::readVarUint()
+{
+    uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+        uint8_t b = readByte();
+        v |= static_cast<uint64_t>(b & 0x7f) << shift;
+        if (!(b & 0x80))
+            break;
+        shift += 7;
+        if (shift >= 64)
+            panic("ByteReader: varint overflow");
+    }
+    return v;
+}
+
+int64_t
+ByteReader::readVarInt()
+{
+    uint64_t zz = readVarUint();
+    return static_cast<int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
+}
+
+uint64_t
+ByteReader::readFixed64()
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(readByte()) << (8 * i);
+    return v;
+}
+
+double
+ByteReader::readDouble()
+{
+    uint64_t bits = readFixed64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+ByteReader::readString()
+{
+    uint64_t n = readVarUint();
+    if (n > remaining())
+        panic("ByteReader: string length %llu exceeds remaining %zu",
+              static_cast<unsigned long long>(n), remaining());
+    std::string s(reinterpret_cast<const char *>(data_ + pos_),
+                  static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return s;
+}
+
+void
+ByteReader::readBytes(uint8_t *out, size_t len)
+{
+    if (len > remaining())
+        panic("ByteReader: read of %zu bytes exceeds remaining %zu",
+              len, remaining());
+    std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+}
+
+} // namespace protean

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Byte-oriented serialization buffers.
+ *
+ * ByteWriter/ByteReader are the primitives under the IR serializer:
+ * the protean code compiler serializes the program IR with ByteWriter,
+ * compresses it and embeds it in the binary's data region; the runtime
+ * extracts, decompresses, and re-hydrates it with ByteReader.
+ *
+ * Integers use LEB128-style variable-length encoding so typical IR
+ * payloads stay compact before compression.
+ */
+
+#ifndef PROTEAN_SUPPORT_BYTEBUFFER_H
+#define PROTEAN_SUPPORT_BYTEBUFFER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace protean {
+
+/** Append-only byte sink with varint encoding helpers. */
+class ByteWriter
+{
+  public:
+    /** Append a raw byte. */
+    void writeByte(uint8_t b) { bytes_.push_back(b); }
+
+    /** Append an unsigned varint (LEB128). */
+    void writeVarUint(uint64_t v);
+
+    /** Append a signed varint (zig-zag + LEB128). */
+    void writeVarInt(int64_t v);
+
+    /** Append a fixed-width little-endian 64-bit value. */
+    void writeFixed64(uint64_t v);
+
+    /** Append an IEEE-754 double as fixed 64 bits. */
+    void writeDouble(double v);
+
+    /** Append a length-prefixed string. */
+    void writeString(const std::string &s);
+
+    /** Append raw bytes. */
+    void writeBytes(const uint8_t *data, size_t len);
+
+    const std::vector<uint8_t> &bytes() const { return bytes_; }
+    std::vector<uint8_t> take() { return std::move(bytes_); }
+
+  private:
+    std::vector<uint8_t> bytes_;
+};
+
+/** Sequential reader over a byte span; throws nothing, panics on
+ *  malformed input (serialization bugs are internal errors). */
+class ByteReader
+{
+  public:
+    ByteReader(const uint8_t *data, size_t len)
+        : data_(data), len_(len) {}
+
+    explicit ByteReader(const std::vector<uint8_t> &bytes)
+        : data_(bytes.data()), len_(bytes.size()) {}
+
+    uint8_t readByte();
+    uint64_t readVarUint();
+    int64_t readVarInt();
+    uint64_t readFixed64();
+    double readDouble();
+    std::string readString();
+    void readBytes(uint8_t *out, size_t len);
+
+    /** Bytes remaining. */
+    size_t remaining() const { return len_ - pos_; }
+
+    /** True when fully consumed. */
+    bool atEnd() const { return pos_ == len_; }
+
+  private:
+    const uint8_t *data_;
+    size_t len_;
+    size_t pos_ = 0;
+};
+
+} // namespace protean
+
+#endif // PROTEAN_SUPPORT_BYTEBUFFER_H

@@ -1,0 +1,132 @@
+#include "support/compression.h"
+
+#include <cstring>
+
+#include "support/bytebuffer.h"
+#include "support/logging.h"
+
+namespace protean {
+
+namespace {
+
+constexpr size_t kWindow = 64 * 1024;
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 1024;
+constexpr uint32_t kHashSize = 1 << 15;
+
+uint32_t
+hash4(const uint8_t *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    return (v * 2654435761u) >> 17;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+compress(const std::vector<uint8_t> &input)
+{
+    ByteWriter out;
+    out.writeVarUint(input.size());
+
+    const uint8_t *data = input.data();
+    size_t n = input.size();
+
+    // head[h] = most recent position with hash h; prev[] forms chains.
+    std::vector<int64_t> head(kHashSize, -1);
+    std::vector<int64_t> prev(n, -1);
+
+    size_t pos = 0;
+    size_t literal_start = 0;
+
+    auto flush = [&](size_t lit_end, size_t match_len, size_t match_dist) {
+        out.writeVarUint(lit_end - literal_start);
+        out.writeBytes(data + literal_start, lit_end - literal_start);
+        out.writeVarUint(match_len);
+        if (match_len > 0)
+            out.writeVarUint(match_dist);
+    };
+
+    while (pos < n) {
+        size_t best_len = 0;
+        size_t best_dist = 0;
+        if (pos + kMinMatch <= n) {
+            uint32_t h = hash4(data + pos);
+            int64_t cand = head[h];
+            int chain = 32;
+            while (cand >= 0 && chain-- > 0 &&
+                   pos - static_cast<size_t>(cand) <= kWindow) {
+                size_t c = static_cast<size_t>(cand);
+                size_t len = 0;
+                size_t max = std::min(kMaxMatch, n - pos);
+                while (len < max && data[c + len] == data[pos + len])
+                    ++len;
+                if (len > best_len) {
+                    best_len = len;
+                    best_dist = pos - c;
+                }
+                cand = prev[c];
+            }
+            prev[pos] = head[h];
+            head[h] = static_cast<int64_t>(pos);
+        }
+
+        if (best_len >= kMinMatch) {
+            flush(pos, best_len, best_dist);
+            // Insert hash entries for skipped positions so later
+            // matches can reference inside this one.
+            size_t end = pos + best_len;
+            for (size_t p = pos + 1; p + kMinMatch <= n && p < end; ++p) {
+                uint32_t h = hash4(data + p);
+                prev[p] = head[h];
+                head[h] = static_cast<int64_t>(p);
+            }
+            pos = end;
+            literal_start = pos;
+        } else {
+            ++pos;
+        }
+    }
+    // Trailing literals with a zero-length match terminator.
+    flush(n, 0, 0);
+    return out.take();
+}
+
+std::vector<uint8_t>
+decompress(const std::vector<uint8_t> &input)
+{
+    ByteReader in(input);
+    uint64_t size = in.readVarUint();
+    std::vector<uint8_t> out;
+    out.reserve(static_cast<size_t>(size));
+
+    while (out.size() < size) {
+        uint64_t lit = in.readVarUint();
+        if (lit > in.remaining())
+            panic("decompress: literal run %llu exceeds input",
+                  static_cast<unsigned long long>(lit));
+        size_t base = out.size();
+        out.resize(base + static_cast<size_t>(lit));
+        in.readBytes(out.data() + base, static_cast<size_t>(lit));
+
+        uint64_t match_len = in.readVarUint();
+        if (match_len > 0) {
+            uint64_t dist = in.readVarUint();
+            if (dist == 0 || dist > out.size())
+                panic("decompress: bad match distance");
+            size_t src = out.size() - static_cast<size_t>(dist);
+            // Byte-at-a-time: overlapping copies are semantically RLE.
+            for (uint64_t i = 0; i < match_len; ++i)
+                out.push_back(out[src + static_cast<size_t>(i)]);
+        } else if (out.size() < size && in.atEnd()) {
+            panic("decompress: truncated stream");
+        }
+    }
+    if (out.size() != size)
+        panic("decompress: size mismatch (%zu vs %llu)", out.size(),
+              static_cast<unsigned long long>(size));
+    return out;
+}
+
+} // namespace protean

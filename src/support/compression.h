@@ -1,0 +1,37 @@
+/**
+ * @file
+ * LZ-style byte compression.
+ *
+ * The protean code compiler compresses the serialized IR before
+ * embedding it in the binary's data region (Section III-A2 of the
+ * paper: "pcc serializes, compresses and places the intermediate
+ * representation of the program into its data region"). This is a
+ * self-contained LZ77-family codec: greedy hash-chain matching with
+ * a 64 KiB window, emitting (literal-run, match) token pairs.
+ */
+
+#ifndef PROTEAN_SUPPORT_COMPRESSION_H
+#define PROTEAN_SUPPORT_COMPRESSION_H
+
+#include <cstdint>
+#include <vector>
+
+namespace protean {
+
+/**
+ * Compress a byte buffer.
+ * The output embeds the uncompressed size so decompress() can
+ * pre-allocate; an empty input yields a small valid header.
+ */
+std::vector<uint8_t> compress(const std::vector<uint8_t> &input);
+
+/**
+ * Decompress a buffer produced by compress().
+ * Panics on a corrupt stream (embedded payloads are produced by this
+ * library, so corruption indicates an internal error).
+ */
+std::vector<uint8_t> decompress(const std::vector<uint8_t> &input);
+
+} // namespace protean
+
+#endif // PROTEAN_SUPPORT_COMPRESSION_H

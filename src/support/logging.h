@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Logging and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a bug in this library), fatal() is for unrecoverable
+ * user errors (bad configuration, invalid arguments), warn() and
+ * inform() are non-fatal status channels.
+ */
+
+#ifndef PROTEAN_SUPPORT_LOGGING_H
+#define PROTEAN_SUPPORT_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace protean {
+
+/** Verbosity levels for the status channels. */
+enum class LogLevel { Silent, Warn, Inform, Debug };
+
+/** Set the global verbosity; defaults to Warn. */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/**
+ * Report an internal invariant violation and abort.
+ * Use for conditions that indicate a bug in the library itself.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error and exit(1).
+ * Use for bad configuration or invalid arguments.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious but survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operational status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Format a string printf-style. */
+std::string strformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+namespace detail {
+std::string vformat(const char *fmt, va_list args);
+} // namespace detail
+
+} // namespace protean
+
+#endif // PROTEAN_SUPPORT_LOGGING_H

@@ -1,0 +1,112 @@
+#include "support/random.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace protean {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::nextBelow called with bound == 0");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::nextRange(int64_t lo, int64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::nextRange called with lo > hi");
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<int64_t>(next());
+    return lo + static_cast<int64_t>(nextBelow(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+double
+Rng::nextGaussian(double mean, double stddev)
+{
+    if (haveGauss_) {
+        haveGauss_ = false;
+        return mean + stddev * gauss_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 0.0);
+    double u2 = nextDouble();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    gauss_ = r * std::sin(theta);
+    haveGauss_ = true;
+    return mean + stddev * (r * std::cos(theta));
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next());
+}
+
+} // namespace protean

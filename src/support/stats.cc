@@ -1,0 +1,122 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace protean {
+
+void
+RunningStat::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::mean() const
+{
+    return n_ == 0 ? 0.0 : mean_;
+}
+
+double
+RunningStat::variance() const
+{
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStat::min() const
+{
+    return n_ == 0 ? 0.0 : min_;
+}
+
+double
+RunningStat::max() const
+{
+    return n_ == 0 ? 0.0 : max_;
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            panic("geomean requires positive inputs (got %g)", x);
+        s += std::log(x);
+    }
+    return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        return 0.0;
+    if (p < 0.0 || p > 100.0)
+        panic("percentile %g out of [0, 100]", p);
+    std::sort(xs.begin(), xs.end());
+    size_t rank = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(xs.size())));
+    if (rank == 0)
+        rank = 1;
+    return xs[rank - 1];
+}
+
+Ewma::Ewma(double alpha)
+    : alpha_(alpha)
+{
+    if (alpha <= 0.0 || alpha > 1.0)
+        panic("Ewma alpha %g out of (0, 1]", alpha);
+}
+
+double
+Ewma::add(double x)
+{
+    if (!primed_) {
+        value_ = x;
+        primed_ = true;
+    } else {
+        value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+    return value_;
+}
+
+void
+Ewma::reset()
+{
+    value_ = 0.0;
+    primed_ = false;
+}
+
+} // namespace protean

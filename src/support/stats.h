@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Summary-statistics helpers used by benches and the runtime.
+ */
+
+#ifndef PROTEAN_SUPPORT_STATS_H
+#define PROTEAN_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace protean {
+
+/** Streaming accumulator for min/max/mean/variance. */
+class RunningStat
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    size_t count() const { return n_; }
+    double mean() const;
+    double variance() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+    double sum() const { return sum_; }
+
+  private:
+    size_t n_ = 0;
+    double sum_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Arithmetic mean of a sample; 0 for an empty sample. */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean; all inputs must be positive. */
+double geomean(const std::vector<double> &xs);
+
+/** Sample percentile (nearest-rank); p in [0, 100]. */
+double percentile(std::vector<double> xs, double p);
+
+/**
+ * Exponentially-weighted moving average.
+ * Used by monitoring code to smooth per-interval HPM readings.
+ */
+class Ewma
+{
+  public:
+    /** @param alpha Weight of the newest observation, in (0, 1]. */
+    explicit Ewma(double alpha = 0.25);
+
+    /** Fold in one observation and return the new average. */
+    double add(double x);
+
+    /** Current value (0 before any observation). */
+    double value() const { return value_; }
+
+    /** True once at least one observation has arrived. */
+    bool primed() const { return primed_; }
+
+    void reset();
+
+  private:
+    double alpha_;
+    double value_ = 0.0;
+    bool primed_ = false;
+};
+
+} // namespace protean
+
+#endif // PROTEAN_SUPPORT_STATS_H

@@ -1,0 +1,116 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/logging.h"
+
+namespace protean {
+
+TextTable::TextTable(std::string title)
+    : title_(std::move(title))
+{
+}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::fmt(double v, int precision)
+{
+    return strformat("%.*f", precision, v);
+}
+
+std::string
+TextTable::toText() const
+{
+    size_t ncols = header_.size();
+    for (const auto &r : rows_)
+        ncols = std::max(ncols, r.size());
+
+    std::vector<size_t> widths(ncols, 0);
+    auto measure = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    measure(header_);
+    for (const auto &r : rows_)
+        measure(r);
+
+    auto render = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (size_t i = 0; i < ncols; ++i) {
+            std::string cell = i < row.size() ? row[i] : "";
+            line += cell;
+            if (i + 1 < ncols)
+                line += std::string(widths[i] - cell.size() + 2, ' ');
+        }
+        // Trim trailing spaces.
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string out;
+    if (!title_.empty())
+        out += "== " + title_ + " ==\n";
+    if (!header_.empty()) {
+        out += render(header_);
+        size_t total = 0;
+        for (size_t i = 0; i < ncols; ++i)
+            total += widths[i] + (i + 1 < ncols ? 2 : 0);
+        out += std::string(total, '-') + "\n";
+    }
+    for (const auto &r : rows_)
+        out += render(r);
+    return out;
+}
+
+std::string
+TextTable::toCsv() const
+{
+    auto escape = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char c : s) {
+            if (c == '"')
+                out += "\"\"";
+            else
+                out.push_back(c);
+        }
+        out += "\"";
+        return out;
+    };
+    std::string out;
+    auto render = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            out += escape(row[i]);
+            if (i + 1 < row.size())
+                out += ",";
+        }
+        out += "\n";
+    };
+    if (!header_.empty())
+        render(header_);
+    for (const auto &r : rows_)
+        render(r);
+    return out;
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(toText().c_str(), stdout);
+}
+
+} // namespace protean

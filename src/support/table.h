@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Plain-text table emitter.
+ *
+ * Every bench binary regenerates a paper table or figure as rows of
+ * text; TextTable renders aligned columns to stdout and optionally a
+ * CSV twin so results can be re-plotted.
+ */
+
+#ifndef PROTEAN_SUPPORT_TABLE_H
+#define PROTEAN_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace protean {
+
+/** Column-aligned text table with an optional title and CSV output. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "");
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; ragged rows are padded when rendering. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string fmt(double v, int precision = 3);
+
+    /** Render aligned text. */
+    std::string toText() const;
+
+    /** Render as CSV (no alignment padding). */
+    std::string toCsv() const;
+
+    /** Print toText() to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace protean
+
+#endif // PROTEAN_SUPPORT_TABLE_H

@@ -1,0 +1,310 @@
+#include "workloads/batch.h"
+
+#include <bit>
+
+#include "ir/builder.h"
+#include "ir/verifier.h"
+#include "support/logging.h"
+
+namespace protean {
+namespace workloads {
+
+namespace {
+
+using ir::BlockId;
+using ir::IRBuilder;
+using ir::Opcode;
+using ir::Reg;
+
+void
+checkPow2(uint64_t v, const char *what)
+{
+    if (v == 0 || !std::has_single_bit(v))
+        fatal("buildBatch: %s (%llu) must be a power of two", what,
+              static_cast<unsigned long long>(v));
+}
+
+/** Emit aluPerLoad dependent ALU operations folding x into sum. */
+void
+emitCompute(IRBuilder &b, Reg sum, Reg x, uint32_t alu_per_load)
+{
+    for (uint32_t a = 0; a < alu_per_load; ++a) {
+        b.binaryInto(sum, a % 2 == 0 ? Opcode::Add : Opcode::Xor,
+                     sum, x);
+    }
+}
+
+/** Build the pointer-chase initializer (full-period LCG permutation
+ *  over the streaming array's word slots). */
+void
+buildChaseInit(IRBuilder &b, ir::GlobalId stream, uint64_t words)
+{
+    b.startFunction("init", 0);
+    Reg base = b.globalAddr(stream);
+    Reg mask = b.constInt(static_cast<int64_t>(words - 1));
+    Reg mul = b.constInt(1664525);
+    Reg inc = b.constInt(1013904223);
+    Reg three = b.constInt(3);
+    Reg n = b.constInt(static_cast<int64_t>(words));
+    Reg one = b.constInt(1);
+    Reg i = b.constInt(0);
+
+    BlockId loop = b.newBlock();
+    BlockId done = b.newBlock();
+    b.br(loop);
+
+    b.setBlock(loop);
+    // value = ((i * mul + inc) & (words-1)) * 8
+    Reg v = b.mul(i, mul);
+    b.binaryInto(v, Opcode::Add, v, inc);
+    b.binaryInto(v, Opcode::And, v, mask);
+    b.binaryInto(v, Opcode::Shl, v, three);
+    // slot address = base + i*8
+    Reg a = b.shl(i, three);
+    b.binaryInto(a, Opcode::Add, a, base);
+    b.store(a, v);
+    b.binaryInto(i, Opcode::Add, i, one);
+    Reg c = b.cmpLt(i, n);
+    b.condBr(c, loop, done);
+
+    b.setBlock(done);
+    b.ret();
+}
+
+/** Build one hot phase function. */
+void
+buildHot(IRBuilder &b, const BatchSpec &spec, uint32_t phase,
+         ir::GlobalId stream, ir::GlobalId reuse, ir::GlobalId cursor,
+         ir::GlobalId sink)
+{
+    uint64_t smask = spec.streamBytes - 1;
+    uint64_t rmask = spec.reuseBytes - 1;
+
+    // hot_<p>(iters): outer loop of `iters` trips around an inner
+    // loop of spec.innerIters trips.
+    b.startFunction(strformat("hot_%u", phase), 1);
+    Reg iters = 0; // parameter register
+
+    Reg sbase = b.globalAddr(stream);
+    Reg rbase = b.globalAddr(reuse);
+    Reg cbase = b.globalAddr(cursor);
+    Reg kbase = b.globalAddr(sink);
+    Reg smaskR = b.constInt(static_cast<int64_t>(smask));
+    Reg rmaskR = b.constInt(static_cast<int64_t>(rmask));
+    Reg one = b.constInt(1);
+    Reg innerN = b.constInt(spec.innerIters);
+    // Per-phase offset decorrelates the phases' streaming patterns.
+    Reg phaseOff = b.constInt(static_cast<int64_t>(
+        phase * 8192 + 128));
+    Reg strideS = b.constInt(
+        static_cast<int64_t>(spec.streamLoadsPerIter) * 64);
+    // Reuse walks stride past the prefetcher (odd line count keeps
+    // full coverage of the reuse array), so the reuse loads' latency
+    // genuinely depends on L2/L3 residency — the cost PC3D weighs
+    // when deciding whether a load tolerates a non-temporal hint.
+    Reg strideR = b.constInt(static_cast<int64_t>(
+        64ULL * ((2ULL * spec.reuseLoadsPerIter + 5) | 1)));
+
+    Reg cur = b.load(cbase);            // persistent stream cursor
+    Reg rcur = b.constInt(0);           // per-call reuse cursor
+    Reg sum = b.constInt(0);
+    Reg o = b.constInt(0);
+    Reg j = b.func().newReg();
+    Reg tmp = b.func().newReg();
+    Reg x = b.func().newReg();
+    b.func().noteReg(j);
+    b.func().noteReg(tmp);
+    b.func().noteReg(x);
+
+    BlockId outer = b.newBlock();
+    BlockId inner = b.newBlock();
+    BlockId after_inner = b.newBlock();
+    BlockId exit = b.newBlock();
+    b.br(outer);
+
+    // --- Outer-loop body (depth 1): a few strided loads.
+    b.setBlock(outer);
+    if (spec.outerLoads > 0) {
+        b.binaryInto(tmp, Opcode::Add, cur, phaseOff);
+        b.binaryInto(tmp, Opcode::And, tmp, smaskR);
+        b.binaryInto(tmp, Opcode::Add, tmp, sbase);
+        for (uint32_t u = 0; u < spec.outerLoads; ++u) {
+            b.loadInto(x, tmp, static_cast<int64_t>(u) * 4096);
+            emitCompute(b, sum, x, 1);
+        }
+    }
+    b.constInto(j, 0);
+    b.br(inner);
+
+    // --- Inner-loop body (max depth): the PC3D search targets.
+    b.setBlock(inner);
+    if (spec.pointerChase) {
+        for (uint32_t u = 0; u < spec.streamLoadsPerIter; ++u) {
+            // cur = mem[sbase + (cur & smask)] — dependent chain.
+            b.binaryInto(tmp, Opcode::And, cur, smaskR);
+            b.binaryInto(tmp, Opcode::Add, tmp, sbase);
+            b.loadInto(cur, tmp);
+            emitCompute(b, sum, cur, spec.aluPerLoad);
+        }
+    } else if (spec.streamLoadsPerIter > 0) {
+        b.binaryInto(tmp, Opcode::And, cur, smaskR);
+        b.binaryInto(tmp, Opcode::Add, tmp, sbase);
+        for (uint32_t u = 0; u < spec.streamLoadsPerIter; ++u) {
+            b.loadInto(x, tmp, static_cast<int64_t>(u) * 64);
+            emitCompute(b, sum, x, spec.aluPerLoad);
+        }
+        b.binaryInto(cur, Opcode::Add, cur, strideS);
+    }
+    if (spec.reuseLoadsPerIter > 0) {
+        b.binaryInto(tmp, Opcode::And, rcur, rmaskR);
+        b.binaryInto(tmp, Opcode::Add, tmp, rbase);
+        for (uint32_t u = 0; u < spec.reuseLoadsPerIter; ++u) {
+            b.loadInto(x, tmp, static_cast<int64_t>(u) * 64);
+            emitCompute(b, sum, x, spec.aluPerLoad);
+        }
+        b.binaryInto(rcur, Opcode::Add, rcur, strideR);
+    }
+    b.binaryInto(j, Opcode::Add, j, one);
+    Reg c1 = b.cmpLt(j, innerN);
+    b.condBr(c1, inner, after_inner);
+
+    b.setBlock(after_inner);
+    b.binaryInto(o, Opcode::Add, o, one);
+    Reg c2 = b.cmpLt(o, iters);
+    b.condBr(c2, outer, exit);
+
+    b.setBlock(exit);
+    b.store(cbase, cur);
+    b.store(kbase, sum);
+    b.ret();
+}
+
+/** Cold padding function: loads that are never executed. */
+void
+buildCold(IRBuilder &b, uint32_t index, uint32_t num_loads,
+          ir::GlobalId stream)
+{
+    b.startFunction(strformat("cold_%u", index), 0);
+    Reg base = b.globalAddr(stream);
+    Reg sum = b.constInt(0);
+    Reg x = b.func().newReg();
+    b.func().noteReg(x);
+    for (uint32_t u = 0; u < num_loads; ++u) {
+        b.loadInto(x, base, static_cast<int64_t>(u) * 64);
+        b.binaryInto(sum, Opcode::Add, sum, x);
+    }
+    b.ret();
+}
+
+/** The phase-cycling dispatcher. */
+void
+buildMain(IRBuilder &b, const BatchSpec &spec,
+          const std::vector<ir::FuncId> &hot, ir::FuncId init_fn)
+{
+    b.startFunction("main", 0);
+    if (init_fn != ir::kInvalidId)
+        b.callVoid(init_fn);
+    Reg outerN = b.constInt(spec.outerIters);
+    Reg callsN = b.constInt(static_cast<int64_t>(spec.callsPerPhase));
+    Reg phasesN = b.constInt(spec.phases);
+    Reg one = b.constInt(1);
+    Reg p = b.constInt(0);
+    Reg rep = b.constInt(0);
+
+    BlockId loop = b.newBlock();
+    BlockId join = b.newBlock();
+    BlockId advance = b.newBlock();
+    b.br(loop);
+
+    // Dispatch chain: if (p == k) call hot_k.
+    std::vector<BlockId> checks;
+    std::vector<BlockId> calls;
+    for (uint32_t k = 0; k < spec.phases; ++k) {
+        checks.push_back(k == 0 ? loop : b.newBlock());
+        calls.push_back(b.newBlock());
+    }
+    for (uint32_t k = 0; k < spec.phases; ++k) {
+        b.setBlock(checks[k]);
+        if (k + 1 < spec.phases) {
+            Reg kc = b.constInt(k);
+            Reg c = b.cmpEq(p, kc);
+            b.condBr(c, calls[k], checks[k + 1]);
+        } else {
+            b.br(calls[k]);
+        }
+        b.setBlock(calls[k]);
+        b.callVoid(hot[k], {outerN});
+        b.br(join);
+    }
+
+    b.setBlock(join);
+    b.binaryInto(rep, Opcode::Add, rep, one);
+    Reg c = b.cmpLt(rep, callsN);
+    b.condBr(c, loop, advance);
+
+    b.setBlock(advance);
+    b.constInto(rep, 0);
+    b.binaryInto(p, Opcode::Add, p, one);
+    b.binaryInto(p, Opcode::Mod, p, phasesN);
+    b.br(loop);
+}
+
+} // namespace
+
+ir::Module
+buildBatch(const BatchSpec &spec)
+{
+    checkPow2(spec.streamBytes, "streamBytes");
+    checkPow2(spec.reuseBytes, "reuseBytes");
+    if (spec.phases == 0)
+        fatal("buildBatch: %s needs at least one phase",
+              spec.name.c_str());
+
+    ir::Module module(spec.name);
+    // Slack past the masked index covers the unrolled imm offsets.
+    uint64_t slack = 64ULL * 64 + 8192;
+    ir::GlobalId stream =
+        module.addGlobal("stream", spec.streamBytes + slack);
+    ir::GlobalId reuse =
+        module.addGlobal("reuse", spec.reuseBytes + slack);
+    ir::GlobalId cursor = module.addGlobal("cursor", 8);
+    ir::GlobalId sink = module.addGlobal("sink", 8);
+
+    IRBuilder b(module);
+
+    ir::FuncId init_fn = ir::kInvalidId;
+    if (spec.pointerChase) {
+        buildChaseInit(b, stream, spec.streamBytes / 8);
+        init_fn = module.findFunction("init")->id();
+    }
+
+    std::vector<ir::FuncId> hot;
+    for (uint32_t p = 0; p < spec.phases; ++p) {
+        buildHot(b, spec, p, stream, reuse, cursor, sink);
+        hot.push_back(
+            module.findFunction(strformat("hot_%u", p))->id());
+    }
+
+    buildMain(b, spec, hot, init_fn);
+
+    // Cold padding to the target static load count.
+    if (spec.targetStaticLoads > 0) {
+        size_t have = 0;
+        for (ir::FuncId f = 0; f < module.numFunctions(); ++f)
+            have += module.function(f).loadCount();
+        uint32_t index = 0;
+        while (have < spec.targetStaticLoads) {
+            auto want = static_cast<uint32_t>(std::min<uint64_t>(
+                spec.coldLoadsPerFunc, spec.targetStaticLoads - have));
+            buildCold(b, index++, want, stream);
+            have += want;
+        }
+    }
+
+    module.renumberLoads();
+    ir::verifyOrDie(module);
+    return module;
+}
+
+} // namespace workloads
+} // namespace protean

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Batch (throughput) workload generator.
+ *
+ * Generates IR programs that stand in for the paper's batch
+ * applications (SPEC CPU2006, SmashBench). Each program has:
+ *
+ *  - one hot function per phase, containing a doubly nested loop: the
+ *    innermost body issues a mix of streaming loads (walking a large
+ *    array with line stride) and reuse loads (walking a small array
+ *    repeatedly), the outer body issues a few additional loads — the
+ *    depth distinction PC3D's max-depth heuristic exploits;
+ *  - optional pointer-chasing (full-period LCG permutation walk) for
+ *    latency-bound workloads such as bst;
+ *  - cold padding functions carrying loads that never execute — the
+ *    "uncovered code" the coverage heuristic prunes — sized so the
+ *    program's total static load count matches the counts the paper
+ *    reports in Figure 8;
+ *  - a main dispatcher that cycles through phases, calling the hot
+ *    functions (through virtualizable call edges) forever.
+ */
+
+#ifndef PROTEAN_WORKLOADS_BATCH_H
+#define PROTEAN_WORKLOADS_BATCH_H
+
+#include <cstdint>
+#include <string>
+
+#include "ir/module.h"
+
+namespace protean {
+namespace workloads {
+
+/** Parameters of one generated batch program. */
+struct BatchSpec
+{
+    std::string name = "batch";
+    /** Streaming array size (power of two). */
+    uint64_t streamBytes = 1ULL << 22;
+    /** Reuse array size (power of two). */
+    uint64_t reuseBytes = 1ULL << 14;
+    /** Number of program phases (hot functions). */
+    uint32_t phases = 1;
+    /** Streaming loads per inner-loop iteration. */
+    uint32_t streamLoadsPerIter = 8;
+    /** Reuse loads per inner-loop iteration. */
+    uint32_t reuseLoadsPerIter = 0;
+    /** ALU operations per load (compute intensity). */
+    uint32_t aluPerLoad = 2;
+    /** Inner-loop trip count. */
+    uint32_t innerIters = 128;
+    /** Outer-loop trip count per hot call. */
+    uint32_t outerIters = 4;
+    /** Loads in the outer-loop body (depth 1, not max depth). */
+    uint32_t outerLoads = 2;
+    /** Walk the streaming array as a pointer chase. */
+    bool pointerChase = false;
+    /** Pad with cold functions so the module's total static load
+     *  count reaches this value (0 = no padding). */
+    uint32_t targetStaticLoads = 0;
+    /** Loads per cold padding function. */
+    uint32_t coldLoadsPerFunc = 16;
+    /** Hot calls before the dispatcher advances to the next phase. */
+    uint64_t callsPerPhase = 64;
+    uint64_t seed = 42;
+};
+
+/** Generate the program. The returned module verifies and carries a
+ *  "main" entry. */
+ir::Module buildBatch(const BatchSpec &spec);
+
+} // namespace workloads
+} // namespace protean
+
+#endif // PROTEAN_WORKLOADS_BATCH_H

@@ -1,0 +1,114 @@
+#include "workloads/driver.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace protean {
+namespace workloads {
+
+uint64_t
+globalAddr(const isa::Image &image, const ir::Module &module,
+           const std::string &name)
+{
+    for (const auto &g : module.globals()) {
+        if (g.name == name)
+            return image.layout.base(g.id);
+    }
+    fatal("globalAddr: module %s has no global '%s'",
+          module.name().c_str(), name.c_str());
+}
+
+ServiceDriver::ServiceDriver(sim::Machine &machine, sim::Process &proc,
+                             uint64_t req_addr, uint64_t done_addr,
+                             double tick_ms)
+    : machine_(machine), proc_(proc), reqAddr_(req_addr),
+      doneAddr_(done_addr), tickMs_(tick_ms),
+      alive_(std::make_shared<bool>(true))
+{
+    trace_.push_back(LoadStep{0.0, 0.0});
+}
+
+ServiceDriver::~ServiceDriver()
+{
+    *alive_ = false;
+}
+
+void
+ServiceDriver::setQps(double qps)
+{
+    trace_ = {LoadStep{0.0, qps}};
+}
+
+void
+ServiceDriver::setTrace(std::vector<LoadStep> trace)
+{
+    if (trace.empty())
+        fatal("ServiceDriver: empty trace");
+    for (size_t i = 1; i < trace.size(); ++i) {
+        if (trace[i].startMs < trace[i - 1].startMs)
+            fatal("ServiceDriver: trace steps out of order");
+    }
+    trace_ = std::move(trace);
+}
+
+double
+ServiceDriver::currentQps() const
+{
+    double elapsed_ms = machine_.config().cyclesToMs(
+        machine_.now() - startCycle_);
+    double qps = trace_.front().qps;
+    for (const auto &step : trace_) {
+        if (elapsed_ms >= step.startMs)
+            qps = step.qps;
+        else
+            break;
+    }
+    return qps;
+}
+
+void
+ServiceDriver::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    startCycle_ = machine_.now();
+    machine_.scheduleAfter(machine_.msToCycles(tickMs_),
+                           [this, alive = alive_] {
+                               if (*alive)
+                                   tick();
+                           });
+}
+
+void
+ServiceDriver::tick()
+{
+    accum_ += currentQps() * tickMs_ / 1000.0;
+    auto n = static_cast<uint64_t>(std::floor(accum_));
+    if (n > 0) {
+        accum_ -= static_cast<double>(n);
+        proc_.writeWord(reqAddr_, proc_.readWord(reqAddr_) + n);
+        issued_ += n;
+    }
+    machine_.scheduleAfter(machine_.msToCycles(tickMs_),
+                           [this, alive = alive_] {
+                               if (*alive)
+                                   tick();
+                           });
+}
+
+uint64_t
+ServiceDriver::completed() const
+{
+    return proc_.readWord(doneAddr_);
+}
+
+uint64_t
+ServiceDriver::backlog() const
+{
+    return proc_.readWord(reqAddr_);
+}
+
+} // namespace workloads
+} // namespace protean

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Load generation for latency-sensitive services.
+ *
+ * ServiceDriver injects requests into a running service process by
+ * incrementing its request counter according to a QPS trace — the
+ * mechanism behind the fluctuating-load experiment of Figure 16.
+ */
+
+#ifndef PROTEAN_WORKLOADS_DRIVER_H
+#define PROTEAN_WORKLOADS_DRIVER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+#include "isa/image.h"
+#include "sim/machine.h"
+
+namespace protean {
+namespace workloads {
+
+/** One step of a piecewise-constant QPS trace. */
+struct LoadStep
+{
+    double startMs = 0.0;
+    double qps = 0.0;
+};
+
+/** Locate a named global's data address in a compiled image. */
+uint64_t globalAddr(const isa::Image &image, const ir::Module &module,
+                    const std::string &name);
+
+/** Periodically injects requests per a QPS trace. */
+class ServiceDriver
+{
+  public:
+    /**
+     * @param machine The machine.
+     * @param proc The running service process.
+     * @param req_addr Data address of the request counter.
+     * @param done_addr Data address of the completion counter.
+     * @param tick_ms Injection granularity.
+     */
+    ServiceDriver(sim::Machine &machine, sim::Process &proc,
+                  uint64_t req_addr, uint64_t done_addr,
+                  double tick_ms = 20.0);
+
+    ~ServiceDriver();
+
+    /** Constant load. */
+    void setQps(double qps);
+
+    /** Piecewise-constant trace; steps must be time-ordered.
+     *  Times are relative to start(). The trace repeats after its
+     *  last step's level indefinitely. */
+    void setTrace(std::vector<LoadStep> trace);
+
+    /** Begin injecting. */
+    void start();
+
+    double currentQps() const;
+
+    uint64_t issued() const { return issued_; }
+
+    /** Requests the service has completed (reads its counter). */
+    uint64_t completed() const;
+
+    /** Requests currently queued. */
+    uint64_t backlog() const;
+
+  private:
+    sim::Machine &machine_;
+    sim::Process &proc_;
+    uint64_t reqAddr_;
+    uint64_t doneAddr_;
+    double tickMs_;
+    std::vector<LoadStep> trace_;
+    uint64_t startCycle_ = 0;
+    bool started_ = false;
+    double accum_ = 0.0;
+    uint64_t issued_ = 0;
+    std::shared_ptr<bool> alive_;
+
+    void tick();
+};
+
+} // namespace workloads
+} // namespace protean
+
+#endif // PROTEAN_WORKLOADS_DRIVER_H

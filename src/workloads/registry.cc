@@ -1,0 +1,216 @@
+#include "workloads/registry.h"
+
+#include <map>
+
+#include "support/logging.h"
+
+namespace protean {
+namespace workloads {
+
+namespace {
+
+/** Construct the full batch catalogue. Field meanings are described
+ *  in workloads/batch.h; load-count targets for the ten contentious
+ *  applications come from Figure 8 of the paper. */
+std::map<std::string, BatchSpec>
+makeBatchTable()
+{
+    std::map<std::string, BatchSpec> t;
+    auto add = [&](BatchSpec s) { t[s.name] = std::move(s); };
+
+    // KiB helpers.
+    constexpr uint64_t KiB = 1024;
+    constexpr uint64_t MiB = 1024 * KiB;
+
+    // --- SmashBench microbenchmarks (highly contentious).
+    add({.name = "blockie", .streamBytes = 1 * MiB,
+         .reuseBytes = 16 * KiB, .streamLoadsPerIter = 6,
+         .reuseLoadsPerIter = 2, .aluPerLoad = 2, .innerIters = 128,
+         .outerLoads = 2, .targetStaticLoads = 64, .seed = 11});
+    add({.name = "bst", .streamBytes = 512 * KiB, .reuseBytes = 16 * KiB,
+         .streamLoadsPerIter = 4, .aluPerLoad = 1, .innerIters = 128,
+         .outerLoads = 2, .pointerChase = true,
+         .targetStaticLoads = 70, .seed = 12});
+    add({.name = "er-naive", .streamBytes = 4 * MiB,
+         .reuseBytes = 32 * KiB, .streamLoadsPerIter = 6,
+         .reuseLoadsPerIter = 6, .aluPerLoad = 1, .innerIters = 192,
+         .outerLoads = 2, .targetStaticLoads = 25,
+         .coldLoadsPerFunc = 8, .seed = 13});
+    add({.name = "sledge", .streamBytes = 2 * MiB,
+         .reuseBytes = 8 * KiB, .streamLoadsPerIter = 8,
+         .aluPerLoad = 1, .innerIters = 160, .outerLoads = 2,
+         .targetStaticLoads = 35, .coldLoadsPerFunc = 8, .seed = 14});
+
+    // --- SPEC CPU2006 (Figures 4-6 use all 18; the contentious set
+    //     of Figures 7-15 reuses six of them).
+    add({.name = "bzip2", .streamBytes = 512 * KiB,
+         .reuseBytes = 32 * KiB, .phases = 2, .streamLoadsPerIter = 4,
+         .reuseLoadsPerIter = 4, .aluPerLoad = 3, .innerIters = 128,
+         .outerLoads = 2, .targetStaticLoads = 2582, .seed = 21});
+    add({.name = "gcc", .streamBytes = 256 * KiB,
+         .reuseBytes = 64 * KiB, .phases = 3, .streamLoadsPerIter = 2,
+         .reuseLoadsPerIter = 4, .aluPerLoad = 4, .innerIters = 48,
+         .outerLoads = 3, .targetStaticLoads = 5000, .seed = 22});
+    add({.name = "mcf", .streamBytes = 512 * KiB,
+         .reuseBytes = 32 * KiB, .streamLoadsPerIter = 4,
+         .aluPerLoad = 1, .innerIters = 96, .outerLoads = 2,
+         .pointerChase = true, .targetStaticLoads = 1500,
+         .seed = 23});
+    add({.name = "milc", .streamBytes = 2 * MiB,
+         .reuseBytes = 32 * KiB, .streamLoadsPerIter = 8,
+         .reuseLoadsPerIter = 2, .aluPerLoad = 2, .innerIters = 160,
+         .outerLoads = 2, .targetStaticLoads = 3632, .seed = 24});
+    add({.name = "namd", .streamBytes = 64 * KiB,
+         .reuseBytes = 32 * KiB, .streamLoadsPerIter = 2,
+         .reuseLoadsPerIter = 2, .aluPerLoad = 6, .innerIters = 96,
+         .outerLoads = 1, .targetStaticLoads = 1000, .seed = 25});
+    add({.name = "gobmk", .streamBytes = 128 * KiB,
+         .reuseBytes = 64 * KiB, .phases = 2, .streamLoadsPerIter = 2,
+         .reuseLoadsPerIter = 3, .aluPerLoad = 4, .innerIters = 16,
+         .outerLoads = 2, .targetStaticLoads = 2000, .seed = 26});
+    add({.name = "dealII", .streamBytes = 256 * KiB,
+         .reuseBytes = 64 * KiB, .streamLoadsPerIter = 4,
+         .reuseLoadsPerIter = 4, .aluPerLoad = 3, .innerIters = 96,
+         .outerLoads = 2, .targetStaticLoads = 3000, .seed = 27});
+    add({.name = "soplex", .streamBytes = 1 * MiB,
+         .reuseBytes = 64 * KiB, .streamLoadsPerIter = 6,
+         .reuseLoadsPerIter = 4, .aluPerLoad = 2, .innerIters = 128,
+         .outerLoads = 3, .targetStaticLoads = 15666, .seed = 28});
+    add({.name = "povray", .streamBytes = 64 * KiB,
+         .reuseBytes = 32 * KiB, .streamLoadsPerIter = 1,
+         .reuseLoadsPerIter = 3, .aluPerLoad = 6, .innerIters = 64,
+         .outerLoads = 1, .targetStaticLoads = 2000, .seed = 29});
+    add({.name = "hmmer", .streamBytes = 128 * KiB,
+         .reuseBytes = 32 * KiB, .streamLoadsPerIter = 2,
+         .reuseLoadsPerIter = 6, .aluPerLoad = 3, .innerIters = 96,
+         .outerLoads = 2, .targetStaticLoads = 1500, .seed = 30});
+    add({.name = "sjeng", .streamBytes = 128 * KiB,
+         .reuseBytes = 64 * KiB, .streamLoadsPerIter = 2,
+         .reuseLoadsPerIter = 2, .aluPerLoad = 4, .innerIters = 24,
+         .outerLoads = 2, .targetStaticLoads = 1200, .seed = 31});
+    add({.name = "libquantum", .streamBytes = 4 * MiB,
+         .reuseBytes = 8 * KiB, .streamLoadsPerIter = 8,
+         .aluPerLoad = 1, .innerIters = 192, .outerLoads = 2,
+         .targetStaticLoads = 636, .seed = 32});
+    add({.name = "h264ref", .streamBytes = 256 * KiB,
+         .reuseBytes = 64 * KiB, .streamLoadsPerIter = 4,
+         .reuseLoadsPerIter = 4, .aluPerLoad = 3, .innerIters = 96,
+         .outerLoads = 2, .targetStaticLoads = 3000, .seed = 33});
+    add({.name = "lbm", .streamBytes = 4 * MiB,
+         .reuseBytes = 8 * KiB, .streamLoadsPerIter = 10,
+         .aluPerLoad = 2, .innerIters = 192, .outerLoads = 2,
+         .targetStaticLoads = 257, .seed = 34});
+    add({.name = "omnetpp", .streamBytes = 512 * KiB,
+         .reuseBytes = 64 * KiB, .streamLoadsPerIter = 3,
+         .reuseLoadsPerIter = 2, .aluPerLoad = 2, .innerIters = 64,
+         .outerLoads = 2, .pointerChase = true,
+         .targetStaticLoads = 2000, .seed = 35});
+    add({.name = "astar", .streamBytes = 256 * KiB,
+         .reuseBytes = 32 * KiB, .streamLoadsPerIter = 3,
+         .reuseLoadsPerIter = 2, .aluPerLoad = 2, .innerIters = 64,
+         .outerLoads = 2, .pointerChase = true,
+         .targetStaticLoads = 1000, .seed = 36});
+    add({.name = "sphinx3", .streamBytes = 2 * MiB,
+         .reuseBytes = 32 * KiB, .streamLoadsPerIter = 6,
+         .reuseLoadsPerIter = 3, .aluPerLoad = 2, .innerIters = 128,
+         .outerLoads = 2, .targetStaticLoads = 4963, .seed = 37});
+    add({.name = "xalancbmk", .streamBytes = 512 * KiB,
+         .reuseBytes = 64 * KiB, .phases = 2, .streamLoadsPerIter = 3,
+         .reuseLoadsPerIter = 4, .aluPerLoad = 3, .innerIters = 96,
+         .outerLoads = 2, .targetStaticLoads = 3500, .seed = 38});
+
+    return t;
+}
+
+std::map<std::string, ServiceSpec>
+makeServiceTable()
+{
+    std::map<std::string, ServiceSpec> t;
+    auto add = [&](ServiceSpec s) { t[s.name] = std::move(s); };
+    constexpr uint64_t KiB = 1024;
+
+    // web-search: moderate working set with reuse; sensitive to LLC
+    // pollution, fully shielded by non-temporal co-runners.
+    add({.name = "web-search", .wsBytes = 64 * KiB,
+         .loadsPerIter = 4, .repsPerRequest = 2, .aluPerLoad = 2,
+         .idleSpinIters = 300});
+    // media-streaming: streams fresh data per request — the most
+    // contention-sensitive of the three (Figure 10).
+    add({.name = "media-streaming", .wsBytes = 256 * KiB,
+         .loadsPerIter = 8, .repsPerRequest = 1, .aluPerLoad = 1,
+         .idleSpinIters = 300, .stream = true});
+    // graph-analytics: heavier requests over a reused set.
+    add({.name = "graph-analytics", .wsBytes = 64 * KiB,
+         .loadsPerIter = 4, .repsPerRequest = 3, .aluPerLoad = 3,
+         .idleSpinIters = 300});
+    // PARSEC streamcluster (Table II external application).
+    add({.name = "streamcluster", .wsBytes = 64 * KiB,
+         .loadsPerIter = 6, .repsPerRequest = 2, .aluPerLoad = 2,
+         .idleSpinIters = 300});
+    return t;
+}
+
+} // namespace
+
+BatchSpec
+batchSpec(const std::string &name)
+{
+    static const std::map<std::string, BatchSpec> table =
+        makeBatchTable();
+    auto it = table.find(name);
+    if (it == table.end())
+        fatal("batchSpec: unknown workload '%s'", name.c_str());
+    return it->second;
+}
+
+bool
+hasBatchSpec(const std::string &name)
+{
+    static const std::map<std::string, BatchSpec> table =
+        makeBatchTable();
+    return table.count(name) > 0;
+}
+
+const std::vector<std::string> &
+specBenchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "bzip2", "gcc", "mcf", "milc", "namd", "gobmk", "dealII",
+        "soplex", "povray", "hmmer", "sjeng", "libquantum", "h264ref",
+        "lbm", "omnetpp", "astar", "sphinx3", "xalancbmk",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+contentiousBatchNames()
+{
+    static const std::vector<std::string> names = {
+        "blockie", "bst", "er-naive", "sledge", "bzip2", "milc",
+        "soplex", "libquantum", "lbm", "sphinx3",
+    };
+    return names;
+}
+
+ServiceSpec
+serviceSpec(const std::string &name)
+{
+    static const std::map<std::string, ServiceSpec> table =
+        makeServiceTable();
+    auto it = table.find(name);
+    if (it == table.end())
+        fatal("serviceSpec: unknown service '%s'", name.c_str());
+    return it->second;
+}
+
+const std::vector<std::string> &
+webserviceNames()
+{
+    static const std::vector<std::string> names = {
+        "web-search", "media-streaming", "graph-analytics",
+    };
+    return names;
+}
+
+} // namespace workloads
+} // namespace protean

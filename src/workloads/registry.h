@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Named workload registry.
+ *
+ * Central catalogue of the applications the paper evaluates:
+ *  - the 18 SPEC CPU2006 benchmarks used in the overhead studies
+ *    (Figures 4-6);
+ *  - the 10 contentious batch applications of Figures 7-15
+ *    (SmashBench blockie/bst/er-naive/sledge + SPEC bzip2/milc/
+ *    soplex/libquantum/lbm/sphinx3), with static load counts matching
+ *    Figure 8's annotations;
+ *  - the latency-sensitive applications of Table II (CloudSuite
+ *    web-search/media-streaming/graph-analytics, PARSEC
+ *    streamcluster, and the SPEC co-runners).
+ *
+ * Every entry is a synthetic program tuned to the contention
+ * character the paper reports for its namesake (see DESIGN.md's
+ * substitution table).
+ */
+
+#ifndef PROTEAN_WORKLOADS_REGISTRY_H
+#define PROTEAN_WORKLOADS_REGISTRY_H
+
+#include <string>
+#include <vector>
+
+#include "workloads/batch.h"
+#include "workloads/service.h"
+
+namespace protean {
+namespace workloads {
+
+/** Batch spec by name; fatal when unknown. */
+BatchSpec batchSpec(const std::string &name);
+
+/** True when a batch spec of this name exists. */
+bool hasBatchSpec(const std::string &name);
+
+/** The 18 SPEC CPU2006 names used in Figures 4-6. */
+const std::vector<std::string> &specBenchmarkNames();
+
+/** The 10 contentious batch applications of Figures 7-15. */
+const std::vector<std::string> &contentiousBatchNames();
+
+/** Service spec by name; fatal when unknown. */
+ServiceSpec serviceSpec(const std::string &name);
+
+/** The three CloudSuite webservices of Figures 9-14. */
+const std::vector<std::string> &webserviceNames();
+
+} // namespace workloads
+} // namespace protean
+
+#endif // PROTEAN_WORKLOADS_REGISTRY_H

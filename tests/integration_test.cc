@@ -1,0 +1,124 @@
+/**
+ * @file
+ * End-to-end colocation experiments through the harness: the full
+ * stack (pcc -> simulated server -> protean runtime -> PC3D / ReQoS)
+ * on real registry workloads. These assert the qualitative results
+ * the paper's evaluation depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "datacenter/experiment.h"
+
+namespace protean {
+namespace datacenter {
+namespace {
+
+ColoConfig
+baseConfig()
+{
+    ColoConfig cfg;
+    cfg.service = "web-search";
+    cfg.batch = "libquantum";
+    cfg.qosTarget = 0.95;
+    cfg.qps = 120.0;
+    cfg.settleMs = 5000.0;
+    cfg.measureMs = 3000.0;
+    return cfg;
+}
+
+TEST(Colocation, UnmanagedViolatesQos)
+{
+    ColoConfig cfg = baseConfig();
+    cfg.system = System::None;
+    cfg.settleMs = 1500.0;
+    ColoResult r = runColocation(cfg);
+    EXPECT_LT(r.qos, 0.9);
+    EXPECT_GT(r.utilization, 0.9); // batch runs unthrottled
+    EXPECT_DOUBLE_EQ(r.nap, 0.0);
+}
+
+TEST(Colocation, ReQosMeetsTargetByNapping)
+{
+    ColoConfig cfg = baseConfig();
+    cfg.system = System::ReQos;
+    ColoResult r = runColocation(cfg);
+    EXPECT_GE(r.qos, cfg.qosTarget - 0.04);
+    EXPECT_GT(r.nap, 0.3); // heavy napping required
+    EXPECT_LT(r.utilization, 0.7);
+}
+
+TEST(Colocation, Pc3dMeetsTargetWithHighUtilization)
+{
+    ColoConfig cfg = baseConfig();
+    cfg.system = System::Pc3d;
+    ColoResult r = runColocation(cfg);
+    EXPECT_GE(r.qos, cfg.qosTarget - 0.04);
+    // Streaming batch: hints fix contention nearly for free.
+    EXPECT_GT(r.utilization, 0.7);
+    EXPECT_LT(r.nap, 0.4);
+    // Search-space accounting populated (Figure 8 plumbing).
+    EXPECT_GT(r.fullLoads, 0u);
+    EXPECT_GT(r.activeLoads, 0u);
+    EXPECT_GE(r.activeLoads, r.maxDepthLoads);
+    EXPECT_LT(r.maxDepthLoads, r.fullLoads);
+    // Runtime stays within the datacenter overhead budget.
+    EXPECT_LT(r.runtimeShare, 0.02);
+}
+
+TEST(Colocation, Pc3dBeatsReQos)
+{
+    ColoConfig cfg = baseConfig();
+    cfg.system = System::ReQos;
+    ColoResult reqos = runColocation(cfg);
+    cfg.system = System::Pc3d;
+    ColoResult pc3d = runColocation(cfg);
+    EXPECT_GT(pc3d.utilization, 1.2 * reqos.utilization);
+    EXPECT_GE(pc3d.qos, cfg.qosTarget - 0.04);
+    EXPECT_GE(reqos.qos, cfg.qosTarget - 0.04);
+}
+
+TEST(Colocation, TraceRecordsTimeline)
+{
+    ColoConfig cfg = baseConfig();
+    cfg.system = System::Pc3d;
+    cfg.settleMs = 1200.0;
+    cfg.measureMs = 800.0;
+    ColoResult r = runColocationTrace(cfg, 100.0);
+    ASSERT_GE(r.trace.size(), 18u);
+    // Time advances monotonically; fields are sane.
+    for (size_t i = 1; i < r.trace.size(); ++i)
+        EXPECT_GT(r.trace[i].tMs, r.trace[i - 1].tMs);
+    for (const auto &s : r.trace) {
+        EXPECT_GE(s.qos, 0.0);
+        EXPECT_LE(s.qos, 1.25);
+        EXPECT_GE(s.nap, 0.0);
+        EXPECT_LE(s.nap, 1.0);
+        EXPECT_GE(s.runtimeShare, 0.0);
+    }
+}
+
+TEST(Colocation, SoloBpcMemoized)
+{
+    sim::MachineConfig mcfg;
+    double a = soloBatchBpc("er-naive", mcfg);
+    double b = soloBatchBpc("er-naive", mcfg);
+    EXPECT_DOUBLE_EQ(a, b);
+    EXPECT_GT(a, 0.0);
+}
+
+TEST(Colocation, LowLoadNeedsNoMitigation)
+{
+    // At low QPS the service is insensitive (idle spin dominates):
+    // PC3D should keep the batch at (nearly) full speed.
+    ColoConfig cfg = baseConfig();
+    cfg.system = System::Pc3d;
+    cfg.qps = 5.0;
+    ColoResult r = runColocation(cfg);
+    EXPECT_GT(r.utilization, 0.85);
+    EXPECT_LT(r.nap, 0.15);
+}
+
+} // namespace
+} // namespace datacenter
+} // namespace protean

@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Unit tests for the IR: construction, verification, printing,
+ * serialization, dominators, and loop analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/dominators.h"
+#include "ir/loops.h"
+#include "ir/printer.h"
+#include "ir/serializer.h"
+#include "ir/verifier.h"
+
+namespace protean {
+namespace ir {
+namespace {
+
+/** Straight-line function: returns (a + b) * 3. */
+Module
+makeSimpleModule()
+{
+    Module m("simple");
+    IRBuilder b(m);
+    b.startFunction("main", 2);
+    Reg sum = b.add(0, 1);
+    Reg three = b.constInt(3);
+    Reg out = b.mul(sum, three);
+    b.ret(out);
+    return m;
+}
+
+/** Diamond CFG: entry -> {left, right} -> join. */
+Module
+makeDiamond()
+{
+    Module m("diamond");
+    IRBuilder b(m);
+    b.startFunction("main", 1);
+    BlockId left = b.newBlock();
+    BlockId right = b.newBlock();
+    BlockId join = b.newBlock();
+    Reg zero = b.constInt(0);
+    Reg c = b.cmpNe(0, zero);
+    b.condBr(c, left, right);
+    b.setBlock(left);
+    b.br(join);
+    b.setBlock(right);
+    b.br(join);
+    b.setBlock(join);
+    b.ret(zero);
+    return m;
+}
+
+/** Doubly nested loop with loads at both depths. */
+Module
+makeNestedLoops()
+{
+    Module m("nested");
+    GlobalId g = m.addGlobal("data", 4096);
+    IRBuilder b(m);
+    b.startFunction("main", 0);
+    Reg base = b.globalAddr(g);
+    Reg one = b.constInt(1);
+    Reg n = b.constInt(4);
+    Reg i = b.constInt(0);
+    Reg j = b.func().newReg();
+    b.func().noteReg(j);
+    Reg acc = b.constInt(0);
+
+    BlockId outer = b.newBlock();
+    BlockId inner = b.newBlock();
+    BlockId after_inner = b.newBlock();
+    BlockId exit = b.newBlock();
+    b.br(outer);
+
+    b.setBlock(outer);
+    Reg x = b.load(base, 0); // depth-1 load
+    b.binaryInto(acc, Opcode::Add, acc, x);
+    b.constInto(j, 0);
+    b.br(inner);
+
+    b.setBlock(inner);
+    Reg y = b.load(base, 8); // depth-2 load
+    b.binaryInto(acc, Opcode::Add, acc, y);
+    b.binaryInto(j, Opcode::Add, j, one);
+    Reg c1 = b.cmpLt(j, n);
+    b.condBr(c1, inner, after_inner);
+
+    b.setBlock(after_inner);
+    b.binaryInto(i, Opcode::Add, i, one);
+    Reg c2 = b.cmpLt(i, n);
+    b.condBr(c2, outer, exit);
+
+    b.setBlock(exit);
+    b.ret(acc);
+    return m;
+}
+
+TEST(IrBuilder, SimpleFunctionShape)
+{
+    Module m = makeSimpleModule();
+    const Function &fn = *m.findFunction("main");
+    EXPECT_EQ(fn.numParams(), 2u);
+    EXPECT_EQ(fn.numBlocks(), 1u);
+    EXPECT_EQ(fn.instructionCount(), 4u);
+    EXPECT_TRUE(verify(m));
+}
+
+TEST(IrBuilder, NewRegsAreSequential)
+{
+    Module m("regs");
+    IRBuilder b(m);
+    Function &fn = b.startFunction("f", 2);
+    EXPECT_EQ(fn.newReg(), 2u);
+    EXPECT_EQ(fn.newReg(), 3u);
+    EXPECT_EQ(fn.numRegs(), 4u);
+}
+
+TEST(IrModule, FunctionLookup)
+{
+    Module m = makeSimpleModule();
+    EXPECT_NE(m.findFunction("main"), nullptr);
+    EXPECT_EQ(m.findFunction("nope"), nullptr);
+    EXPECT_EQ(m.function(0).name(), "main");
+}
+
+TEST(IrModule, RenumberLoadsIsDense)
+{
+    Module m = makeNestedLoops();
+    uint32_t n = m.renumberLoads();
+    EXPECT_EQ(n, 2u);
+    std::vector<LoadId> seen;
+    for (const auto &bb : m.function(0).blocks()) {
+        for (const auto &inst : bb.insts) {
+            if (inst.op == Opcode::Load)
+                seen.push_back(inst.loadId);
+        }
+    }
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], 0u);
+    EXPECT_EQ(seen[1], 1u);
+}
+
+TEST(IrVerifier, AcceptsWellFormed)
+{
+    Module m = makeDiamond();
+    std::vector<std::string> errors;
+    EXPECT_TRUE(verify(m, &errors))
+        << (errors.empty() ? "" : errors.front());
+}
+
+TEST(IrVerifier, RejectsMissingTerminator)
+{
+    Module m("bad");
+    IRBuilder b(m);
+    b.startFunction("f", 0);
+    b.constInt(1); // no terminator
+    std::vector<std::string> errors;
+    EXPECT_FALSE(verify(m, &errors));
+    EXPECT_FALSE(errors.empty());
+}
+
+TEST(IrVerifier, RejectsBadRegister)
+{
+    Module m("bad");
+    IRBuilder b(m);
+    b.startFunction("f", 0);
+    b.ret();
+    // Corrupt: reference an out-of-range register.
+    Instruction inst;
+    inst.op = Opcode::Mov;
+    inst.dest = 0;
+    inst.srcs = {999};
+    m.function(0).noteReg(0);
+    m.function(0).block(0).insts.insert(
+        m.function(0).block(0).insts.begin(), inst);
+    EXPECT_FALSE(verify(m));
+}
+
+TEST(IrVerifier, RejectsBadBranchTarget)
+{
+    Module m("bad");
+    IRBuilder b(m);
+    b.startFunction("f", 0);
+    b.ret();
+    Instruction &term = m.function(0).block(0).insts.back();
+    term.op = Opcode::Br;
+    term.targets[0] = 42;
+    EXPECT_FALSE(verify(m));
+}
+
+TEST(IrVerifier, RejectsCallArityMismatch)
+{
+    Module m("bad");
+    IRBuilder b(m);
+    b.startFunction("callee", 2);
+    b.ret();
+    b.startFunction("caller", 0);
+    Reg x = b.constInt(1);
+    b.call(0, {x}); // needs 2 args
+    b.ret();
+    EXPECT_FALSE(verify(m));
+}
+
+TEST(IrVerifier, RejectsInconsistentRetArity)
+{
+    Module m("bad");
+    IRBuilder b(m);
+    b.startFunction("f", 1);
+    BlockId other = b.newBlock();
+    Reg z = b.constInt(0);
+    Reg c = b.cmpEq(0, z);
+    BlockId t = b.newBlock();
+    b.condBr(c, t, other);
+    b.setBlock(t);
+    b.ret(z);
+    b.setBlock(other);
+    b.ret(); // void vs value
+    EXPECT_FALSE(verify(m));
+}
+
+TEST(IrPrinter, ContainsStructure)
+{
+    Module m = makeNestedLoops();
+    m.renumberLoads();
+    std::string text = toString(m);
+    EXPECT_NE(text.find("module nested"), std::string::npos);
+    EXPECT_NE(text.find("global @g0 data"), std::string::npos);
+    EXPECT_NE(text.find("func main"), std::string::npos);
+    EXPECT_NE(text.find("load"), std::string::npos);
+    EXPECT_NE(text.find("load#1"), std::string::npos);
+    EXPECT_NE(text.find("condbr"), std::string::npos);
+}
+
+/** Deep structural comparison via the printer. */
+void
+expectModulesEqual(const Module &a, const Module &b)
+{
+    EXPECT_EQ(toString(a), toString(b));
+    EXPECT_EQ(a.numLoads(), b.numLoads());
+}
+
+TEST(IrSerializer, RoundtripSimple)
+{
+    Module m = makeSimpleModule();
+    m.renumberLoads();
+    auto bytes = serialize(m);
+    auto back = deserialize(bytes);
+    expectModulesEqual(m, *back);
+}
+
+TEST(IrSerializer, RoundtripNested)
+{
+    Module m = makeNestedLoops();
+    m.renumberLoads();
+    auto back = deserialize(serialize(m));
+    expectModulesEqual(m, *back);
+    EXPECT_TRUE(verify(*back));
+}
+
+TEST(IrSerializer, CompressedRoundtrip)
+{
+    Module m = makeNestedLoops();
+    m.renumberLoads();
+    auto packed = serializeCompressed(m);
+    auto back = deserializeCompressed(packed);
+    expectModulesEqual(m, *back);
+}
+
+TEST(IrSerializer, RoundtripMultiFunction)
+{
+    Module m("multi");
+    GlobalId g = m.addGlobal("g", 128);
+    IRBuilder b(m);
+    b.startFunction("leaf", 1);
+    Reg base = b.globalAddr(g);
+    Reg v = b.load(base, 16);
+    Reg s = b.add(v, 0);
+    b.ret(s);
+    b.startFunction("main", 0);
+    Reg x = b.constInt(5);
+    Reg r = b.call(0, {x});
+    b.ret(r);
+    m.renumberLoads();
+    auto back = deserialize(serialize(m));
+    expectModulesEqual(m, *back);
+}
+
+TEST(Dominators, StraightLine)
+{
+    Module m = makeSimpleModule();
+    DominatorTree dom(m.function(0));
+    EXPECT_TRUE(dom.dominates(0, 0));
+    EXPECT_TRUE(dom.reachable(0));
+}
+
+TEST(Dominators, Diamond)
+{
+    Module m = makeDiamond();
+    DominatorTree dom(m.function(0));
+    // Entry dominates everything.
+    for (BlockId bb = 0; bb < 4; ++bb)
+        EXPECT_TRUE(dom.dominates(0, bb));
+    // Neither branch arm dominates the join.
+    EXPECT_FALSE(dom.dominates(1, 3));
+    EXPECT_FALSE(dom.dominates(2, 3));
+    EXPECT_EQ(dom.idom(3), 0u);
+}
+
+TEST(Dominators, UnreachableBlock)
+{
+    Module m("unreach");
+    IRBuilder b(m);
+    b.startFunction("f", 0);
+    BlockId dead = b.newBlock();
+    b.ret();
+    b.setBlock(dead);
+    b.ret();
+    DominatorTree dom(m.function(0));
+    EXPECT_TRUE(dom.reachable(0));
+    EXPECT_FALSE(dom.reachable(dead));
+    EXPECT_FALSE(dom.dominates(0, dead));
+}
+
+TEST(Loops, NestedDepths)
+{
+    Module m = makeNestedLoops();
+    LoopInfo loops(m.function(0));
+    EXPECT_EQ(loops.maxDepth(), 2u);
+    EXPECT_EQ(loops.loops().size(), 2u);
+    EXPECT_EQ(loops.depth(0), 0u); // entry
+    EXPECT_EQ(loops.depth(1), 1u); // outer header
+    EXPECT_EQ(loops.depth(2), 2u); // inner
+    EXPECT_EQ(loops.depth(3), 1u); // after_inner (outer latch)
+    EXPECT_EQ(loops.depth(4), 0u); // exit
+    EXPECT_TRUE(loops.atMaxDepth(2));
+    EXPECT_FALSE(loops.atMaxDepth(1));
+}
+
+TEST(Loops, NoLoops)
+{
+    Module m = makeDiamond();
+    LoopInfo loops(m.function(0));
+    EXPECT_EQ(loops.maxDepth(), 0u);
+    EXPECT_TRUE(loops.loops().empty());
+    EXPECT_FALSE(loops.atMaxDepth(0));
+}
+
+TEST(Loops, SelfLoop)
+{
+    Module m("self");
+    IRBuilder b(m);
+    b.startFunction("f", 0);
+    BlockId body = b.newBlock();
+    BlockId exit = b.newBlock();
+    Reg z = b.constInt(0);
+    b.br(body);
+    b.setBlock(body);
+    Reg c = b.cmpEq(z, z);
+    b.condBr(c, body, exit);
+    b.setBlock(exit);
+    b.ret();
+    LoopInfo loops(m.function(0));
+    EXPECT_EQ(loops.maxDepth(), 1u);
+    ASSERT_EQ(loops.loops().size(), 1u);
+    EXPECT_EQ(loops.loops()[0].header, body);
+    EXPECT_EQ(loops.loops()[0].blocks.size(), 1u);
+}
+
+TEST(Loops, SharedHeaderMerged)
+{
+    // Two back edges into the same header form one loop.
+    Module m("shared");
+    IRBuilder b(m);
+    b.startFunction("f", 0);
+    BlockId header = b.newBlock();
+    BlockId a = b.newBlock();
+    BlockId c = b.newBlock();
+    BlockId exit = b.newBlock();
+    Reg z = b.constInt(0);
+    b.br(header);
+    b.setBlock(header);
+    Reg cond = b.cmpEq(z, z);
+    b.condBr(cond, a, c);
+    b.setBlock(a);
+    b.condBr(cond, header, exit); // back edge 1
+    b.setBlock(c);
+    b.br(header); // back edge 2
+    b.setBlock(exit);
+    b.ret();
+    LoopInfo loops(m.function(0));
+    ASSERT_EQ(loops.loops().size(), 1u);
+    EXPECT_EQ(loops.loops()[0].blocks.size(), 3u);
+    EXPECT_EQ(loops.maxDepth(), 1u);
+}
+
+TEST(Instruction, TerminatorClassification)
+{
+    Instruction i;
+    i.op = Opcode::Br;
+    EXPECT_TRUE(i.isTerminator());
+    i.op = Opcode::Ret;
+    EXPECT_TRUE(i.isTerminator());
+    i.op = Opcode::Load;
+    EXPECT_FALSE(i.isTerminator());
+}
+
+TEST(Instruction, OpcodeNamesUnique)
+{
+    std::set<std::string> names;
+    for (uint8_t k = 0; k < kNumOpcodes; ++k)
+        names.insert(opcodeName(static_cast<Opcode>(k)));
+    EXPECT_EQ(names.size(), kNumOpcodes);
+}
+
+} // namespace
+} // namespace ir
+} // namespace protean

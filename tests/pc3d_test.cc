@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Tests for PC3D: the search-space heuristics (Figure 8's filters)
+ * and the greedy variant search of Algorithms 1-2, validated against
+ * a synthetic contention oracle with known ground truth.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ir/builder.h"
+#include "pc3d/heuristics.h"
+#include "pc3d/search.h"
+#include "workloads/registry.h"
+
+namespace protean {
+namespace pc3d {
+namespace {
+
+// --------------------------------------------------------------
+// Heuristics.
+
+TEST(Heuristics, ColdFunctionsPruned)
+{
+    ir::Module m =
+        workloads::buildBatch(workloads::batchSpec("libquantum"));
+    // Only the hot function is covered.
+    ir::FuncId hot = m.findFunction("hot_0")->id();
+    SearchSpace space = buildSearchSpace(m, {hot});
+
+    EXPECT_EQ(space.fullProgramLoads, 636u);
+    // Active-region loads: just hot_0's loads.
+    EXPECT_EQ(space.activeRegionLoads,
+              m.function(hot).loadCount());
+    EXPECT_LT(space.activeRegionLoads, space.fullProgramLoads / 10);
+}
+
+TEST(Heuristics, MaxDepthFilterDropsOuterLoads)
+{
+    workloads::BatchSpec spec = workloads::batchSpec("libquantum");
+    ir::Module m = workloads::buildBatch(spec);
+    ir::FuncId hot = m.findFunction("hot_0")->id();
+    SearchSpace space = buildSearchSpace(m, {hot});
+
+    // hot_0 carries: 1 cursor load (entry), outerLoads at depth 1,
+    // streamLoadsPerIter at depth 2. Only the latter survive.
+    EXPECT_EQ(space.maxDepthLoads, spec.streamLoadsPerIter);
+    EXPECT_EQ(space.loads.size(), space.maxDepthLoads);
+    EXPECT_LT(space.maxDepthLoads, space.activeRegionLoads);
+}
+
+TEST(Heuristics, HotnessOrderPreserved)
+{
+    ir::Module m("two_hot");
+    ir::GlobalId g = m.addGlobal("g", 4096);
+    ir::IRBuilder b(m);
+    for (int k = 0; k < 2; ++k) {
+        b.startFunction(k == 0 ? "a" : "c", 0);
+        ir::Reg base = b.globalAddr(g);
+        ir::Reg one = b.constInt(1);
+        ir::Reg i = b.constInt(0);
+        ir::BlockId loop = b.newBlock();
+        ir::BlockId done = b.newBlock();
+        b.br(loop);
+        b.setBlock(loop);
+        ir::Reg x = b.load(base, k * 64);
+        b.binaryInto(i, ir::Opcode::Add, i, x);
+        b.binaryInto(i, ir::Opcode::Add, i, one);
+        ir::Reg c = b.cmpLt(i, one);
+        b.condBr(c, loop, done);
+        b.setBlock(done);
+        b.ret();
+    }
+    m.renumberLoads();
+
+    SearchSpace hot_a_first = buildSearchSpace(m, {0, 1});
+    SearchSpace hot_c_first = buildSearchSpace(m, {1, 0});
+    ASSERT_EQ(hot_a_first.loads.size(), 2u);
+    EXPECT_EQ(hot_a_first.loads[0], hot_c_first.loads[1]);
+    EXPECT_EQ(hot_a_first.loads[1], hot_c_first.loads[0]);
+}
+
+TEST(Heuristics, EmptyHotSetYieldsEmptySpace)
+{
+    ir::Module m =
+        workloads::buildBatch(workloads::batchSpec("er-naive"));
+    SearchSpace space = buildSearchSpace(m, {});
+    EXPECT_TRUE(space.loads.empty());
+    EXPECT_EQ(space.activeRegionLoads, 0u);
+    EXPECT_EQ(space.fullProgramLoads, 25u);
+}
+
+TEST(Heuristics, Figure8ReductionShape)
+{
+    // Across the contentious set, coverage pruning and the max-depth
+    // filter must both shrink the space substantially (the paper
+    // reports 12x and 44x average factors).
+    double cov_product = 1.0, full_product = 1.0;
+    int n = 0;
+    for (const auto &name : workloads::contentiousBatchNames()) {
+        ir::Module m =
+            workloads::buildBatch(workloads::batchSpec(name));
+        std::vector<ir::FuncId> hot;
+        for (ir::FuncId f = 0; f < m.numFunctions(); ++f) {
+            if (m.function(f).name().rfind("hot_", 0) == 0)
+                hot.push_back(f);
+        }
+        SearchSpace s = buildSearchSpace(m, hot);
+        ASSERT_GT(s.maxDepthLoads, 0u) << name;
+        cov_product *= static_cast<double>(s.fullProgramLoads) /
+            static_cast<double>(s.activeRegionLoads);
+        full_product *= static_cast<double>(s.fullProgramLoads) /
+            static_cast<double>(s.maxDepthLoads);
+        ++n;
+    }
+    double cov_geo = std::pow(cov_product, 1.0 / n);
+    double full_geo = std::pow(full_product, 1.0 / n);
+    EXPECT_GT(cov_geo, 3.0);
+    EXPECT_GT(full_geo, cov_geo);
+    EXPECT_GT(full_geo, 8.0);
+}
+
+// --------------------------------------------------------------
+// Variant search against a synthetic oracle.
+
+/** Ground-truth model: each load has a contention contribution
+ *  (removed when hinted) and a hint cost (paid when hinted). */
+struct Oracle
+{
+    std::vector<double> benefit; ///< contention removed by hint i
+    std::vector<double> cost;    ///< host slowdown from hint i
+    double baseContention = 0.0; ///< co-runner QoS loss at nap 0
+
+    size_t n() const { return benefit.size(); }
+
+    double
+    qos(const BitVector &mask, double nap) const
+    {
+        double contention = baseContention;
+        for (size_t i = 0; i < n(); ++i) {
+            if (mask.test(i))
+                contention -= benefit[i];
+        }
+        contention = std::max(contention, 0.0);
+        // Napping scales the host's pressure linearly.
+        return std::min(1.0, 1.0 - contention * (1.0 - nap));
+    }
+
+    double
+    bps(const BitVector &mask, double nap) const
+    {
+        double slow = 0.0;
+        for (size_t i = 0; i < n(); ++i) {
+            if (mask.test(i))
+                slow += cost[i];
+        }
+        return (1.0 - nap) * std::max(0.0, 1.0 - slow);
+    }
+};
+
+/** Drive a search to completion against the oracle. */
+size_t
+driveSearch(VariantSearch &search, const Oracle &oracle,
+            size_t max_windows = 4000)
+{
+    size_t windows = 0;
+    while (!search.done() && windows < max_windows) {
+        auto req = search.current();
+        Measurement m;
+        m.hostBps = oracle.bps(req.mask, req.nap);
+        m.minQos = oracle.qos(req.mask, req.nap);
+        search.onMeasurement(m);
+        ++windows;
+    }
+    EXPECT_TRUE(search.done());
+    return windows;
+}
+
+TEST(Search, UncontendedSettlesOnOriginalImmediately)
+{
+    Oracle oracle;
+    oracle.benefit = {0.0, 0.0};
+    oracle.cost = {0.05, 0.05};
+    oracle.baseContention = 0.0;
+
+    SearchConfig cfg;
+    cfg.qosTarget = 0.95;
+    VariantSearch search(cfg, 2);
+    size_t windows = driveSearch(search, oracle);
+    EXPECT_TRUE(search.bestMask().none());
+    EXPECT_DOUBLE_EQ(search.bestNap(), 0.0);
+    EXPECT_EQ(windows, 1u); // single window: variant 0 at nap 0
+    EXPECT_EQ(search.variantsTried(), 1u);
+}
+
+TEST(Search, KeepsBeneficialHintsDropsCostlyOnes)
+{
+    // Load 0: big benefit, tiny cost -> keep hinted.
+    // Load 1: no benefit, big cost -> revoke.
+    Oracle oracle;
+    oracle.benefit = {0.30, 0.0};
+    oracle.cost = {0.02, 0.25};
+    oracle.baseContention = 0.30;
+
+    SearchConfig cfg;
+    cfg.qosTarget = 0.95;
+    cfg.napEpsilon = 0.02;
+    VariantSearch search(cfg, 2);
+    driveSearch(search, oracle);
+
+    EXPECT_TRUE(search.bestMask().test(0));
+    EXPECT_FALSE(search.bestMask().test(1));
+    EXPECT_LT(search.bestNap(), 0.1);
+    EXPECT_GT(search.bestBps(), 0.6);
+}
+
+TEST(Search, AllHintsWhenAllBeneficial)
+{
+    Oracle oracle;
+    oracle.benefit = {0.1, 0.1, 0.1};
+    oracle.cost = {0.01, 0.01, 0.01};
+    oracle.baseContention = 0.30;
+
+    SearchConfig cfg;
+    cfg.qosTarget = 0.98;
+    VariantSearch search(cfg, 3);
+    driveSearch(search, oracle);
+    EXPECT_EQ(search.bestMask().count(), 3u);
+}
+
+TEST(Search, FallsBackToNappingWhenHintsUseless)
+{
+    // Hints do nothing; the co-runner still needs protection: the
+    // search must settle on heavy napping (ReQoS-like behavior).
+    Oracle oracle;
+    oracle.benefit = {0.0, 0.0};
+    oracle.cost = {0.0, 0.0};
+    oracle.baseContention = 0.40;
+
+    SearchConfig cfg;
+    cfg.qosTarget = 0.95;
+    cfg.napEpsilon = 0.02;
+    VariantSearch search(cfg, 2);
+    driveSearch(search, oracle);
+    // qos = 1 - 0.4*(1-f) >= 0.95 -> f >= 0.875
+    EXPECT_NEAR(search.bestNap(), 0.875, 0.03);
+}
+
+TEST(Search, BetterThanPureNapBaseline)
+{
+    // With useful hints, the searched configuration must beat the
+    // best nap-only configuration.
+    Oracle oracle;
+    oracle.benefit = {0.15, 0.15, 0.10};
+    oracle.cost = {0.03, 0.02, 0.04};
+    oracle.baseContention = 0.40;
+
+    SearchConfig cfg;
+    cfg.qosTarget = 0.95;
+    VariantSearch search(cfg, 3);
+    driveSearch(search, oracle);
+
+    // Nap-only: f = 0.875 -> bps 0.125.
+    BitVector none(3);
+    double nap_only = oracle.bps(none, 0.875);
+    EXPECT_GT(search.bestBps(), 2.0 * nap_only);
+}
+
+TEST(Search, TaintedWindowsAreDiscarded)
+{
+    Oracle oracle;
+    oracle.benefit = {0.2};
+    oracle.cost = {0.02};
+    oracle.baseContention = 0.2;
+
+    SearchConfig cfg;
+    VariantSearch search(cfg, 1);
+    auto before = search.current();
+    Measurement tainted;
+    tainted.tainted = true;
+    search.onMeasurement(tainted);
+    EXPECT_EQ(search.windowsUsed(), 0u);
+    auto after = search.current();
+    EXPECT_TRUE(before.mask == after.mask);
+    EXPECT_DOUBLE_EQ(before.nap, after.nap);
+}
+
+TEST(Search, BoundReuseSavesWindows)
+{
+    // Variant 1 still needs substantial napping, so the bounds
+    // established by Algorithm 1 genuinely narrow each later
+    // binary search.
+    Oracle oracle;
+    oracle.benefit = {0.06, 0.06, 0.06, 0.06, 0.06};
+    oracle.cost = {0.02, 0.02, 0.02, 0.02, 0.02};
+    oracle.baseContention = 0.50;
+
+    SearchConfig with;
+    with.qosTarget = 0.95;
+    with.reuseNapBounds = true;
+    VariantSearch s1(with, 5);
+    size_t w1 = driveSearch(s1, oracle);
+
+    SearchConfig without = with;
+    without.reuseNapBounds = false;
+    VariantSearch s2(without, 5);
+    size_t w2 = driveSearch(s2, oracle);
+
+    EXPECT_LT(w1, w2);
+}
+
+TEST(Search, EpsilonControlsPrecision)
+{
+    Oracle oracle;
+    oracle.benefit = {0.0};
+    oracle.cost = {0.0};
+    oracle.baseContention = 0.40;
+
+    SearchConfig coarse;
+    coarse.napEpsilon = 0.10;
+    VariantSearch s1(coarse, 1);
+    size_t w1 = driveSearch(s1, oracle);
+
+    SearchConfig fine;
+    fine.napEpsilon = 0.01;
+    VariantSearch s2(fine, 1);
+    size_t w2 = driveSearch(s2, oracle);
+
+    EXPECT_LT(w1, w2);
+    // Both still protect QoS (result >= minimum feasible nap).
+    EXPECT_GE(s1.bestNap(), 0.875 - 0.10);
+    EXPECT_GE(s2.bestNap(), 0.875 - 0.01);
+}
+
+TEST(Search, ZeroLoadSpace)
+{
+    // No candidate loads: the search degenerates to nap selection.
+    Oracle oracle;
+    oracle.baseContention = 0.2;
+    SearchConfig cfg;
+    cfg.qosTarget = 0.95;
+    VariantSearch search(cfg, 0);
+    driveSearch(search, oracle);
+    EXPECT_EQ(search.bestMask().size(), 0u);
+    EXPECT_GT(search.bestNap(), 0.5);
+}
+
+TEST(Search, MonotoneNapDuringVariantEval)
+{
+    // The binary search must only ever query naps within [0, cap].
+    Oracle oracle;
+    oracle.benefit = {0.1, 0.05};
+    oracle.cost = {0.02, 0.02};
+    oracle.baseContention = 0.3;
+    SearchConfig cfg;
+    VariantSearch search(cfg, 2);
+    size_t guard = 0;
+    while (!search.done() && guard++ < 1000) {
+        auto req = search.current();
+        EXPECT_GE(req.nap, 0.0);
+        EXPECT_LE(req.nap, cfg.napCap);
+        Measurement m;
+        m.hostBps = oracle.bps(req.mask, req.nap);
+        m.minQos = oracle.qos(req.mask, req.nap);
+        search.onMeasurement(m);
+    }
+    EXPECT_TRUE(search.done());
+}
+
+TEST(Search, WindowCountLinearInLoads)
+{
+    // O(n) variants, O(log 1/eps) windows each.
+    auto windows_for = [](size_t n) {
+        Oracle oracle;
+        oracle.benefit.assign(n, 0.3 / static_cast<double>(n));
+        oracle.cost.assign(n, 0.01);
+        oracle.baseContention = 0.35;
+        SearchConfig cfg;
+        VariantSearch s(cfg, n);
+        return driveSearch(s, oracle);
+    };
+    size_t w8 = windows_for(8);
+    size_t w32 = windows_for(32);
+    EXPECT_LT(w32, w8 * 8); // clearly sub-quadratic
+    EXPECT_LE(w8, 8 * 8 + 24);
+}
+
+} // namespace
+} // namespace pc3d
+} // namespace protean

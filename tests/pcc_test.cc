@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for the protean code compiler: edge-virtualization policy,
+ * data-region layout and metadata embedding, EVT initialization, and
+ * the key deployability property — protean binaries run correctly
+ * with no runtime attached, at negligible overhead.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "ir/serializer.h"
+#include "pcc/pcc.h"
+#include "sim/machine.h"
+#include "support/compression.h"
+#include "workloads/registry.h"
+
+namespace protean {
+namespace pcc {
+namespace {
+
+using ir::BlockId;
+using ir::IRBuilder;
+using ir::Reg;
+
+/** Module with a single-block leaf, a multi-block callee, and main
+ *  calling both; result lands in global "out". */
+ir::Module
+makeCallModule()
+{
+    ir::Module m("calls");
+    ir::GlobalId out = m.addGlobal("out", 8);
+    IRBuilder b(m);
+
+    b.startFunction("leaf", 1); // 1 block: not virtualized
+    Reg two = b.constInt(2);
+    Reg r = b.mul(0, two);
+    b.ret(r);
+
+    b.startFunction("looper", 1); // >1 block: virtualized
+    Reg one = b.constInt(1);
+    Reg acc = b.constInt(0);
+    Reg i = b.constInt(0);
+    BlockId loop = b.newBlock();
+    BlockId done = b.newBlock();
+    b.br(loop);
+    b.setBlock(loop);
+    b.binaryInto(acc, ir::Opcode::Add, acc, 0u);
+    b.binaryInto(i, ir::Opcode::Add, i, one);
+    Reg c = b.cmpLt(i, one);
+    b.condBr(c, loop, done);
+    b.setBlock(done);
+    b.ret(acc);
+
+    b.startFunction("main", 0);
+    Reg base = b.globalAddr(out);
+    Reg x = b.constInt(21);
+    Reg a = b.call(0, {x});    // leaf: 42
+    Reg v = b.call(1, {a});    // looper: 42
+    b.store(base, v);
+    b.ret();
+    return m;
+}
+
+TEST(EdgePolicy, MultiBlockCalleesOnly)
+{
+    ir::Module m = makeCallModule();
+    auto map = chooseVirtualizedCallees(
+        m, EdgePolicy::MultiBlockCallees);
+    EXPECT_EQ(map.count(0), 0u); // leaf: single block
+    EXPECT_EQ(map.count(1), 1u); // looper has several blocks
+    EXPECT_EQ(map.count(2), 0u); // main is straight-line
+}
+
+TEST(EdgePolicy, AllAndNone)
+{
+    ir::Module m = makeCallModule();
+    EXPECT_EQ(chooseVirtualizedCallees(m, EdgePolicy::None).size(),
+              0u);
+    EXPECT_EQ(chooseVirtualizedCallees(m, EdgePolicy::AllCallees)
+              .size(), m.numFunctions());
+}
+
+TEST(Pcc, HeaderFieldsCorrect)
+{
+    ir::Module m = makeCallModule();
+    isa::Image image = compile(m);
+    EXPECT_TRUE(image.isProtean());
+    EXPECT_EQ(image.initialWord(isa::kHdrMagic), isa::kImageMagic);
+    EXPECT_EQ(image.initialWord(isa::kHdrEvtBase), image.evtBase);
+    EXPECT_EQ(image.initialWord(isa::kHdrEvtCount), image.evtCount);
+    EXPECT_EQ(image.initialWord(isa::kHdrIrBase), image.irBase);
+    EXPECT_EQ(image.initialWord(isa::kHdrIrSize), image.irSizeBytes);
+    EXPECT_EQ(image.initialWord(isa::kHdrDataSize),
+              image.layout.sizeBytes);
+    EXPECT_GT(image.irSizeBytes, 0u);
+}
+
+TEST(Pcc, EvtPointsAtFunctionEntries)
+{
+    ir::Module m = makeCallModule();
+    isa::Image image = compile(m);
+    ASSERT_GT(image.evtCount, 0u);
+    for (uint32_t slot = 0; slot < image.evtCount; ++slot) {
+        uint64_t target =
+            image.initialWord(image.evtBase + 8ULL * slot);
+        ir::FuncId f = image.evtSlotFunc[slot];
+        EXPECT_EQ(target, image.functions[f].entry);
+    }
+}
+
+TEST(Pcc, EmbeddedIrRoundtrips)
+{
+    ir::Module m = makeCallModule();
+    isa::Image image = compile(m);
+    std::vector<uint8_t> blob(
+        image.initialData.begin() + image.irBase,
+        image.initialData.begin() + image.irBase +
+            image.irSizeBytes);
+    auto back = ir::deserializeCompressed(blob);
+    EXPECT_EQ(ir::toString(m), ir::toString(*back));
+}
+
+TEST(Pcc, GlobalsAligned)
+{
+    ir::Module m = makeCallModule();
+    isa::Image image = compile(m);
+    for (uint64_t base : image.layout.globalBase) {
+        EXPECT_EQ(base % 64, 0u);
+        EXPECT_GE(base, isa::kHdrBytes);
+    }
+    EXPECT_GE(image.layout.sizeBytes, image.layout.globalBase.back());
+}
+
+TEST(Pcc, GlobalsDoNotOverlapMetadata)
+{
+    ir::Module m = makeCallModule();
+    isa::Image image = compile(m);
+    uint64_t meta_end = image.irBase + image.irSizeBytes;
+    for (uint64_t base : image.layout.globalBase)
+        EXPECT_GE(base, meta_end);
+}
+
+TEST(Pcc, VirtualizedCallsAreIndirect)
+{
+    ir::Module m = makeCallModule();
+    isa::Image image = compile(m);
+    const isa::FunctionInfo &main_fi =
+        *image.functionAt(image.entryPoint());
+    int direct = 0, indirect = 0;
+    for (isa::CodeAddr a = main_fi.entry; a < main_fi.end; ++a) {
+        if (image.code[a].op == isa::MOp::CallDirect)
+            ++direct;
+        if (image.code[a].op == isa::MOp::CallIndirect)
+            ++indirect;
+    }
+    EXPECT_EQ(direct, 1);   // leaf
+    EXPECT_EQ(indirect, 1); // looper
+}
+
+TEST(Pcc, ProteanBinaryRunsWithoutRuntime)
+{
+    ir::Module m1 = makeCallModule();
+    isa::Image plain = compilePlain(m1);
+    ir::Module m2 = makeCallModule();
+    isa::Image protean = compile(m2);
+
+    auto result = [](const isa::Image &img) {
+        sim::Machine machine;
+        sim::Process &proc = machine.load(img, 0);
+        machine.runToCompletion(10'000'000);
+        EXPECT_EQ(proc.state(), sim::ProcState::Halted);
+        return proc.readWord(img.layout.base(0));
+    };
+    EXPECT_EQ(result(plain), 42u);
+    EXPECT_EQ(result(protean), 42u);
+}
+
+TEST(Pcc, VirtualizationOverheadSmall)
+{
+    // The headline claim: protean binaries cost <1% with no runtime.
+    workloads::BatchSpec spec = workloads::batchSpec("milc");
+    spec.targetStaticLoads = 0; // skip cold padding for speed
+
+    auto ipc_of = [&](bool protean) {
+        ir::Module m = workloads::buildBatch(spec);
+        isa::Image img = protean ? compile(m) : compilePlain(m);
+        sim::Machine machine;
+        machine.load(img, 0);
+        machine.runFor(200'000); // warm
+        sim::HpmCounters before = machine.core(0).hpm();
+        machine.runFor(3'000'000);
+        sim::HpmCounters d = machine.core(0).hpm() - before;
+        return d.ipc();
+    };
+
+    double plain = ipc_of(false);
+    double prot = ipc_of(true);
+    EXPECT_GT(prot, 0.0);
+    EXPECT_GT(prot / plain, 0.98);
+}
+
+TEST(Pcc, MissingEntryIsFatal)
+{
+    ir::Module m("noentry");
+    IRBuilder b(m);
+    b.startFunction("f", 0);
+    b.ret();
+    EXPECT_DEATH({ compile(m); }, "no entry function");
+}
+
+TEST(Pcc, PlainImageHasNoMetadata)
+{
+    ir::Module m = makeCallModule();
+    isa::Image image = compilePlain(m);
+    EXPECT_FALSE(image.isProtean());
+    EXPECT_EQ(image.evtCount, 0u);
+    EXPECT_EQ(image.irSizeBytes, 0u);
+    // Every call is direct.
+    for (const auto &inst : image.code)
+        EXPECT_NE(inst.op, isa::MOp::CallIndirect);
+}
+
+TEST(Pcc, AllCalleesPolicyVirtualizesLeaf)
+{
+    ir::Module m = makeCallModule();
+    PccOptions opts;
+    opts.policy = EdgePolicy::AllCallees;
+    isa::Image image = compile(m, opts);
+    const isa::FunctionInfo &main_fi = image.function(2);
+    for (isa::CodeAddr a = main_fi.entry; a < main_fi.end; ++a)
+        EXPECT_NE(image.code[a].op, isa::MOp::CallDirect);
+}
+
+} // namespace
+} // namespace pcc
+} // namespace protean

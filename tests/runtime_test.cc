@@ -1,0 +1,480 @@
+/**
+ * @file
+ * Tests for the protean runtime: attach/discovery, EVT management,
+ * the dynamic compiler (caching, latency, dispatch), monitoring
+ * (PC sampling, HPM windows, phase detection), the nap governor and
+ * flux QoS monitor, and the stress engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "pcc/pcc.h"
+#include "runtime/runtime.h"
+#include "runtime/stress.h"
+#include "workloads/registry.h"
+
+namespace protean {
+namespace runtime {
+namespace {
+
+using ir::BlockId;
+using ir::IRBuilder;
+using ir::Reg;
+
+/** Host program: main loops forever calling hot(), which walks an
+ *  array with two loads per iteration; result accumulates into a
+ *  global so behaviour is observable. */
+ir::Module
+makeHostModule()
+{
+    ir::Module m("host");
+    ir::GlobalId arr = m.addGlobal("arr", 1 << 16);
+    ir::GlobalId out = m.addGlobal("out", 8);
+    IRBuilder b(m);
+
+    b.startFunction("hot", 0);
+    Reg base = b.globalAddr(arr);
+    Reg obase = b.globalAddr(out);
+    Reg one = b.constInt(1);
+    Reg n = b.constInt(64);
+    Reg mask = b.constInt((1 << 16) - 64);
+    Reg i = b.constInt(0);
+    Reg cur = b.constInt(0);
+    Reg sum = b.constInt(0);
+    Reg tmp = b.func().newReg();
+    Reg x = b.func().newReg();
+    b.func().noteReg(tmp);
+    b.func().noteReg(x);
+    BlockId loop = b.newBlock();
+    BlockId done = b.newBlock();
+    b.br(loop);
+    b.setBlock(loop);
+    b.binaryInto(tmp, ir::Opcode::And, cur, mask);
+    b.binaryInto(tmp, ir::Opcode::Add, tmp, base);
+    b.loadInto(x, tmp, 0);
+    b.binaryInto(sum, ir::Opcode::Add, sum, x);
+    b.loadInto(x, tmp, 64);
+    b.binaryInto(sum, ir::Opcode::Add, sum, x);
+    Reg stride = b.constInt(128);
+    b.binaryInto(cur, ir::Opcode::Add, cur, stride);
+    b.binaryInto(i, ir::Opcode::Add, i, one);
+    Reg c = b.cmpLt(i, n);
+    b.condBr(c, loop, done);
+    b.setBlock(done);
+    b.store(obase, sum);
+    b.ret();
+
+    b.startFunction("main", 0);
+    BlockId loop2 = b.newBlock();
+    b.br(loop2);
+    b.setBlock(loop2);
+    b.callVoid(0);
+    b.br(loop2);
+    return m;
+}
+
+struct HostRig
+{
+    sim::Machine machine;
+    ir::Module module;
+    isa::Image image;
+    sim::Process *proc;
+
+    HostRig()
+        : module(makeHostModule()), image(pcc::compile(module)),
+          proc(&machine.load(image, 0))
+    {
+    }
+};
+
+TEST(Attach, DiscoversMetadata)
+{
+    HostRig rig;
+    Attachment att = attach(*rig.proc);
+    EXPECT_EQ(att.evtBase, rig.image.evtBase);
+    EXPECT_EQ(att.evtCount, rig.image.evtCount);
+    ASSERT_TRUE(att.hasIr());
+    EXPECT_EQ(ir::toString(*att.module), ir::toString(rig.module));
+    // hot is virtualized (multi-block); slot mapping recovered.
+    ir::FuncId hot = rig.module.findFunction("hot")->id();
+    EXPECT_EQ(att.slots.count(hot), 1u);
+}
+
+TEST(Attach, NonProteanIsFatal)
+{
+    ir::Module m = makeHostModule();
+    isa::Image plain = pcc::compilePlain(m);
+    sim::Machine machine;
+    sim::Process &proc = machine.load(plain, 0);
+    EXPECT_DEATH({ attach(proc); }, "not a protean binary");
+}
+
+TEST(EvtManager, RetargetAndRevert)
+{
+    HostRig rig;
+    Attachment att = attach(*rig.proc);
+    EvtManager evt(*rig.proc, att.evtBase, att.slots);
+    ir::FuncId hot = rig.module.findFunction("hot")->id();
+    isa::CodeAddr original = rig.image.function(hot).entry;
+
+    ASSERT_TRUE(evt.virtualized(hot));
+    EXPECT_EQ(evt.target(hot), original);
+    evt.retarget(hot, 12345);
+    EXPECT_EQ(evt.target(hot), 12345u);
+    evt.revertAll();
+    EXPECT_EQ(evt.target(hot), original);
+    EXPECT_EQ(evt.retargetCount(), 1 + att.slots.size());
+}
+
+TEST(RuntimeCompiler, CompilesAndCaches)
+{
+    HostRig rig;
+    Attachment att = attach(*rig.proc);
+    RuntimeCompiler rc(rig.machine, *rig.proc, *att.module,
+                       att.slots, 1);
+    ir::FuncId hot = att.module->findFunction("hot")->id();
+    BitVector mask(att.module->numLoads(), true);
+
+    isa::CodeAddr got = isa::kInvalidCodeAddr;
+    rc.requestVariant(hot, mask,
+                      [&](isa::CodeAddr e) { got = e; });
+    EXPECT_EQ(got, isa::kInvalidCodeAddr); // not ready yet
+    rig.machine.runFor(rig.machine.msToCycles(50));
+    ASSERT_NE(got, isa::kInvalidCodeAddr);
+    EXPECT_GE(got, rig.image.code.size()); // appended to code cache
+    EXPECT_EQ(rc.compileCount(), 1u);
+
+    // Identical request hits the cache: no new compile.
+    isa::CodeAddr again = isa::kInvalidCodeAddr;
+    rc.requestVariant(hot, mask,
+                      [&](isa::CodeAddr e) { again = e; });
+    rig.machine.runFor(1000);
+    EXPECT_EQ(again, got);
+    EXPECT_EQ(rc.compileCount(), 1u);
+}
+
+TEST(RuntimeCompiler, MaskKeyRestrictsToFunction)
+{
+    HostRig rig;
+    Attachment att = attach(*rig.proc);
+    RuntimeCompiler rc(rig.machine, *rig.proc, *att.module,
+                       att.slots, 1);
+    ir::FuncId hot = att.module->findFunction("hot")->id();
+    // Masks differing only outside hot's loads share a key.
+    BitVector a(att.module->numLoads());
+    BitVector c(att.module->numLoads());
+    EXPECT_EQ(rc.maskKey(hot, a), rc.maskKey(hot, c));
+    a.set(0);
+    EXPECT_NE(rc.maskKey(hot, a), rc.maskKey(hot, c));
+}
+
+TEST(RuntimeCompiler, CompileChargedToRuntimeCore)
+{
+    HostRig rig;
+    Attachment att = attach(*rig.proc);
+    RuntimeCompiler rc(rig.machine, *rig.proc, *att.module,
+                       att.slots, 2);
+    ir::FuncId hot = att.module->findFunction("hot")->id();
+    BitVector mask(att.module->numLoads(), true);
+    rc.requestVariant(hot, mask, [](isa::CodeAddr) {});
+    rig.machine.runFor(rig.machine.msToCycles(50));
+    EXPECT_EQ(rig.machine.core(2).hpm().stolenCycles,
+              rc.compileCycles());
+    EXPECT_GT(rc.compileCycles(), 0u);
+}
+
+TEST(ProteanRuntime, DeployVariantSwitchesExecution)
+{
+    HostRig rig;
+    RuntimeOptions opts;
+    opts.runtimeCore = 1;
+    ProteanRuntime rt(rig.machine, *rig.proc, opts);
+    rt.start();
+    rig.machine.runFor(rig.machine.msToCycles(20));
+
+    uint64_t hints_before = rig.machine.core(0).hpm().hints;
+    EXPECT_EQ(hints_before, 0u);
+
+    ir::FuncId hot = rt.module().findFunction("hot")->id();
+    BitVector mask(rt.module().numLoads(), true);
+    bool dispatched = false;
+    rt.deployVariant(hot, mask, [&] { dispatched = true; });
+    rig.machine.runFor(rig.machine.msToCycles(100));
+    EXPECT_TRUE(dispatched);
+    // The host now executes hint instructions: the variant is live.
+    EXPECT_GT(rig.machine.core(0).hpm().hints, 0u);
+
+    // Revert: hint rate drops back to zero.
+    rt.revertAll();
+    uint64_t hints_at_revert = rig.machine.core(0).hpm().hints;
+    rig.machine.runFor(rig.machine.msToCycles(50));
+    uint64_t tail = rig.machine.core(0).hpm().hints -
+        hints_at_revert;
+    // Allow the in-flight call to finish its current invocation.
+    EXPECT_LT(tail, 200u);
+}
+
+TEST(ProteanRuntime, VariantPreservesSemantics)
+{
+    // Run plain to completion-equivalent window, compare the global
+    // accumulator progression with the all-NT variant active.
+    HostRig plain_rig;
+    plain_rig.machine.runFor(plain_rig.machine.msToCycles(150));
+    uint64_t out_addr = plain_rig.image.layout.base(1);
+    uint64_t plain_out = plain_rig.proc->readWord(out_addr);
+    // All loads read zero-initialized memory, so out == 0; the real
+    // check is that the variant's accumulator matches.
+    HostRig rig;
+    RuntimeOptions opts;
+    opts.runtimeCore = 1;
+    ProteanRuntime rt(rig.machine, *rig.proc, opts);
+    rt.start();
+    ir::FuncId hot = rt.module().findFunction("hot")->id();
+    BitVector mask(rt.module().numLoads(), true);
+    rt.deployVariant(hot, mask);
+    rig.machine.runFor(rig.machine.msToCycles(150));
+    EXPECT_EQ(rig.proc->readWord(out_addr), plain_out);
+}
+
+TEST(ProteanRuntime, RuntimeCycleShareSmall)
+{
+    HostRig rig;
+    RuntimeOptions opts;
+    opts.runtimeCore = 1;
+    ProteanRuntime rt(rig.machine, *rig.proc, opts);
+    rt.start();
+    rig.machine.runFor(rig.machine.msToCycles(500));
+    EXPECT_GT(rt.ticks(), 50u);
+    EXPECT_LT(rt.serverCycleShare(), 0.01);
+}
+
+TEST(PcSampler, FindsHotFunction)
+{
+    HostRig rig;
+    PcSampler sampler(rig.machine, *rig.proc, 0);
+    for (int i = 0; i < 100; ++i) {
+        rig.machine.runFor(5000);
+        sampler.sample();
+    }
+    auto hot = sampler.hotFunctions();
+    ASSERT_FALSE(hot.empty());
+    ir::FuncId hot_id = rig.module.findFunction("hot")->id();
+    EXPECT_EQ(hot.front(), hot_id);
+    EXPECT_EQ(sampler.totalSamples(), 100u);
+}
+
+TEST(PcSampler, VariantRangesAttributeToOriginal)
+{
+    HostRig rig;
+    PcSampler sampler(rig.machine, *rig.proc, 0);
+    isa::CodeAddr end = rig.proc->codeSize();
+    sampler.registerVariantRange(end + 100, end + 200, 7);
+    // No direct way to set the PC; exercise attribution through the
+    // public sample() path by checking it tolerates unknown PCs and
+    // the hot map stays consistent.
+    sampler.sample();
+    EXPECT_LE(sampler.hotness().size(), 1u);
+}
+
+TEST(PcSampler, DecayReducesWeights)
+{
+    HostRig rig;
+    PcSampler sampler(rig.machine, *rig.proc, 0);
+    rig.machine.runFor(10000);
+    sampler.sample();
+    double before = 0;
+    for (auto &[f, w] : sampler.hotness())
+        before += w;
+    sampler.decay(0.5);
+    double after = 0;
+    for (auto &[f, w] : sampler.hotness())
+        after += w;
+    EXPECT_NEAR(after, before * 0.5, 1e-9);
+}
+
+TEST(HpmMonitor, WindowsAreDeltas)
+{
+    HostRig rig;
+    HpmMonitor mon(rig.machine);
+    rig.machine.runFor(50'000);
+    sim::HpmCounters w1 = mon.window(0);
+    EXPECT_GT(w1.instructions, 0u);
+    sim::HpmCounters none = mon.window(0);
+    EXPECT_EQ(none.instructions, 0u);
+    rig.machine.runFor(50'000);
+    sim::HpmCounters w2 = mon.window(0);
+    EXPECT_GT(w2.instructions, 0u);
+    // Peek does not consume.
+    rig.machine.runFor(10'000);
+    sim::HpmCounters p = mon.peek(0);
+    EXPECT_EQ(mon.window(0).instructions, p.instructions);
+}
+
+TEST(PhaseDetector, DetectsRateShift)
+{
+    PhaseDetector det(0.3);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(det.update(1.0));
+    // 50% drop: a phase change.
+    bool changed = false;
+    for (int i = 0; i < 10; ++i)
+        changed |= det.update(0.5);
+    EXPECT_TRUE(changed);
+}
+
+TEST(PhaseDetector, IgnoresSmallDrift)
+{
+    PhaseDetector det(0.3);
+    det.update(1.0);
+    bool changed = false;
+    for (int i = 0; i < 20; ++i)
+        changed |= det.update(1.0 + 0.05 * ((i % 2) ? 1 : -1));
+    EXPECT_FALSE(changed);
+}
+
+TEST(PhaseDetector, DetectsHotSetTurnover)
+{
+    PhaseDetector det(0.5);
+    det.update(1.0, {1, 2});
+    EXPECT_FALSE(det.update(1.0, {1, 2}));
+    EXPECT_TRUE(det.update(1.0, {3, 4}));
+}
+
+TEST(NapGovernor, ProbeOverridesController)
+{
+    sim::Machine machine;
+    NapGovernor gov(machine, 0);
+    gov.setControllerNap(0.3);
+    EXPECT_DOUBLE_EQ(machine.core(0).napIntensity(), 0.3);
+    gov.setProbeActive(true);
+    EXPECT_DOUBLE_EQ(machine.core(0).napIntensity(), 1.0);
+    gov.setProbeActive(false);
+    EXPECT_DOUBLE_EQ(machine.core(0).napIntensity(), 0.3);
+}
+
+TEST(NapGovernor, ClampsRange)
+{
+    sim::Machine machine;
+    NapGovernor gov(machine, 0);
+    gov.setControllerNap(7.0);
+    EXPECT_DOUBLE_EQ(gov.controllerNap(), 1.0);
+    gov.setControllerNap(-2.0);
+    EXPECT_DOUBLE_EQ(gov.controllerNap(), 0.0);
+}
+
+TEST(QosMonitor, ProbesPrimeSoloReference)
+{
+    // Host on core 0 (throttled), co-runner on core 1.
+    HostRig rig;
+    ir::Module co_m = makeHostModule();
+    isa::Image co_img = pcc::compilePlain(co_m);
+    rig.machine.load(co_img, 1);
+
+    NapGovernor gov(rig.machine, 0);
+    QosOptions qopts;
+    qopts.probePeriodMs = 100.0;
+    qopts.probeLenMs = 10.0;
+    qopts.initialDelayMs = 10.0;
+    qopts.primingPeriodMs = 100.0;
+    QosMonitor qos(rig.machine, gov, {1}, qopts);
+    EXPECT_EQ(qos.soloIps(1), 0.0);
+    qos.start();
+    rig.machine.runFor(rig.machine.msToCycles(250));
+    EXPECT_GT(qos.soloIps(1), 0.0);
+    EXPECT_GE(qos.probeCount(), 2u);
+    // During the probe the host core naps fully; afterwards it is
+    // restored.
+    EXPECT_DOUBLE_EQ(rig.machine.core(0).napIntensity(), 0.0);
+}
+
+TEST(QosMonitor, QosNearOneWithoutContention)
+{
+    // Co-runner alone (host halts immediately): QoS should be ~1.
+    ir::Module trivial("t");
+    {
+        IRBuilder b(trivial);
+        b.startFunction("main", 0);
+        b.ret();
+    }
+    isa::Image t_img = pcc::compilePlain(trivial);
+    sim::Machine machine;
+    machine.load(t_img, 0);
+    ir::Module co_m = makeHostModule();
+    isa::Image co_img = pcc::compilePlain(co_m);
+    machine.load(co_img, 1);
+
+    NapGovernor gov(machine, 0);
+    QosOptions qopts;
+    qopts.probePeriodMs = 50.0;
+    qopts.probeLenMs = 5.0;
+    QosMonitor qos(machine, gov, {1}, qopts);
+    qos.start();
+    machine.runFor(machine.msToCycles(200));
+    qos.clearTaint();
+    qos.minQosWindow();
+    machine.runFor(machine.msToCycles(40));
+    double q = qos.minQosWindow();
+    EXPECT_GT(q, 0.9);
+    EXPECT_LT(q, 1.2);
+}
+
+TEST(QosMonitor, TaintedWhileProbeActive)
+{
+    HostRig rig;
+    ir::Module co_m = makeHostModule();
+    isa::Image co_img = pcc::compilePlain(co_m);
+    rig.machine.load(co_img, 1);
+    NapGovernor gov(rig.machine, 0);
+    QosOptions qopts;
+    qopts.initialDelayMs = 1.0;
+    QosMonitor qos(rig.machine, gov, {1}, qopts);
+    qos.start();
+    rig.machine.runFor(rig.machine.msToCycles(2.0));
+    // Probe in flight now.
+    EXPECT_TRUE(qos.windowTainted());
+    qos.clearTaint();
+    // Probe still in flight: stays tainted.
+    EXPECT_TRUE(qos.windowTainted());
+}
+
+TEST(StressEngine, RecompilesPeriodically)
+{
+    HostRig rig;
+    RuntimeOptions opts;
+    opts.runtimeCore = 1;
+    ProteanRuntime rt(rig.machine, *rig.proc, opts);
+    StressEngine engine(20.0, 7); // every 20 ms
+    rt.setEngine(&engine);
+    rt.start();
+    rig.machine.runFor(rig.machine.msToCycles(500));
+    EXPECT_GE(engine.recompiles(), 20u);
+    EXPECT_GT(rt.compiler().compileCount(), 0u);
+    // Host still makes progress.
+    EXPECT_GT(rig.machine.core(0).hpm().instructions, 100'000u);
+}
+
+TEST(StressEngine, OverheadNegligibleOnSeparateCore)
+{
+    auto host_instrs = [&](bool stress) {
+        HostRig rig;
+        RuntimeOptions opts;
+        opts.runtimeCore = 1;
+        ProteanRuntime rt(rig.machine, *rig.proc, opts);
+        StressEngine engine(5.0, 7);
+        if (stress)
+            rt.setEngine(&engine);
+        rt.start();
+        rig.machine.runFor(rig.machine.msToCycles(400));
+        return rig.machine.core(0).hpm().instructions;
+    };
+    uint64_t idle = host_instrs(false);
+    uint64_t stressed = host_instrs(true);
+    EXPECT_GT(static_cast<double>(stressed),
+              0.97 * static_cast<double>(idle));
+}
+
+} // namespace
+} // namespace runtime
+} // namespace protean

@@ -1,0 +1,565 @@
+/**
+ * @file
+ * Tests for the simulator substrate: functional memory, caches (LRU
+ * and non-temporal insertion), the memory system, core timing
+ * mechanisms (nap, stolen cycles, binary translation), and the
+ * event-driven machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "pcc/pcc.h"
+#include "sim/cache.h"
+#include "sim/machine.h"
+#include "sim/memsys.h"
+
+namespace protean {
+namespace sim {
+namespace {
+
+TEST(PagedMemory, DefaultZero)
+{
+    PagedMemory mem;
+    EXPECT_EQ(mem.read(0), 0u);
+    EXPECT_EQ(mem.read(1 << 20), 0u);
+    EXPECT_EQ(mem.residentPages(), 0u);
+}
+
+TEST(PagedMemory, ReadBack)
+{
+    PagedMemory mem;
+    mem.write(8, 42);
+    mem.write(1 << 30, 7);
+    EXPECT_EQ(mem.read(8), 42u);
+    EXPECT_EQ(mem.read(1 << 30), 7u);
+    EXPECT_EQ(mem.read(16), 0u);
+}
+
+TEST(PagedMemory, LoadImage)
+{
+    PagedMemory mem;
+    std::vector<uint8_t> img(16, 0);
+    img[0] = 0x01;
+    img[8] = 0xff;
+    img[15] = 0x80;
+    mem.loadImage(img);
+    EXPECT_EQ(mem.read(0), 0x01u);
+    EXPECT_EQ(mem.read(8), 0x80000000000000ffULL);
+}
+
+TEST(PagedMemory, Sparseness)
+{
+    PagedMemory mem;
+    mem.write(0, 1);
+    mem.write(1ULL << 40, 1);
+    EXPECT_EQ(mem.residentPages(), 2u);
+}
+
+CacheConfig
+tinyCache()
+{
+    // 2 sets x 2 ways x 64B lines = 256 B.
+    CacheConfig cfg;
+    cfg.sizeBytes = 256;
+    cfg.ways = 2;
+    cfg.lineBytes = 64;
+    cfg.latency = 1;
+    return cfg;
+}
+
+TEST(Cache, HitAfterFill)
+{
+    Cache c("t", tinyCache());
+    EXPECT_FALSE(c.access(0));
+    c.fill(0, false);
+    EXPECT_TRUE(c.access(0));
+    EXPECT_TRUE(c.access(63));  // same line
+    EXPECT_FALSE(c.access(64)); // next line, other set
+    EXPECT_EQ(c.stats().accesses, 4u);
+    EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, LruEviction)
+{
+    Cache c("t", tinyCache());
+    // Set 0 holds lines with addresses 0, 128, 256 (stride 128).
+    c.fill(0, false);
+    c.fill(128, false);
+    c.access(0); // make 0 MRU; 128 becomes LRU
+    c.fill(256, false);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(128));
+    EXPECT_TRUE(c.contains(256));
+}
+
+TEST(Cache, NtInsertEvictedFirst)
+{
+    Cache c("t", tinyCache());
+    c.fill(0, false);
+    c.fill(128, true); // NT: inserted at LRU position
+    // 0 was inserted earlier but normally; the NT line must be the
+    // first victim.
+    c.fill(256, false);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(128));
+}
+
+TEST(Cache, NtLinePromotedOnHit)
+{
+    Cache c("t", tinyCache());
+    c.fill(0, false);
+    c.fill(128, true);  // NT: would be the next victim...
+    c.access(128);      // ...but reuse promotes it above 0
+    c.fill(256, false); // one eviction needed
+    EXPECT_TRUE(c.contains(128));
+    EXPECT_FALSE(c.contains(0));
+}
+
+TEST(Cache, OccupancyAccounting)
+{
+    Cache c("t", tinyCache());
+    c.fill(0, false);
+    c.fill(64, false);
+    c.fill(1 << 20, false);
+    EXPECT_EQ(c.linesOwnedBy(0, 4096), 2u);
+    EXPECT_EQ(c.linesOwnedBy(1 << 20, 4096), 1u);
+}
+
+TEST(Cache, StatsTrackNtFills)
+{
+    Cache c("t", tinyCache());
+    c.fill(0, true);
+    c.fill(64, false);
+    EXPECT_EQ(c.stats().ntFills, 1u);
+}
+
+MachineConfig
+smallConfig()
+{
+    MachineConfig cfg;
+    cfg.numCores = 2;
+    cfg.prefetchDegree = 0; // precise latency checks
+    return cfg;
+}
+
+TEST(MemorySystem, LatencyAccumulatesDownHierarchy)
+{
+    MachineConfig cfg = smallConfig();
+    MemorySystem ms(cfg);
+    HpmCounters hpm;
+    AccessResult r = ms.access(0, 0x1000, false, 0, hpm);
+    EXPECT_TRUE(r.dram);
+    EXPECT_EQ(r.latency, cfg.l1.latency + cfg.l2.latency +
+              cfg.l3.latency + cfg.dramLatency);
+    // Second access: L1 hit.
+    r = ms.access(0, 0x1000, false, 1000, hpm);
+    EXPECT_TRUE(r.l1Hit);
+    EXPECT_EQ(r.latency, cfg.l1.latency);
+    EXPECT_EQ(hpm.l1Misses, 1u);
+    EXPECT_EQ(hpm.dramAccesses, 1u);
+}
+
+TEST(MemorySystem, PrivateL1PerCore)
+{
+    MemorySystem ms(smallConfig());
+    HpmCounters hpm;
+    ms.access(0, 0x1000, false, 0, hpm);
+    // Core 1 misses its own L1/L2 but hits the shared L3.
+    AccessResult r = ms.access(1, 0x1000, false, 100, hpm);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_TRUE(r.l3Hit);
+}
+
+TEST(MemorySystem, DramQueueingDelays)
+{
+    MachineConfig cfg = smallConfig();
+    MemorySystem ms(cfg);
+    HpmCounters hpm;
+    // Two back-to-back DRAM accesses at the same instant: the second
+    // waits for the channel.
+    AccessResult a = ms.access(0, 0x10000, false, 0, hpm);
+    AccessResult b = ms.access(1, 0x20000, false, 0, hpm);
+    EXPECT_EQ(b.latency, a.latency + cfg.dramOccupancy);
+}
+
+TEST(MemorySystem, NtFillGoesToLruInL3)
+{
+    MachineConfig cfg = smallConfig();
+    MemorySystem ms(cfg);
+    HpmCounters hpm;
+    ms.access(0, 0x1000, true, 0, hpm);
+    EXPECT_GT(ms.l3().stats().ntFills, 0u);
+    // Value still resident (LruInsert, not bypass).
+    EXPECT_TRUE(ms.l3().contains(0x1000));
+}
+
+TEST(MemorySystem, NtBypassSkipsSharedLevels)
+{
+    MachineConfig cfg = smallConfig();
+    cfg.ntPolicy = NtPolicy::Bypass;
+    MemorySystem ms(cfg);
+    HpmCounters hpm;
+    ms.access(0, 0x1000, true, 0, hpm);
+    EXPECT_FALSE(ms.l3().contains(0x1000));
+    EXPECT_FALSE(ms.l2(0).contains(0x1000));
+    // L1 still fills so the core's own locality survives.
+    EXPECT_TRUE(ms.l1(0).contains(0x1000));
+}
+
+TEST(MemorySystem, PrefetcherFillsAhead)
+{
+    MachineConfig cfg = smallConfig();
+    cfg.prefetchDegree = 2;
+    cfg.prefetchMinRun = 4;
+    MemorySystem ms(cfg);
+    HpmCounters hpm;
+    // Establish a sequential run so the stride detector arms; once
+    // armed, the walk's future lines are covered by prefetch.
+    for (int i = 0; i < 8; ++i)
+        ms.access(0, 0x3e00 + 64ULL * i, false, 0, hpm);
+    EXPECT_GT(ms.prefetches(), 0u);
+    // The next line in the walk was prefetched: it hits, not DRAM.
+    AccessResult r = ms.access(0, 0x4000, false, 500, hpm);
+    EXPECT_FALSE(r.dram);
+    // Far-away lines were not touched.
+    EXPECT_FALSE(ms.l3().contains(0x4000 + 64ULL * 32));
+}
+
+TEST(MemorySystem, PrefetchInheritsNtFlag)
+{
+    MachineConfig cfg = smallConfig();
+    cfg.prefetchDegree = 1;
+    cfg.prefetchMinRun = 4;
+    MemorySystem ms(cfg);
+    HpmCounters hpm;
+    for (int i = 0; i < 8; ++i)
+        ms.access(0, 0x7e00 + 64ULL * i, true, 0, hpm);
+    uint64_t before = ms.l3().stats().ntFills;
+    ms.access(0, 0x8000, true, 0, hpm);
+    // Demand NT fill + prefetch NT fill.
+    EXPECT_EQ(ms.l3().stats().ntFills, before + 2);
+}
+
+TEST(MemorySystem, NoPrefetchForStridedAccess)
+{
+    MachineConfig cfg = smallConfig();
+    cfg.prefetchDegree = 4;
+    cfg.prefetchMinRun = 4;
+    MemorySystem ms(cfg);
+    HpmCounters hpm;
+    // Stride of 5 lines never arms the detector.
+    for (int i = 0; i < 20; ++i)
+        ms.access(0, 0x10000 + 320ULL * i, false, 0, hpm);
+    EXPECT_EQ(ms.prefetches(), 0u);
+}
+
+/** Build a tiny infinite-loop program for timing tests. */
+ir::Module
+spinModule(const std::string &name = "spin")
+{
+    ir::Module m(name);
+    ir::IRBuilder b(m);
+    b.startFunction("main", 0);
+    ir::BlockId loop = b.newBlock();
+    ir::Reg one = b.constInt(1);
+    ir::Reg acc = b.constInt(0);
+    b.br(loop);
+    b.setBlock(loop);
+    b.binaryInto(acc, ir::Opcode::Add, acc, one);
+    b.br(loop);
+    return m;
+}
+
+TEST(Core, NapDutyCycleThrottles)
+{
+    ir::Module m = spinModule();
+    isa::Image image = pcc::compilePlain(m);
+
+    auto run_with_nap = [&](double nap) {
+        Machine machine;
+        Process &proc = machine.load(image, 0);
+        (void)proc;
+        machine.core(0).setNapIntensity(nap);
+        machine.runFor(1'000'000);
+        return machine.core(0).hpm().instructions;
+    };
+
+    uint64_t full = run_with_nap(0.0);
+    uint64_t half = run_with_nap(0.5);
+    uint64_t tenth = run_with_nap(0.9);
+    EXPECT_NEAR(static_cast<double>(half) / full, 0.5, 0.05);
+    EXPECT_NEAR(static_cast<double>(tenth) / full, 0.1, 0.05);
+}
+
+TEST(Core, NappedCyclesCounted)
+{
+    ir::Module m = spinModule();
+    isa::Image image = pcc::compilePlain(m);
+    Machine machine;
+    machine.load(image, 0);
+    machine.core(0).setNapIntensity(0.25);
+    machine.runFor(400'000);
+    double frac = static_cast<double>(
+        machine.core(0).hpm().nappedCycles) /
+        machine.core(0).hpm().cycles;
+    EXPECT_NEAR(frac, 0.25, 0.03);
+}
+
+TEST(Core, StolenCyclesDelayHost)
+{
+    ir::Module m = spinModule();
+    isa::Image image = pcc::compilePlain(m);
+
+    Machine base;
+    base.load(image, 0);
+    base.runFor(100'000);
+    uint64_t unimpeded = base.core(0).hpm().instructions;
+
+    Machine machine;
+    machine.load(image, 0);
+    machine.core(0).stealCycles(50'000);
+    machine.runFor(100'000);
+    uint64_t impeded = machine.core(0).hpm().instructions;
+    EXPECT_NEAR(static_cast<double>(impeded) / unimpeded, 0.5, 0.05);
+    EXPECT_EQ(machine.core(0).hpm().stolenCycles, 50'000u);
+}
+
+TEST(Core, StolenCyclesOnIdleCore)
+{
+    Machine machine;
+    machine.core(2).stealCycles(10'000);
+    machine.runFor(50'000);
+    EXPECT_EQ(machine.core(2).hpm().stolenCycles, 10'000u);
+}
+
+TEST(Core, BinaryTranslationAddsOverhead)
+{
+    ir::Module m = spinModule();
+    isa::Image image = pcc::compilePlain(m);
+
+    Machine native;
+    native.load(image, 0);
+    native.runFor(500'000);
+    uint64_t native_instrs = native.core(0).hpm().instructions;
+
+    Machine bt;
+    bt.load(image, 0);
+    BtConfig cfg;
+    cfg.enabled = true;
+    bt.core(0).setBtConfig(cfg);
+    bt.runFor(500'000);
+    uint64_t bt_instrs = bt.core(0).hpm().instructions;
+
+    EXPECT_LT(bt_instrs, native_instrs);
+    // The spin loop is a worst case (a taken branch every other
+    // instruction), so the dispatch tax is huge but bounded.
+    EXPECT_GT(bt_instrs, native_instrs / 40);
+}
+
+TEST(Core, BtIndirectCostExceedsDirect)
+{
+    // A call-heavy program suffers more under BT than a jump-heavy
+    // one of equal instruction count.
+    ir::Module calls("calls");
+    {
+        ir::IRBuilder b(calls);
+        b.startFunction("leaf", 0);
+        b.ret();
+        b.startFunction("main", 0);
+        ir::BlockId loop = b.newBlock();
+        b.br(loop);
+        b.setBlock(loop);
+        b.callVoid(0);
+        b.br(loop);
+    }
+    isa::Image ci = pcc::compilePlain(calls);
+
+    auto ipc_under = [&](const isa::Image &img, bool bt_on) {
+        Machine machine;
+        machine.load(img, 0);
+        if (bt_on) {
+            BtConfig cfg;
+            cfg.enabled = true;
+            machine.core(0).setBtConfig(cfg);
+        }
+        machine.runFor(300'000);
+        return machine.core(0).hpm().ipc();
+    };
+
+    ir::Module jumps = spinModule("jumps");
+    isa::Image ji = pcc::compilePlain(jumps);
+
+    double call_slowdown = ipc_under(ci, false) / ipc_under(ci, true);
+    double jump_slowdown = ipc_under(ji, false) / ipc_under(ji, true);
+    EXPECT_GT(call_slowdown, jump_slowdown);
+}
+
+TEST(Machine, EventsFireInOrder)
+{
+    Machine machine;
+    std::vector<int> order;
+    machine.schedule(100, [&] { order.push_back(2); });
+    machine.schedule(50, [&] { order.push_back(1); });
+    machine.schedule(100, [&] { order.push_back(3); }); // FIFO at tie
+    machine.runFor(200);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+    EXPECT_EQ(order[2], 3);
+    EXPECT_EQ(machine.now(), 200u);
+}
+
+TEST(Machine, EventsCanReschedule)
+{
+    Machine machine;
+    int fires = 0;
+    std::function<void()> tick = [&] {
+        ++fires;
+        if (fires < 5)
+            machine.scheduleAfter(10, tick);
+    };
+    machine.scheduleAfter(10, tick);
+    machine.runFor(1000);
+    EXPECT_EQ(fires, 5);
+}
+
+TEST(Machine, RunToCompletionHalts)
+{
+    ir::Module m("finite");
+    ir::IRBuilder b(m);
+    b.startFunction("main", 0);
+    b.ret();
+    isa::Image image = pcc::compilePlain(m);
+    Machine machine;
+    Process &proc = machine.load(image, 0);
+    machine.runToCompletion();
+    EXPECT_EQ(proc.state(), ProcState::Halted);
+    EXPECT_TRUE(machine.allHalted());
+}
+
+TEST(Machine, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        ir::Module m = spinModule();
+        isa::Image image = pcc::compilePlain(m);
+        Machine machine;
+        machine.load(image, 0);
+        machine.load(image, 1);
+        machine.runFor(123'456);
+        return std::make_pair(machine.core(0).hpm().instructions,
+                              machine.core(1).hpm().instructions);
+    };
+    EXPECT_EQ(run(), run());
+}
+
+/** A looping walker over `bytes` of data. `stride_bytes` of one
+ *  line is prefetch-friendly streaming; five lines defeats the
+ *  stride prefetcher (a latency-sensitive pattern). */
+ir::Module
+walkerModule(uint64_t bytes, const std::string &name,
+             int64_t stride_bytes = 64)
+{
+    ir::Module m(name);
+    ir::IRBuilder b(m);
+    ir::GlobalId g = m.addGlobal("a", bytes + 4096);
+    b.startFunction("main", 0);
+    ir::Reg base = b.globalAddr(g);
+    ir::Reg mask = b.constInt(static_cast<int64_t>(bytes - 64));
+    ir::Reg stride = b.constInt(stride_bytes);
+    ir::Reg cur = b.constInt(0);
+    ir::Reg x = b.func().newReg();
+    ir::Reg addr = b.func().newReg();
+    b.func().noteReg(x);
+    b.func().noteReg(addr);
+    ir::BlockId loop = b.newBlock();
+    b.br(loop);
+    b.setBlock(loop);
+    b.binaryInto(addr, ir::Opcode::And, cur, mask);
+    b.binaryInto(addr, ir::Opcode::Add, addr, base);
+    b.loadInto(x, addr);
+    b.binaryInto(cur, ir::Opcode::Add, cur, stride);
+    b.br(loop);
+    return m;
+}
+
+TEST(Machine, SharedL3Contention)
+{
+    // A reuse walker (fits the LLC) is slowed by a streaming
+    // co-runner that thrashes the LLC.
+    ir::Module victim_m = walkerModule(64 * 1024, "victim", 320);
+    isa::Image victim = pcc::compilePlain(victim_m);
+    ir::Module streamer_m = walkerModule(4 << 20, "streamer");
+    isa::Image streamer = pcc::compilePlain(streamer_m);
+
+    Machine solo;
+    solo.load(victim, 0);
+    solo.runFor(3'000'000);
+    uint64_t alone = solo.core(0).hpm().instructions;
+
+    Machine duo;
+    duo.load(victim, 0);
+    duo.load(streamer, 1);
+    duo.runFor(3'000'000);
+    uint64_t together = duo.core(0).hpm().instructions;
+    EXPECT_LT(static_cast<double>(together),
+              0.92 * static_cast<double>(alone));
+}
+
+TEST(Machine, NtHintsShieldCoRunner)
+{
+    // The paper's core effect: the same streamer with non-temporal
+    // loads takes far less from its co-runner.
+    ir::Module victim_m = walkerModule(64 * 1024, "victim", 320);
+    isa::Image victim = pcc::compilePlain(victim_m);
+
+    auto victim_speed = [&](bool nt) {
+        ir::Module sm = walkerModule(4 << 20, "streamer");
+        sm.renumberLoads();
+        isa::Image streamer = pcc::compilePlain(sm);
+        if (nt) {
+            for (auto &inst : streamer.code) {
+                if (inst.op == isa::MOp::Load)
+                    inst.nonTemporal = true;
+            }
+        }
+        Machine duo;
+        duo.load(victim, 0);
+        duo.load(streamer, 1);
+        duo.runFor(3'000'000);
+        return duo.core(0).hpm().instructions;
+    };
+
+    uint64_t with_plain = victim_speed(false);
+    uint64_t with_nt = victim_speed(true);
+    EXPECT_GT(static_cast<double>(with_nt),
+              1.05 * static_cast<double>(with_plain));
+}
+
+TEST(Machine, LoadRejectsBusyCore)
+{
+    ir::Module m = spinModule();
+    isa::Image image = pcc::compilePlain(m);
+    Machine machine;
+    machine.load(image, 0);
+    EXPECT_DEATH(
+        { Machine bad; bad.load(image, 0); bad.load(image, 0); },
+        "already busy");
+}
+
+TEST(Machine, PcSamplingSeesHostPc)
+{
+    ir::Module m = spinModule();
+    isa::Image image = pcc::compilePlain(m);
+    Machine machine;
+    Process &proc = machine.load(image, 0);
+    machine.runFor(10'000);
+    isa::CodeAddr pc = machine.core(0).pc();
+    const isa::FunctionInfo *fi = proc.image().functionAt(pc);
+    ASSERT_NE(fi, nullptr);
+    EXPECT_EQ(fi->name, "main");
+}
+
+} // namespace
+} // namespace sim
+} // namespace protean
