@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_edge_policy.dir/ablation_edge_policy.cc.o"
+  "CMakeFiles/ablation_edge_policy.dir/ablation_edge_policy.cc.o.d"
+  "ablation_edge_policy"
+  "ablation_edge_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_edge_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nt_policy.dir/ablation_nt_policy.cc.o"
+  "CMakeFiles/ablation_nt_policy.dir/ablation_nt_policy.cc.o.d"
+  "ablation_nt_policy"
+  "ablation_nt_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nt_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

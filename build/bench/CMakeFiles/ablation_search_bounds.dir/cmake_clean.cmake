@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_search_bounds.dir/ablation_search_bounds.cc.o"
+  "CMakeFiles/ablation_search_bounds.dir/ablation_search_bounds.cc.o.d"
+  "ablation_search_bounds"
+  "ablation_search_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_search_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_virtualization_overhead.dir/fig04_virtualization_overhead.cc.o"
+  "CMakeFiles/fig04_virtualization_overhead.dir/fig04_virtualization_overhead.cc.o.d"
+  "fig04_virtualization_overhead"
+  "fig04_virtualization_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_virtualization_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_stress_intervals.dir/fig05_stress_intervals.cc.o"
+  "CMakeFiles/fig05_stress_intervals.dir/fig05_stress_intervals.cc.o.d"
+  "fig05_stress_intervals"
+  "fig05_stress_intervals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_stress_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

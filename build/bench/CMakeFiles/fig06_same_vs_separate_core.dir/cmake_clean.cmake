@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_same_vs_separate_core.dir/fig06_same_vs_separate_core.cc.o"
+  "CMakeFiles/fig06_same_vs_separate_core.dir/fig06_same_vs_separate_core.cc.o.d"
+  "fig06_same_vs_separate_core"
+  "fig06_same_vs_separate_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_same_vs_separate_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

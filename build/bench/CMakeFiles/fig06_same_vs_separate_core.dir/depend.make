@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_same_vs_separate_core.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_runtime_cycles.dir/fig07_runtime_cycles.cc.o"
+  "CMakeFiles/fig07_runtime_cycles.dir/fig07_runtime_cycles.cc.o.d"
+  "fig07_runtime_cycles"
+  "fig07_runtime_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_runtime_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

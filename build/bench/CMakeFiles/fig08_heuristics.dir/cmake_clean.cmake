@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_heuristics.dir/fig08_heuristics.cc.o"
+  "CMakeFiles/fig08_heuristics.dir/fig08_heuristics.cc.o.d"
+  "fig08_heuristics"
+  "fig08_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_14_qos.dir/fig12_14_qos.cc.o"
+  "CMakeFiles/fig12_14_qos.dir/fig12_14_qos.cc.o.d"
+  "fig12_14_qos"
+  "fig12_14_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_14_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_pc3d_vs_reqos.dir/fig15_pc3d_vs_reqos.cc.o"
+  "CMakeFiles/fig15_pc3d_vs_reqos.dir/fig15_pc3d_vs_reqos.cc.o.d"
+  "fig15_pc3d_vs_reqos"
+  "fig15_pc3d_vs_reqos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_pc3d_vs_reqos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

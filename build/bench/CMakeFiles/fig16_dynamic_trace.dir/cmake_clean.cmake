@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_dynamic_trace.dir/fig16_dynamic_trace.cc.o"
+  "CMakeFiles/fig16_dynamic_trace.dir/fig16_dynamic_trace.cc.o.d"
+  "fig16_dynamic_trace"
+  "fig16_dynamic_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_dynamic_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

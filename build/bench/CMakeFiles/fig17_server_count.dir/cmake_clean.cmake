@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_server_count.dir/fig17_server_count.cc.o"
+  "CMakeFiles/fig17_server_count.dir/fig17_server_count.cc.o.d"
+  "fig17_server_count"
+  "fig17_server_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_server_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

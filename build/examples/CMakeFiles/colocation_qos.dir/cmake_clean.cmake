@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colocation_qos.dir/colocation_qos.cpp.o"
+  "CMakeFiles/colocation_qos.dir/colocation_qos.cpp.o.d"
+  "colocation_qos"
+  "colocation_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colocation_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_adaptive.dir/load_adaptive.cpp.o"
+  "CMakeFiles/load_adaptive.dir/load_adaptive.cpp.o.d"
+  "load_adaptive"
+  "load_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("isa")
+subdirs("codegen")
+subdirs("sim")
+subdirs("pcc")
+subdirs("runtime")
+subdirs("workloads")
+subdirs("pc3d")
+subdirs("reqos")
+subdirs("baselines")
+subdirs("datacenter")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protean_baselines.dir/dynamorio.cc.o"
+  "CMakeFiles/protean_baselines.dir/dynamorio.cc.o.d"
+  "libprotean_baselines.a"
+  "libprotean_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protean_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

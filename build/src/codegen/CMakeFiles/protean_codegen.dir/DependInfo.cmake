@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/cost.cc" "src/codegen/CMakeFiles/protean_codegen.dir/cost.cc.o" "gcc" "src/codegen/CMakeFiles/protean_codegen.dir/cost.cc.o.d"
+  "/root/repo/src/codegen/lowering.cc" "src/codegen/CMakeFiles/protean_codegen.dir/lowering.cc.o" "gcc" "src/codegen/CMakeFiles/protean_codegen.dir/lowering.cc.o.d"
+  "/root/repo/src/codegen/passes.cc" "src/codegen/CMakeFiles/protean_codegen.dir/passes.cc.o" "gcc" "src/codegen/CMakeFiles/protean_codegen.dir/passes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/protean_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/protean_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/protean_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protean_codegen.dir/cost.cc.o"
+  "CMakeFiles/protean_codegen.dir/cost.cc.o.d"
+  "CMakeFiles/protean_codegen.dir/lowering.cc.o"
+  "CMakeFiles/protean_codegen.dir/lowering.cc.o.d"
+  "CMakeFiles/protean_codegen.dir/passes.cc.o"
+  "CMakeFiles/protean_codegen.dir/passes.cc.o.d"
+  "libprotean_codegen.a"
+  "libprotean_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protean_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protean_datacenter.dir/experiment.cc.o"
+  "CMakeFiles/protean_datacenter.dir/experiment.cc.o.d"
+  "CMakeFiles/protean_datacenter.dir/scaleout.cc.o"
+  "CMakeFiles/protean_datacenter.dir/scaleout.cc.o.d"
+  "libprotean_datacenter.a"
+  "libprotean_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protean_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protean_ir.dir/builder.cc.o"
+  "CMakeFiles/protean_ir.dir/builder.cc.o.d"
+  "CMakeFiles/protean_ir.dir/dominators.cc.o"
+  "CMakeFiles/protean_ir.dir/dominators.cc.o.d"
+  "CMakeFiles/protean_ir.dir/function.cc.o"
+  "CMakeFiles/protean_ir.dir/function.cc.o.d"
+  "CMakeFiles/protean_ir.dir/instruction.cc.o"
+  "CMakeFiles/protean_ir.dir/instruction.cc.o.d"
+  "CMakeFiles/protean_ir.dir/loops.cc.o"
+  "CMakeFiles/protean_ir.dir/loops.cc.o.d"
+  "CMakeFiles/protean_ir.dir/module.cc.o"
+  "CMakeFiles/protean_ir.dir/module.cc.o.d"
+  "CMakeFiles/protean_ir.dir/printer.cc.o"
+  "CMakeFiles/protean_ir.dir/printer.cc.o.d"
+  "CMakeFiles/protean_ir.dir/serializer.cc.o"
+  "CMakeFiles/protean_ir.dir/serializer.cc.o.d"
+  "CMakeFiles/protean_ir.dir/verifier.cc.o"
+  "CMakeFiles/protean_ir.dir/verifier.cc.o.d"
+  "libprotean_ir.a"
+  "libprotean_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protean_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

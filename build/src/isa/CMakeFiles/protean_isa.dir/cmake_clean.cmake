@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protean_isa.dir/image.cc.o"
+  "CMakeFiles/protean_isa.dir/image.cc.o.d"
+  "CMakeFiles/protean_isa.dir/minst.cc.o"
+  "CMakeFiles/protean_isa.dir/minst.cc.o.d"
+  "libprotean_isa.a"
+  "libprotean_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protean_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protean_pc3d.dir/heuristics.cc.o"
+  "CMakeFiles/protean_pc3d.dir/heuristics.cc.o.d"
+  "CMakeFiles/protean_pc3d.dir/pc3d.cc.o"
+  "CMakeFiles/protean_pc3d.dir/pc3d.cc.o.d"
+  "CMakeFiles/protean_pc3d.dir/search.cc.o"
+  "CMakeFiles/protean_pc3d.dir/search.cc.o.d"
+  "libprotean_pc3d.a"
+  "libprotean_pc3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protean_pc3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protean_pcc.dir/pcc.cc.o"
+  "CMakeFiles/protean_pcc.dir/pcc.cc.o.d"
+  "libprotean_pcc.a"
+  "libprotean_pcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protean_pcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

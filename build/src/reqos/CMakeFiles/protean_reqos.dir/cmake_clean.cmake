@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protean_reqos.dir/reqos.cc.o"
+  "CMakeFiles/protean_reqos.dir/reqos.cc.o.d"
+  "libprotean_reqos.a"
+  "libprotean_reqos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protean_reqos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for protean_reqos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protean_runtime.dir/attach.cc.o"
+  "CMakeFiles/protean_runtime.dir/attach.cc.o.d"
+  "CMakeFiles/protean_runtime.dir/compiler.cc.o"
+  "CMakeFiles/protean_runtime.dir/compiler.cc.o.d"
+  "CMakeFiles/protean_runtime.dir/evt_manager.cc.o"
+  "CMakeFiles/protean_runtime.dir/evt_manager.cc.o.d"
+  "CMakeFiles/protean_runtime.dir/monitor.cc.o"
+  "CMakeFiles/protean_runtime.dir/monitor.cc.o.d"
+  "CMakeFiles/protean_runtime.dir/qos.cc.o"
+  "CMakeFiles/protean_runtime.dir/qos.cc.o.d"
+  "CMakeFiles/protean_runtime.dir/runtime.cc.o"
+  "CMakeFiles/protean_runtime.dir/runtime.cc.o.d"
+  "CMakeFiles/protean_runtime.dir/stress.cc.o"
+  "CMakeFiles/protean_runtime.dir/stress.cc.o.d"
+  "libprotean_runtime.a"
+  "libprotean_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protean_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

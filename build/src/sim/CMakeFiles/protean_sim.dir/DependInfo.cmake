@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/protean_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/protean_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/core.cc" "src/sim/CMakeFiles/protean_sim.dir/core.cc.o" "gcc" "src/sim/CMakeFiles/protean_sim.dir/core.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/protean_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/protean_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/protean_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/protean_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/memsys.cc" "src/sim/CMakeFiles/protean_sim.dir/memsys.cc.o" "gcc" "src/sim/CMakeFiles/protean_sim.dir/memsys.cc.o.d"
+  "/root/repo/src/sim/process.cc" "src/sim/CMakeFiles/protean_sim.dir/process.cc.o" "gcc" "src/sim/CMakeFiles/protean_sim.dir/process.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/protean_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/protean_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/protean_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protean_sim.dir/cache.cc.o"
+  "CMakeFiles/protean_sim.dir/cache.cc.o.d"
+  "CMakeFiles/protean_sim.dir/core.cc.o"
+  "CMakeFiles/protean_sim.dir/core.cc.o.d"
+  "CMakeFiles/protean_sim.dir/machine.cc.o"
+  "CMakeFiles/protean_sim.dir/machine.cc.o.d"
+  "CMakeFiles/protean_sim.dir/memory.cc.o"
+  "CMakeFiles/protean_sim.dir/memory.cc.o.d"
+  "CMakeFiles/protean_sim.dir/memsys.cc.o"
+  "CMakeFiles/protean_sim.dir/memsys.cc.o.d"
+  "CMakeFiles/protean_sim.dir/process.cc.o"
+  "CMakeFiles/protean_sim.dir/process.cc.o.d"
+  "libprotean_sim.a"
+  "libprotean_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protean_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

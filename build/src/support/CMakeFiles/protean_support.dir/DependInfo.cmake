@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/bitvector.cc" "src/support/CMakeFiles/protean_support.dir/bitvector.cc.o" "gcc" "src/support/CMakeFiles/protean_support.dir/bitvector.cc.o.d"
+  "/root/repo/src/support/bytebuffer.cc" "src/support/CMakeFiles/protean_support.dir/bytebuffer.cc.o" "gcc" "src/support/CMakeFiles/protean_support.dir/bytebuffer.cc.o.d"
+  "/root/repo/src/support/compression.cc" "src/support/CMakeFiles/protean_support.dir/compression.cc.o" "gcc" "src/support/CMakeFiles/protean_support.dir/compression.cc.o.d"
+  "/root/repo/src/support/logging.cc" "src/support/CMakeFiles/protean_support.dir/logging.cc.o" "gcc" "src/support/CMakeFiles/protean_support.dir/logging.cc.o.d"
+  "/root/repo/src/support/random.cc" "src/support/CMakeFiles/protean_support.dir/random.cc.o" "gcc" "src/support/CMakeFiles/protean_support.dir/random.cc.o.d"
+  "/root/repo/src/support/stats.cc" "src/support/CMakeFiles/protean_support.dir/stats.cc.o" "gcc" "src/support/CMakeFiles/protean_support.dir/stats.cc.o.d"
+  "/root/repo/src/support/table.cc" "src/support/CMakeFiles/protean_support.dir/table.cc.o" "gcc" "src/support/CMakeFiles/protean_support.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

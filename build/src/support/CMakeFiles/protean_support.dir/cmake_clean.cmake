@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protean_support.dir/bitvector.cc.o"
+  "CMakeFiles/protean_support.dir/bitvector.cc.o.d"
+  "CMakeFiles/protean_support.dir/bytebuffer.cc.o"
+  "CMakeFiles/protean_support.dir/bytebuffer.cc.o.d"
+  "CMakeFiles/protean_support.dir/compression.cc.o"
+  "CMakeFiles/protean_support.dir/compression.cc.o.d"
+  "CMakeFiles/protean_support.dir/logging.cc.o"
+  "CMakeFiles/protean_support.dir/logging.cc.o.d"
+  "CMakeFiles/protean_support.dir/random.cc.o"
+  "CMakeFiles/protean_support.dir/random.cc.o.d"
+  "CMakeFiles/protean_support.dir/stats.cc.o"
+  "CMakeFiles/protean_support.dir/stats.cc.o.d"
+  "CMakeFiles/protean_support.dir/table.cc.o"
+  "CMakeFiles/protean_support.dir/table.cc.o.d"
+  "libprotean_support.a"
+  "libprotean_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protean_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

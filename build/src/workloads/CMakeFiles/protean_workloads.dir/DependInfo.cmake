@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/batch.cc" "src/workloads/CMakeFiles/protean_workloads.dir/batch.cc.o" "gcc" "src/workloads/CMakeFiles/protean_workloads.dir/batch.cc.o.d"
+  "/root/repo/src/workloads/driver.cc" "src/workloads/CMakeFiles/protean_workloads.dir/driver.cc.o" "gcc" "src/workloads/CMakeFiles/protean_workloads.dir/driver.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/protean_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/protean_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/service.cc" "src/workloads/CMakeFiles/protean_workloads.dir/service.cc.o" "gcc" "src/workloads/CMakeFiles/protean_workloads.dir/service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/protean_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/protean_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcc/CMakeFiles/protean_pcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/protean_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/protean_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/protean_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protean_workloads.dir/batch.cc.o"
+  "CMakeFiles/protean_workloads.dir/batch.cc.o.d"
+  "CMakeFiles/protean_workloads.dir/driver.cc.o"
+  "CMakeFiles/protean_workloads.dir/driver.cc.o.d"
+  "CMakeFiles/protean_workloads.dir/registry.cc.o"
+  "CMakeFiles/protean_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/protean_workloads.dir/service.cc.o"
+  "CMakeFiles/protean_workloads.dir/service.cc.o.d"
+  "libprotean_workloads.a"
+  "libprotean_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protean_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

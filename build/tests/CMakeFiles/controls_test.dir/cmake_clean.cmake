@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controls_test.dir/controls_test.cc.o"
+  "CMakeFiles/controls_test.dir/controls_test.cc.o.d"
+  "controls_test"
+  "controls_test.pdb"
+  "controls_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc3d_test.dir/pc3d_test.cc.o"
+  "CMakeFiles/pc3d_test.dir/pc3d_test.cc.o.d"
+  "pc3d_test"
+  "pc3d_test.pdb"
+  "pc3d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc3d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

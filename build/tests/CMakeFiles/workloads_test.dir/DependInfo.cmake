@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/workloads_test.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/workloads_test.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/protean_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/protean_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcc/CMakeFiles/protean_pcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/protean_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/protean_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/protean_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/protean_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
