@@ -37,8 +37,9 @@ measureWithPolicy(const std::string &batch, pcc::EdgePolicy policy)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsConfig obs_cfg = bench::parseObsArgs(argc, argv);
     TextTable t("Ablation: edge-virtualization policy "
                 "(slowdown vs native)");
     t.setHeader({"App", "MultiBlockCallees", "AllCallees"});
@@ -60,5 +61,6 @@ main()
     t.print();
     std::printf("\nexpectation: both cheap; AllCallees pays extra "
                 "EVT reads on hot leaf calls\n");
+    bench::exportObs(obs_cfg);
     return 0;
 }

@@ -14,8 +14,9 @@
 using namespace protean;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsConfig obs_cfg = bench::parseObsArgs(argc, argv);
     TextTable t("Ablation: NT insertion policy (libquantum + "
                 "web-search, PC3D @95%)");
     t.setHeader({"Policy", "Utilization", "QoS", "Final nap"});
@@ -44,5 +45,6 @@ main()
                 "full DRAM latency: the host slows drastically and "
                 "its raw bandwidth demand still harms the co-runner "
                 "- which is why LruInsert is the default policy.\n");
+    bench::exportObs(obs_cfg);
     return 0;
 }

@@ -66,8 +66,9 @@ runSearch(bool reuse_bounds)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsConfig obs_cfg = bench::parseObsArgs(argc, argv);
     auto [with_w, with_s] = runSearch(true);
     auto [without_w, without_s] = runSearch(false);
 
@@ -89,5 +90,6 @@ main()
     t.print();
     std::printf("\nexpectation: bound reuse converges in fewer "
                 "evaluation windows per search\n");
+    bench::exportObs(obs_cfg);
     return 0;
 }

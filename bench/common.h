@@ -14,6 +14,8 @@
 #include <cstdio>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pcc/pcc.h"
 #include "sim/machine.h"
 #include "support/logging.h"
@@ -22,6 +24,52 @@
 
 namespace protean {
 namespace bench {
+
+/**
+ * Observability exports requested on the command line. Every fig
+ * bench accepts `--trace=<path>` (Chrome trace JSON, open in
+ * Perfetto) and `--metrics=<path>` (metrics-registry snapshot);
+ * timestamps are simulated cycles, so repeated runs produce
+ * byte-identical files.
+ */
+struct ObsConfig
+{
+    std::string tracePath;
+    std::string metricsPath;
+};
+
+/** Parse --trace/--metrics (and -v) and arm the tracer. */
+inline ObsConfig
+parseObsArgs(int argc, char **argv)
+{
+    ObsConfig cfg;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--trace=", 0) == 0) {
+            cfg.tracePath = a.substr(8);
+        } else if (a.rfind("--metrics=", 0) == 0) {
+            cfg.metricsPath = a.substr(10);
+        } else if (a == "-v") {
+            setLogLevel(LogLevel::Debug);
+        } else {
+            fatal("unknown argument %s (expected --trace=<path>, "
+                  "--metrics=<path> or -v)", a.c_str());
+        }
+    }
+    if (!cfg.tracePath.empty())
+        obs::tracer().setEnabled(true);
+    return cfg;
+}
+
+/** Write the requested exports (call at the end of main). */
+inline void
+exportObs(const ObsConfig &cfg)
+{
+    if (!cfg.tracePath.empty())
+        obs::tracer().writeChromeJson(cfg.tracePath);
+    if (!cfg.metricsPath.empty())
+        obs::metrics().writeJson(cfg.metricsPath);
+}
 
 /** Measurement windows for overhead benches, in simulated ms. */
 constexpr double kWarmMs = 600.0;
@@ -40,10 +88,13 @@ measureBranches(const std::string &batch, bool protean, Setup &&setup)
 
     sim::Machine machine;
     machine.load(image, 0);
+    if (obs::tracer().enabled())
+        machine.startObsSampling(20.0);
     setup(machine);
     machine.runFor(machine.msToCycles(kWarmMs));
     uint64_t before = machine.core(0).hpm().branches;
     machine.runFor(machine.msToCycles(kMeasureMs));
+    machine.exportObsMetrics();
     return machine.core(0).hpm().branches - before;
 }
 

@@ -85,8 +85,9 @@ soloBps(const std::string &name, bool branches)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsConfig obs_cfg = bench::parseObsArgs(argc, argv);
     constexpr double kTarget = 0.95;
     double host_solo = soloBps("libquantum", true);
     double co_solo = soloBps("er-naive", false);
@@ -120,5 +121,6 @@ main()
             std::printf("QoS target not met in sweep\n\n");
         }
     }
+    bench::exportObs(obs_cfg);
     return 0;
 }

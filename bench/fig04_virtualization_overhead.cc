@@ -18,8 +18,9 @@
 using namespace protean;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsConfig obs_cfg = bench::parseObsArgs(argc, argv);
     TextTable t("Figure 4: slowdown vs native (no modification)");
     t.setHeader({"App", "protean code", "DynamoRIO"});
 
@@ -43,5 +44,6 @@ main()
 
     std::printf("\npaper shape: protean <1%% mean, DynamoRIO ~18%% "
                 "mean\n");
+    bench::exportObs(obs_cfg);
     return 0;
 }

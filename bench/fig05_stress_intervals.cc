@@ -44,8 +44,9 @@ measureStressed(const std::string &batch, double interval_ms)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsConfig obs_cfg = bench::parseObsArgs(argc, argv);
     const std::vector<double> intervals = {5000, 500, 50, 5};
 
     TextTable t("Figure 5: recompilation stress, separate core "
@@ -80,5 +81,6 @@ main()
     std::printf("\npaper shape: negligible overhead at every "
                 "interval when compilation runs on a separate "
                 "core\n");
+    bench::exportObs(obs_cfg);
     return 0;
 }

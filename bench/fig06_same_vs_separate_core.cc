@@ -47,8 +47,9 @@ measureStressed(const std::string &batch, double interval_ms,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsConfig obs_cfg = bench::parseObsArgs(argc, argv);
     const std::vector<double> intervals = {5, 10, 50, 200, 1000,
                                            5000};
 
@@ -73,5 +74,6 @@ main()
     std::printf("\npaper shape: same-core overhead significant at "
                 "5ms, negligible by ~800ms; separate core always "
                 "negligible\n");
+    bench::exportObs(obs_cfg);
     return 0;
 }

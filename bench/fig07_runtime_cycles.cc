@@ -13,8 +13,9 @@
 using namespace protean;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsConfig obs_cfg = bench::parseObsArgs(argc, argv);
     TextTable t("Figure 7: PC3D runtime share of server cycles");
     t.setHeader({"Batch app", "% of server cycles"});
 
@@ -35,5 +36,6 @@ main()
     t.print();
     std::printf("\npaper shape: below 1%% in all cases -> %s\n",
                 all_ok ? "reproduced" : "NOT reproduced");
+    bench::exportObs(obs_cfg);
     return 0;
 }

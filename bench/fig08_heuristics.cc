@@ -20,8 +20,9 @@
 using namespace protean;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsConfig obs_cfg = bench::parseObsArgs(argc, argv);
     TextTable t("Figure 8: search-space reduction (loads remaining)");
     t.setHeader({"App", "Full", "Active", "MaxDepth", "Active%",
                  "MaxDepth%"});
@@ -83,5 +84,6 @@ main()
                 std::exp(cov_log / n), std::exp(full_log / n));
     std::printf("mean dynamic-load coverage of reduced space: "
                 "%.0f%% (paper: >80%%)\n", 100.0 * dyn_cover / n);
+    bench::exportObs(obs_cfg);
     return 0;
 }

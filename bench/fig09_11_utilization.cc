@@ -15,8 +15,9 @@
 using namespace protean;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsConfig obs_cfg = bench::parseObsArgs(argc, argv);
     {
         TextTable roster("Table II: applications used in datacenter "
                          "experiments");
@@ -74,5 +75,6 @@ main()
     std::printf("paper shape: utilization decreases with stricter "
                 "QoS targets; media-streaming shows the lowest "
                 "gains\n");
+    bench::exportObs(obs_cfg);
     return 0;
 }

@@ -14,8 +14,9 @@
 using namespace protean;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsConfig obs_cfg = bench::parseObsArgs(argc, argv);
     const std::vector<double> targets = {0.90, 0.95, 0.98};
     int fig = 12;
     int met = 0, cells = 0;
@@ -49,5 +50,6 @@ main()
     }
     std::printf("QoS met (within 2%% slack) in %d/%d cells\n", met,
                 cells);
+    bench::exportObs(obs_cfg);
     return 0;
 }

@@ -18,8 +18,9 @@
 using namespace protean;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsConfig obs_cfg = bench::parseObsArgs(argc, argv);
     const std::vector<double> targets = {0.90, 0.95, 0.98};
     const char panel_u[] = {'a', 'b', 'c'};
     const char panel_q[] = {'d', 'e', 'f'};
@@ -83,5 +84,6 @@ main()
     std::printf("paper shape: mean improvement grows with target "
                 "strictness (1.25x / 1.45x / 1.52x); both systems "
                 "meet QoS\n");
+    bench::exportObs(obs_cfg);
     return 0;
 }

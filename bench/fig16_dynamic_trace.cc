@@ -10,6 +10,12 @@
  * cycle spikes), then runs an improved variant; during low load the
  * co-phase change reverts libquantum to its original code at full
  * speed; ReQoS instead throttles with naps during high load.
+ *
+ * The timeline itself rides the observability tracer — experiment
+ * counters (qps/host_bpc/qos/runtime_share/nap), per-core HPM
+ * tracks, search spans, phase-change and retarget events — and is
+ * written as one Chrome trace JSON per system; open it in Perfetto.
+ * Stdout carries the end-of-run summary.
  */
 
 #include "common.h"
@@ -20,9 +26,32 @@ using namespace protean;
 
 namespace {
 
-void
-runTrace(datacenter::System system, const char *label)
+/** fig16.json + "pc3d" -> fig16.pc3d.json */
+std::string
+withLabel(const std::string &path, const char *label)
 {
+    size_t dot = path.rfind('.');
+    if (dot == std::string::npos)
+        return path + "." + label;
+    return path.substr(0, dot) + "." + label + path.substr(dot);
+}
+
+std::string
+fmtCount(const char *name)
+{
+    return strformat("%llu", static_cast<unsigned long long>(
+        obs::metrics().counter(name).value()));
+}
+
+void
+runTrace(datacenter::System system, const char *label,
+         const bench::ObsConfig &base)
+{
+    // One timeline per system: start from a clean tracer/registry so
+    // the two systems' events do not interleave in one file.
+    obs::tracer().clear();
+    obs::metrics().reset();
+
     datacenter::ColoConfig cfg;
     cfg.service = "web-search";
     cfg.batch = "libquantum";
@@ -37,28 +66,42 @@ runTrace(datacenter::System system, const char *label)
     datacenter::ColoResult r =
         datacenter::runColocationTrace(cfg, 2000.0);
 
-    TextTable t(strformat("Figure 16 trace (%s)", label));
-    t.setHeader({"t(s)", "QPS", "HostBPS(bpc)", "web-search QoS",
-                 "Runtime %", "Nap"});
-    for (const auto &s : r.trace) {
-        t.addRow({strformat("%.0f", s.tMs / 1000.0),
-                  strformat("%.0f", s.qps),
-                  strformat("%.4f", s.hostBpc),
-                  strformat("%.2f", s.qos),
-                  strformat("%.2f%%", 100 * s.runtimeShare),
-                  strformat("%.2f", s.nap)});
-    }
+    TextTable t(strformat("Figure 16 summary (%s)", label));
+    t.setHeader({"Metric", "Value"});
+    t.addRow({"utilization", strformat("%.3f", r.utilization)});
+    t.addRow({"web-search QoS", strformat("%.2f", r.qos)});
+    t.addRow({"runtime share",
+              strformat("%.2f%%", 100 * r.runtimeShare)});
+    t.addRow({"final nap", strformat("%.2f", r.nap)});
+    t.addRow({"searches", fmtCount("pc3d.search.count")});
+    t.addRow({"EVT retargets", fmtCount("runtime.evt.retargets")});
+    t.addRow({"flux probes", fmtCount("runtime.qos.probes")});
+    t.addRow({"phase changes", fmtCount("runtime.phase.changes")});
+    t.addRow({"trace events",
+              strformat("%zu", obs::tracer().eventCount())});
     t.print();
-    std::printf("\n");
+
+    bench::ObsConfig out;
+    out.tracePath = withLabel(base.tracePath, label);
+    if (!base.metricsPath.empty())
+        out.metricsPath = withLabel(base.metricsPath, label);
+    bench::exportObs(out);
+    std::printf("timeline: %s\n\n", out.tracePath.c_str());
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    runTrace(datacenter::System::Pc3d, "PC3D");
-    runTrace(datacenter::System::ReQos, "ReQoS");
+    bench::ObsConfig obs_cfg = bench::parseObsArgs(argc, argv);
+    // This bench IS the timeline: trace even without --trace.
+    if (obs_cfg.tracePath.empty())
+        obs_cfg.tracePath = "fig16.json";
+    obs::tracer().setEnabled(true);
+
+    runTrace(datacenter::System::Pc3d, "pc3d", obs_cfg);
+    runTrace(datacenter::System::ReQos, "reqos", obs_cfg);
     std::printf("paper shape: PC3D holds host progress high in "
                 "high-load phases via code variants (runtime spikes "
                 "at phase starts); at low load the host reverts to "

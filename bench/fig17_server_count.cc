@@ -15,8 +15,9 @@
 using namespace protean;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsConfig obs_cfg = bench::parseObsArgs(argc, argv);
     {
         TextTable t3("Table III: workload mixes for scale-out "
                      "analysis");
@@ -65,5 +66,6 @@ main()
     t.print();
     std::printf("\npaper shape: 3.5k-8k extra servers needed "
                 "without co-location\n");
+    bench::exportObs(obs_cfg);
     return 0;
 }

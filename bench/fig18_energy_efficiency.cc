@@ -14,8 +14,9 @@
 using namespace protean;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsConfig obs_cfg = bench::parseObsArgs(argc, argv);
     TextTable t("Figure 18: normalized energy efficiency "
                 "(PC3D / No Co-location)");
     t.setHeader({"Pairing", "Mean batch util", "Efficiency ratio"});
@@ -46,5 +47,6 @@ main()
     std::printf("\npaper shape: consolidation wins 18-34%%; our "
                 "linear model lands in the same band (slightly "
                 "higher at high utilizations)\n");
+    bench::exportObs(obs_cfg);
     return 0;
 }

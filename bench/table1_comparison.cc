@@ -18,8 +18,9 @@
 using namespace protean;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsConfig obs_cfg = bench::parseObsArgs(argc, argv);
     // --- Measured: virtualization overhead across SPEC.
     std::vector<double> slowdowns;
     for (const auto &name : workloads::specBenchmarkNames()) {
@@ -56,5 +57,6 @@ main()
     t.print();
     std::printf("\nmeasured mean protean slowdown vs native: %.4fx\n",
                 avg);
+    bench::exportObs(obs_cfg);
     return low_overhead && full_ir ? 0 : 1;
 }

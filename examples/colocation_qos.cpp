@@ -14,6 +14,7 @@
  */
 
 #include <cstdio>
+#include "bench/common.h"
 
 #include "datacenter/experiment.h"
 #include "support/logging.h"
@@ -22,8 +23,9 @@
 using namespace protean;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsConfig obs_cfg = bench::parseObsArgs(argc, argv);
     TextTable t("web-search + libquantum, 95% QoS target");
     t.setHeader({"System", "Batch utilization", "web-search QoS",
                  "Nap", "Runtime cycles"});
@@ -51,5 +53,6 @@ main()
     std::printf("\nPC3D keeps the batch near full speed while "
                 "protecting the co-runner; ReQoS must trade batch "
                 "throughput for the same protection.\n");
+    bench::exportObs(obs_cfg);
     return 0;
 }

@@ -14,6 +14,7 @@
  */
 
 #include <cstdio>
+#include "bench/common.h"
 
 #include "codegen/passes.h"
 #include "ir/serializer.h"
@@ -123,8 +124,9 @@ class AbTestEngine : public runtime::DecisionEngine
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsConfig obs_cfg = bench::parseObsArgs(argc, argv);
     workloads::BatchSpec spec = workloads::batchSpec("namd");
     spec.targetStaticLoads = 0;
     ir::Module module = workloads::buildBatch(spec);
@@ -146,5 +148,6 @@ main()
                 static_cast<unsigned long long>(
                     machine.core(0).hpm().instructions),
                 100.0 * rt.serverCycleShare());
+    bench::exportObs(obs_cfg);
     return 0;
 }

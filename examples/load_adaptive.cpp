@@ -11,6 +11,7 @@
  */
 
 #include <cstdio>
+#include "bench/common.h"
 
 #include "datacenter/experiment.h"
 #include "support/logging.h"
@@ -19,8 +20,9 @@
 using namespace protean;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsConfig obs_cfg = bench::parseObsArgs(argc, argv);
     datacenter::ColoConfig cfg;
     cfg.service = "web-search";
     cfg.batch = "libquantum";
@@ -50,5 +52,6 @@ main()
                 "window (t=12s..24s): PC3D reverted the batch to "
                 "its original code, then re-transformed it when "
                 "load returned.\n");
+    bench::exportObs(obs_cfg);
     return 0;
 }

@@ -13,6 +13,7 @@
  */
 
 #include <cstdio>
+#include "bench/common.h"
 
 #include "ir/builder.h"
 #include "ir/printer.h"
@@ -77,8 +78,9 @@ buildProgram()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::ObsConfig obs_cfg = bench::parseObsArgs(argc, argv);
     // 1. Build the program and compile it with pcc.
     ir::Module module = buildProgram();
     std::printf("=== program IR ===\n%s\n",
@@ -134,5 +136,6 @@ main()
 
     std::printf("\nruntime consumed %.3f%% of server cycles\n",
                 100.0 * rt.serverCycleShare());
+    bench::exportObs(obs_cfg);
     return 0;
 }

@@ -3,6 +3,8 @@
 #include <map>
 #include <memory>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pc3d/pc3d.h"
 #include "pcc/pcc.h"
 #include "reqos/reqos.h"
@@ -141,7 +143,13 @@ finalize(const ColoConfig &cfg, Rig &rig, ColoResult result,
         result.fullLoads = rig.engine->space().fullProgramLoads;
         result.activeLoads = rig.engine->space().activeRegionLoads;
         result.maxDepthLoads = rig.engine->space().maxDepthLoads;
+        obs::metrics().gauge("runtime.server_cycle_share")
+            .set(result.runtimeShare);
     }
+    rig.machine.exportObsMetrics();
+    obs::metrics().gauge("experiment.utilization")
+        .set(result.utilization);
+    obs::metrics().gauge("experiment.qos").set(result.qos);
     return result;
 }
 
@@ -201,6 +209,9 @@ runColocationTrace(const ColoConfig &cfg, double sample_ms)
 
     double total_ms = cfg.settleMs + cfg.measureMs;
     uint64_t sample = rig.machine.msToCycles(sample_ms);
+    // The timeline rides on the tracer: per-core HPM tracks plus the
+    // experiment-level signals sampled below.
+    rig.machine.startObsSampling(sample_ms);
 
     sim::HpmCounters host0, co0;
     uint64_t measure_start =
@@ -245,6 +256,12 @@ runColocationTrace(const ColoConfig &cfg, double sample_ms)
              rig.machine.numCores());
         last_rtc = rtc;
         s.nap = rig.currentNap();
+        obs::Tracer &tr = obs::tracer();
+        tr.counter("experiment", "qps", s.qps);
+        tr.counter("experiment", "host_bpc", s.hostBpc);
+        tr.counter("experiment", "qos", s.qos);
+        tr.counter("experiment", "runtime_share", s.runtimeShare);
+        tr.counter("experiment", "nap", s.nap);
         result.trace.push_back(s);
     }
 

@@ -1,0 +1,186 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/logging.h"
+
+namespace protean {
+namespace obs {
+
+namespace detail {
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    // %.17g round-trips every double and is deterministic for a
+    // given bit pattern; trim to a plain integer form when exact.
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        return strformat("%lld",
+                         static_cast<long long>(v));
+    }
+    return strformat("%.17g", v);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strformat("\\u%04x", c);
+            else
+                out.push_back(c);
+        }
+    }
+    return out;
+}
+
+} // namespace detail
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0)
+{
+    if (bounds_.empty())
+        panic("Histogram: needs at least one bucket bound");
+    for (size_t i = 1; i < bounds_.size(); ++i) {
+        if (bounds_[i] <= bounds_[i - 1])
+            panic("Histogram: bounds must be ascending");
+    }
+}
+
+void
+Histogram::observe(double x)
+{
+    size_t b = 0;
+    while (b < bounds_.size() && x > bounds_[b])
+        ++b;
+    ++counts_[b];
+    ++total_;
+    sum_ += x;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<double> bounds)
+{
+    auto &slot = histograms_[name];
+    if (!slot) {
+        if (bounds.empty()) {
+            for (double b = 1.0; b <= 16'777'216.0; b *= 4.0)
+                bounds.push_back(b);
+        }
+        slot = std::make_unique<Histogram>(std::move(bounds));
+    }
+    return *slot;
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    using detail::jsonEscape;
+    using detail::jsonNumber;
+
+    std::string out = "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : counters_) {
+        out += strformat("%s\n    \"%s\": %llu", first ? "" : ",",
+                         jsonEscape(name).c_str(),
+                         static_cast<unsigned long long>(c->value()));
+        first = false;
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"gauges\": {";
+    first = true;
+    for (const auto &[name, g] : gauges_) {
+        out += strformat("%s\n    \"%s\": %s", first ? "" : ",",
+                         jsonEscape(name).c_str(),
+                         jsonNumber(g->value()).c_str());
+        first = false;
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        std::string bounds, counts;
+        for (size_t i = 0; i < h->bounds().size(); ++i) {
+            bounds += (i ? "," : "") + jsonNumber(h->bounds()[i]);
+        }
+        for (size_t i = 0; i < h->counts().size(); ++i) {
+            counts += strformat(
+                "%s%llu", i ? "," : "",
+                static_cast<unsigned long long>(h->counts()[i]));
+        }
+        out += strformat(
+            "%s\n    \"%s\": {\"bounds\": [%s], \"counts\": [%s], "
+            "\"total\": %llu, \"sum\": %s}",
+            first ? "" : ",", jsonEscape(name).c_str(),
+            bounds.c_str(), counts.c_str(),
+            static_cast<unsigned long long>(h->total()),
+            jsonNumber(h->sum()).c_str());
+        first = false;
+    }
+    out += first ? "}\n" : "\n  }\n";
+    out += "}\n";
+    return out;
+}
+
+void
+MetricsRegistry::writeJson(const std::string &path) const
+{
+    std::string json = toJson();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("metrics: cannot open %s for writing", path.c_str());
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    debug("metrics: wrote %zu metrics to %s", size(), path.c_str());
+}
+
+void
+MetricsRegistry::reset()
+{
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+}
+
+MetricsRegistry &
+metrics()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace obs
+} // namespace protean

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Metrics registry: named counters, gauges, and fixed-bucket
+ * histograms with hierarchical dotted names (`runtime.compile.cycles`,
+ * `sim.l3.misses`, `pc3d.search.steps`).
+ *
+ * Increments are cheap inline operations on handles that stay valid
+ * for the registry's lifetime, so hot paths can look a metric up once
+ * and update it directly. Snapshots export to JSON with sorted,
+ * stable keys: two identical (deterministic) runs produce
+ * byte-identical files.
+ */
+
+#ifndef PROTEAN_OBS_METRICS_H
+#define PROTEAN_OBS_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace protean {
+namespace obs {
+
+/** Monotonic counter. */
+class Counter
+{
+  public:
+    void inc(uint64_t n = 1) { value_ += n; }
+    uint64_t value() const { return value_; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** Last-value gauge. */
+class Gauge
+{
+  public:
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Fixed-bucket histogram: bounds are inclusive upper edges, plus an
+ *  implicit overflow bucket. */
+class Histogram
+{
+  public:
+    /** @param bounds Ascending bucket upper edges (must not be
+     *         empty). */
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double x);
+
+    const std::vector<double> &bounds() const { return bounds_; }
+    /** bounds().size() + 1 entries; the last is the overflow. */
+    const std::vector<uint64_t> &counts() const { return counts_; }
+    uint64_t total() const { return total_; }
+    double sum() const { return sum_; }
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+    double sum_ = 0.0;
+};
+
+/** Named metrics, hierarchically dotted, exported with stable keys. */
+class MetricsRegistry
+{
+  public:
+    /** Find-or-create; the reference stays valid until reset(). */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+
+    /**
+     * Find-or-create; bounds apply only on creation.
+     * Defaults to power-of-4 cycle-ish buckets (1 .. 4^12).
+     */
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> bounds = {});
+
+    /** Snapshot as a JSON object with sorted keys. */
+    std::string toJson() const;
+
+    /** Write the snapshot; fatal on I/O failure. */
+    void writeJson(const std::string &path) const;
+
+    /** Drop every metric (test isolation between runs). Invalidates
+     *  previously returned handles — no instrumented object may be
+     *  live across a reset. */
+    void reset();
+
+    size_t size() const
+    {
+        return counters_.size() + gauges_.size() + histograms_.size();
+    }
+
+  private:
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/** The process-wide registry used by all instrumentation. */
+MetricsRegistry &metrics();
+
+namespace detail {
+/** Deterministic JSON number formatting (shortest round-trip). */
+std::string jsonNumber(double v);
+/** JSON string escaping. */
+std::string jsonEscape(const std::string &s);
+} // namespace detail
+
+} // namespace obs
+} // namespace protean
+
+#endif // PROTEAN_OBS_METRICS_H

@@ -1,0 +1,162 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "support/logging.h"
+
+namespace protean {
+namespace obs {
+
+void
+Tracer::setClock(std::function<uint64_t()> clock, const void *owner)
+{
+    clearClock(owner);
+    clocks_.push_back(Clock{owner, std::move(clock)});
+}
+
+void
+Tracer::clearClock(const void *owner)
+{
+    for (size_t i = clocks_.size(); i > 0; --i) {
+        if (clocks_[i - 1].owner == owner) {
+            clocks_.erase(clocks_.begin() +
+                          static_cast<ptrdiff_t>(i - 1));
+            return;
+        }
+    }
+}
+
+uint64_t
+Tracer::now() const
+{
+    return clocks_.empty() ? 0 : clocks_.back().fn();
+}
+
+uint32_t
+Tracer::laneId(const std::string &lane)
+{
+    auto it = laneIds_.find(lane);
+    if (it != laneIds_.end())
+        return it->second;
+    uint32_t id = static_cast<uint32_t>(lanes_.size());
+    lanes_.push_back(lane);
+    laneIds_.emplace(lane, id);
+    return id;
+}
+
+void
+Tracer::instant(const std::string &lane, const std::string &name,
+                std::string args_json)
+{
+    if (!enabled_)
+        return;
+    events_.push_back(Event{Kind::Instant, laneId(lane), now(), 0,
+                            0.0, name, std::move(args_json)});
+}
+
+void
+Tracer::complete(const std::string &lane, const std::string &name,
+                 uint64_t start_cycle, uint64_t end_cycle,
+                 std::string args_json)
+{
+    if (!enabled_)
+        return;
+    uint64_t dur =
+        end_cycle >= start_cycle ? end_cycle - start_cycle : 0;
+    events_.push_back(Event{Kind::Complete, laneId(lane), start_cycle,
+                            dur, 0.0, name, std::move(args_json)});
+}
+
+void
+Tracer::counter(const std::string &lane, const std::string &name,
+                double value)
+{
+    if (!enabled_)
+        return;
+    events_.push_back(Event{Kind::Counter, laneId(lane), now(), 0,
+                            value, name, ""});
+}
+
+void
+Tracer::clear()
+{
+    events_.clear();
+    lanes_.clear();
+    laneIds_.clear();
+}
+
+std::string
+Tracer::toChromeJson() const
+{
+    using detail::jsonEscape;
+    using detail::jsonNumber;
+
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+        out += first ? "\n" : ",\n";
+        first = false;
+    };
+
+    for (size_t i = 0; i < lanes_.size(); ++i) {
+        sep();
+        out += strformat(
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+            "\"tid\":%zu,\"args\":{\"name\":\"%s\"}}",
+            i, jsonEscape(lanes_[i]).c_str());
+    }
+
+    for (const auto &e : events_) {
+        sep();
+        std::string head = strformat(
+            "{\"name\":\"%s\",\"pid\":1,\"tid\":%u,\"ts\":%llu",
+            jsonEscape(e.name).c_str(), e.lane,
+            static_cast<unsigned long long>(e.ts));
+        switch (e.kind) {
+          case Kind::Instant:
+            out += head + ",\"ph\":\"i\",\"s\":\"t\"";
+            if (!e.args.empty())
+                out += ",\"args\":{" + e.args + "}";
+            out += "}";
+            break;
+          case Kind::Complete:
+            out += head +
+                strformat(",\"ph\":\"X\",\"dur\":%llu",
+                          static_cast<unsigned long long>(e.dur));
+            if (!e.args.empty())
+                out += ",\"args\":{" + e.args + "}";
+            out += "}";
+            break;
+          case Kind::Counter:
+            out += head + ",\"ph\":\"C\",\"args\":{\"value\":" +
+                jsonNumber(e.value) + "}}";
+            break;
+        }
+    }
+    out += "\n],\"displayTimeUnit\":\"ns\"}\n";
+    return out;
+}
+
+void
+Tracer::writeChromeJson(const std::string &path) const
+{
+    std::string json = toChromeJson();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("tracer: cannot open %s for writing", path.c_str());
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    debug("tracer: wrote %zu events (%zu lanes) to %s",
+          events_.size(), lanes_.size(), path.c_str());
+}
+
+Tracer &
+tracer()
+{
+    static Tracer t;
+    return t;
+}
+
+} // namespace obs
+} // namespace protean

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Span/event tracer stamped with simulated-cycle time.
+ *
+ * Timestamps come from a pluggable clock — in practice the live
+ * `sim::Machine`, which registers itself on construction — so traces
+ * are fully deterministic: no wall clock anywhere. Recording is
+ * disabled by default; benches enable it when `--trace=<path>` is
+ * given. The export is Chrome `chrome://tracing` JSON (the `ts`
+ * field carries simulated cycles, not microseconds), so a run can be
+ * opened directly in Perfetto.
+ *
+ * Lanes ("runtime", "pc3d", "sim.core0", ...) map to Chrome thread
+ * ids in first-use order and are named via thread_name metadata
+ * records, giving each subsystem its own track in the viewer.
+ */
+
+#ifndef PROTEAN_OBS_TRACE_H
+#define PROTEAN_OBS_TRACE_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace protean {
+namespace obs {
+
+/** Cycle-stamped event recorder with a Chrome-trace exporter. */
+class Tracer
+{
+  public:
+    /**
+     * Install the cycle clock. Clocks stack: the newest owner wins,
+     * and clearClock(owner) removes that owner's entry wherever it
+     * sits, restoring the previous clock (machines nest, e.g. a solo
+     * reference measured inside a colocation run).
+     */
+    void setClock(std::function<uint64_t()> clock, const void *owner);
+    void clearClock(const void *owner);
+
+    /** Current cycle stamp; 0 without a clock. */
+    uint64_t now() const;
+
+    /** Enable/disable recording (disabled records nothing). */
+    void setEnabled(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Instant event on a lane.
+     * @param args_json Optional JSON object *body* — key/value pairs
+     *        without the surrounding braces, e.g. "\"func\":3".
+     */
+    void instant(const std::string &lane, const std::string &name,
+                 std::string args_json = "");
+
+    /** Completed span with explicit cycle bounds. */
+    void complete(const std::string &lane, const std::string &name,
+                  uint64_t start_cycle, uint64_t end_cycle,
+                  std::string args_json = "");
+
+    /** Counter-track sample (renders as a value graph). */
+    void counter(const std::string &lane, const std::string &name,
+                 double value);
+
+    size_t eventCount() const { return events_.size(); }
+
+    /** Drop recorded events and lane mappings (clocks persist). */
+    void clear();
+
+    /** Serialize as Chrome trace JSON ({"traceEvents": [...]}). */
+    std::string toChromeJson() const;
+
+    /** Write the Chrome trace; fatal on I/O failure. */
+    void writeChromeJson(const std::string &path) const;
+
+  private:
+    enum class Kind : uint8_t { Instant, Complete, Counter };
+
+    struct Event
+    {
+        Kind kind;
+        uint32_t lane;
+        uint64_t ts;
+        uint64_t dur;      // Complete only
+        double value;      // Counter only
+        std::string name;
+        std::string args;  // Instant/Complete: JSON body or empty
+    };
+
+    struct Clock
+    {
+        const void *owner;
+        std::function<uint64_t()> fn;
+    };
+
+    bool enabled_ = false;
+    std::vector<Clock> clocks_;
+    std::vector<Event> events_;
+    std::vector<std::string> lanes_;
+    std::unordered_map<std::string, uint32_t> laneIds_;
+
+    uint32_t laneId(const std::string &lane);
+};
+
+/** The process-wide tracer used by all instrumentation. */
+Tracer &tracer();
+
+} // namespace obs
+} // namespace protean
+
+#endif // PROTEAN_OBS_TRACE_H

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/logging.h"
 
 namespace protean {
@@ -84,8 +86,10 @@ Pc3dEngine::applyMask(runtime::ProteanRuntime &rt,
         if (all_clear) {
             // Empty mask == the original code: dispatch the static
             // entry directly, no compile needed.
+            obs::metrics().counter("pc3d.dispatch.reverts").inc();
             rt.evt().retarget(f, rt.host().image().function(f).entry);
         } else {
+            obs::metrics().counter("pc3d.dispatch.variants").inc();
             ++pendingDispatch_;
             rt.deployVariant(f, mask, [this] {
                 if (pendingDispatch_ > 0)
@@ -108,6 +112,13 @@ Pc3dEngine::startSearch(runtime::ProteanRuntime &rt)
 
     // Charge the analysis (coverage pruning + loop analysis).
     rt.chargeWork(300 * hot.size() + 4 * space_.activeRegionLoads);
+
+    searchStartCycle_ = rt.machine().now();
+    obs::metrics().counter("pc3d.search.count").inc();
+    obs::tracer().instant(
+        "pc3d", "search_start",
+        strformat("\"hot_functions\":%zu,\"space_loads\":%zu",
+                  hot.size(), space_.loads.size()));
 
     SearchConfig scfg;
     scfg.qosTarget = opts_.qosTarget;
@@ -191,11 +202,20 @@ Pc3dEngine::windowSearch(runtime::ProteanRuntime &rt)
 
     if (search_->done()) {
         BitVector mask = spaceToModuleMask(search_->bestMask());
+        obs::tracer().complete(
+            "pc3d", "search", searchStartCycle_, rt.machine().now(),
+            strformat("\"windows\":%zu,\"variants\":%zu,"
+                      "\"best_nap\":%.3f,\"best_bps\":%.6f,"
+                      "\"best_mask_bits\":%zu",
+                      search_->windowsUsed(),
+                      search_->variantsTried(), search_->bestNap(),
+                      search_->bestBps(), mask.count()));
         if (!(mask == dispatchedMask_))
             applyMask(rt, mask);
         setNap(rt, search_->bestNap());
         settledBestNap_ = search_->bestNap();
         mode_ = Mode::Settled;
+        obs::tracer().instant("pc3d", "settled");
         rt.hpm().window(rt.hostCore());
         qos_.minQosWindow();
         qos_.clearTaint();
@@ -227,6 +247,9 @@ Pc3dEngine::windowSettled(runtime::ProteanRuntime &rt)
     if (tainted)
         return;
     lastQos_ = min_qos;
+    obs::metrics().gauge("pc3d.qos.last").set(lastQos_);
+    obs::tracer().counter("pc3d", "settled_qos", min_qos);
+    obs::tracer().counter("pc3d", "host_bpc", host.bpc());
 
     // Phase analysis: host progress + hot set, co-runner progress.
     bool host_changed =
@@ -243,6 +266,15 @@ Pc3dEngine::windowSettled(runtime::ProteanRuntime &rt)
         // phase, so re-prime it, revert to the original code, and
         // search again from scratch (Figure 16's t=300/t=600
         // behavior).
+        obs::metrics()
+            .counter(co_changed ? "pc3d.research.co_phase"
+                                : "pc3d.research.host_phase")
+            .inc();
+        obs::tracer().instant(
+            "pc3d", "research",
+            strformat("\"reason\":\"%s\"",
+                      co_changed ? "co_phase_change"
+                                 : "host_phase_change"));
         if (co_changed)
             qos_.reprime();
         applyMask(rt, BitVector(dispatchedMask_.size()));
@@ -255,8 +287,15 @@ Pc3dEngine::windowSettled(runtime::ProteanRuntime &rt)
     // beyond the searched level triggers a fresh search.
     if (min_qos < opts_.qosTarget - opts_.qosSlack) {
         setNap(rt, nap_ + opts_.napStep);
-        if (nap_ > settledBestNap_ + 0.25)
+        if (nap_ > settledBestNap_ + 0.25) {
+            obs::metrics().counter("pc3d.research.qos_excursion")
+                .inc();
+            obs::tracer().instant(
+                "pc3d", "research",
+                strformat("\"reason\":\"qos_excursion\","
+                          "\"qos\":%.4f", min_qos));
             startSearch(rt);
+        }
     } else if (min_qos > opts_.qosTarget + 2 * opts_.qosSlack &&
                nap_ > settledBestNap_) {
         setNap(rt, std::max(settledBestNap_, nap_ - opts_.napStep / 2));

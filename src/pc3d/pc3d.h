@@ -107,6 +107,7 @@ class Pc3dEngine : public runtime::DecisionEngine
     double settledBestNap_ = 0.0;
 
     uint64_t windowEnd_ = 0;
+    uint64_t searchStartCycle_ = 0;
     uint32_t pendingDispatch_ = 0;
     bool discardNextWindow_ = false;
     uint64_t searches_ = 0;

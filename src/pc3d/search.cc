@@ -1,5 +1,7 @@
 #include "pc3d/search.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/logging.h"
 
 namespace protean {
@@ -40,9 +42,12 @@ VariantSearch::onMeasurement(const Measurement &meas)
 {
     if (done())
         return;
-    if (meas.tainted)
+    if (meas.tainted) {
+        obs::metrics().counter("pc3d.search.tainted_windows").inc();
         return; // re-run the same window
+    }
     ++windows_;
+    obs::metrics().counter("pc3d.search.steps").inc();
 
     bool ok = meas.minQos >= cfg_.qosTarget;
     if (ok) {
@@ -109,7 +114,20 @@ VariantSearch::evalFinished(double nap, double bps)
         return;
 
       case Phase::Flip: {
-        if (bps > bestBps_) {
+        bool accept = bps > bestBps_;
+        obs::metrics()
+            .counter(accept ? "pc3d.search.accepted"
+                            : "pc3d.search.rejected")
+            .inc();
+        obs::tracer().instant(
+            "pc3d.search", accept ? "flip_accept" : "flip_reject",
+            strformat("\"load_index\":%zu,\"candidate_bps\":%.6f,"
+                      "\"best_bps\":%.6f,\"nap\":%.3f,"
+                      "\"reason\":\"%s\"",
+                      flipIndex_, bps, bestBps_, nap,
+                      accept ? "host_bps_improved"
+                             : "no_bps_improvement"));
+        if (accept) {
             // Keep the revoked hint.
             bestMask_ = m_;
             bestBps_ = bps;
@@ -154,6 +172,9 @@ VariantSearch::finish()
         bestMask_.clearAll();
         bestBps_ = bps0_;
         bestNap_ = nap0_;
+        obs::tracer().instant(
+            "pc3d.search", "variant0_wins",
+            strformat("\"bps0\":%.6f,\"nap0\":%.3f", bps0_, nap0_));
     }
     phase_ = Phase::Done;
 }

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/logging.h"
+
 namespace protean {
 namespace reqos {
 
@@ -47,8 +51,10 @@ ReQosController::window()
         sim::HpmCounters d = hpm_.window(qos_.coCores()[i]);
         phase_change |= coPhase_[i].update(d.ipc());
     }
-    if (phase_change)
+    if (phase_change) {
+        obs::tracer().instant("reqos", "co_phase_change");
         qos_.reprime();
+    }
 
     double raw = qos_.minQosWindow();
     bool tainted = qos_.windowTainted() || phase_change;
@@ -57,8 +63,11 @@ ReQosController::window()
         qosSmooth_.reset();
     if (!tainted) {
         ++windows_;
+        obs::metrics().counter("reqos.windows").inc();
         double smooth = qosSmooth_.add(raw);
         lastQos_ = smooth;
+        obs::metrics().gauge("reqos.qos.last").set(smooth);
+        obs::tracer().counter("reqos", "qos", smooth);
         // Fast attack on the raw signal (a QoS violation must be
         // arrested immediately), slow release on the smoothed one
         // (request quantization makes single windows noisy).

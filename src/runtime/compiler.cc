@@ -1,5 +1,7 @@
 #include "runtime/compiler.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/logging.h"
 
 namespace protean {
@@ -85,6 +87,7 @@ RuntimeCompiler::requestVariant(ir::FuncId func, const BitVector &mask,
     std::string key = maskKey(func, mask);
     auto it = cache_.find(key);
     if (!force_recompile && it != cache_.end()) {
+        obs::metrics().counter("runtime.compile.cache_hits").inc();
         isa::CodeAddr entry = it->second;
         machine_.scheduleAfter(0, [on_ready = std::move(on_ready),
                                    entry] { on_ready(entry); });
@@ -95,12 +98,26 @@ RuntimeCompiler::requestVariant(ir::FuncId func, const BitVector &mask,
     ++compiles_;
     compileCycles_ += cycles;
     machine_.core(runtimeCore_).stealCycles(cycles);
+    obs::metrics().counter("runtime.compile.count").inc();
+    obs::metrics().counter("runtime.compile.cycles").inc(cycles);
+    obs::metrics().histogram("runtime.compile.cycles_hist")
+        .observe(static_cast<double>(cycles));
 
     // The compiler backend is serial: queued compiles finish in
     // order, each after its own latency.
     uint64_t start = std::max(machine_.now(), backendFree_);
     uint64_t done = start + cycles;
     backendFree_ = done;
+    // Both endpoints of the async compile are known at request time,
+    // so the span can be recorded immediately (compile_start ==
+    // backend pickup, not request arrival).
+    obs::tracer().complete(
+        "runtime.compiler",
+        strformat("compile %s",
+                  module_.function(func).name().c_str()),
+        start, done,
+        strformat("\"func\":%u,\"cycles\":%llu", func,
+                  static_cast<unsigned long long>(cycles)));
 
     isa::CodeAddr entry = compileNow(func, mask, key);
     machine_.schedule(done, [on_ready = std::move(on_ready), entry] {

@@ -1,6 +1,8 @@
 #include "runtime/evt_manager.h"
 
 #include "isa/image.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/logging.h"
 
 namespace protean {
@@ -28,6 +30,11 @@ EvtManager::retarget(ir::FuncId f, isa::CodeAddr entry)
     // the new target, never a torn value.
     proc_.writeWord(slotAddr(f), entry);
     ++retargets_;
+    obs::metrics().counter("runtime.evt.retargets").inc();
+    obs::tracer().instant(
+        "runtime", "evt_retarget",
+        strformat("\"func\":%u,\"target\":%llu", f,
+                  static_cast<unsigned long long>(entry)));
 }
 
 isa::CodeAddr

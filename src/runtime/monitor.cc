@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/logging.h"
 
 namespace protean {
@@ -9,7 +11,10 @@ namespace runtime {
 
 PcSampler::PcSampler(sim::Machine &machine, sim::Process &proc,
                      uint32_t host_core)
-    : machine_(machine), proc_(proc), hostCore_(host_core)
+    : machine_(machine), proc_(proc), hostCore_(host_core),
+      samplesCtr_(&obs::metrics().counter("runtime.sampler.samples")),
+      unattributedCtr_(
+          &obs::metrics().counter("runtime.sampler.unattributed"))
 {
 }
 
@@ -35,7 +40,10 @@ PcSampler::sample()
     ir::FuncId f = attribute(pc);
     if (f != ir::kInvalidId)
         hot_[f] += 1.0;
+    else
+        unattributedCtr_->inc();
     ++samples_;
+    samplesCtr_->inc();
 }
 
 void
@@ -149,6 +157,15 @@ PhaseDetector::update(double ipc, const std::vector<ir::FuncId> &hot)
         std::abs(smooth - anchorIpc_) / anchorIpc_ > threshold_;
     bool hot_shift = hotSetChanged(anchorHot_, hot);
     if (rate_shift || hot_shift) {
+        obs::metrics().counter("runtime.phase.changes").inc();
+        obs::tracer().instant(
+            "monitor", "phase_change",
+            strformat("\"anchor_ipc_before\":%.6f,"
+                      "\"anchor_ipc_after\":%.6f,\"cause\":\"%s\"",
+                      anchorIpc_, smooth,
+                      rate_shift ? (hot_shift ? "rate+hotset"
+                                              : "rate")
+                                 : "hotset"));
         anchorIpc_ = smooth;
         anchorHot_ = hot;
         quiet_ = cooldown_;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "ir/instruction.h"
+#include "obs/metrics.h"
 #include "sim/machine.h"
 #include "support/stats.h"
 
@@ -41,6 +42,9 @@ class PcSampler
     /** Teach the sampler a runtime variant's code range. */
     void registerVariantRange(isa::CodeAddr entry, isa::CodeAddr end,
                               ir::FuncId func);
+
+    /** Add hotness weight directly (offline attribution, tests). */
+    void addWeight(ir::FuncId f, double w) { hot_[f] += w; }
 
     /** Decayed hotness per function (unnormalized weights). */
     const std::unordered_map<ir::FuncId, double> &hotness() const
@@ -75,6 +79,9 @@ class PcSampler
     std::unordered_map<ir::FuncId, double> hot_;
     std::vector<VariantRange> variantRanges_;
     uint64_t samples_ = 0;
+    /** Cached registry handles (sample() is the hot path). */
+    obs::Counter *samplesCtr_;
+    obs::Counter *unattributedCtr_;
 
     ir::FuncId attribute(isa::CodeAddr pc) const;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/logging.h"
 
 namespace protean {
@@ -16,6 +18,11 @@ void
 NapGovernor::setControllerNap(double f)
 {
     controllerNap_ = std::clamp(f, 0.0, 1.0);
+    obs::metrics().counter("runtime.nap.interventions").inc();
+    obs::metrics().gauge("runtime.nap.controller")
+        .set(controllerNap_);
+    obs::tracer().counter("runtime.qos", "controller_nap",
+                          controllerNap_);
     apply();
 }
 
@@ -70,6 +77,8 @@ QosMonitor::start()
 void
 QosMonitor::reprime()
 {
+    obs::metrics().counter("runtime.qos.reprimes").inc();
+    obs::tracer().instant("runtime.qos", "reprime");
     for (auto &est : solo_)
         est.invalidate();
     primingLeft_ = opts_.primingProbes;
@@ -112,6 +121,9 @@ QosMonitor::endProbe(std::vector<sim::HpmCounters> snaps,
                      uint64_t start_cycle)
 {
     uint64_t elapsed = machine_.now() - start_cycle;
+    obs::metrics().counter("runtime.qos.probes").inc();
+    obs::tracer().complete("runtime.qos", "flux_probe", start_cycle,
+                           machine_.now());
     for (size_t i = 0; i < coCores_.size(); ++i) {
         sim::HpmCounters delta =
             machine_.core(coCores_[i]).hpm() - snaps[i];
@@ -164,6 +176,8 @@ QosMonitor::minQosWindow()
     double q = 1.0;
     for (uint32_t c : coCores_)
         q = std::min(q, qosWindow(c));
+    obs::metrics().gauge("runtime.qos.min").set(q);
+    obs::tracer().counter("runtime.qos", "min_qos", q);
     return q;
 }
 

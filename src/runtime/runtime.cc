@@ -1,5 +1,7 @@
 #include "runtime/runtime.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/logging.h"
 
 namespace protean {
@@ -26,6 +28,12 @@ ProteanRuntime::ProteanRuntime(sim::Machine &machine,
     governor_ = std::make_unique<NapGovernor>(machine_,
                                               host_.coreId());
     attachCycle_ = machine_.now();
+    obs::metrics().counter("runtime.attach.count").inc();
+    obs::tracer().instant(
+        "runtime", "attach",
+        strformat("\"host\":\"%s\",\"functions\":%u,\"slots\":%zu",
+                  host.name().c_str(), att_.module->numFunctions(),
+                  att_.slots.size()));
 }
 
 ProteanRuntime::~ProteanRuntime()
@@ -60,6 +68,7 @@ ProteanRuntime::tick()
     if (!running_)
         return;
     ++ticks_;
+    obs::metrics().counter("runtime.ticks").inc();
     sampler_->sample();
     chargeWork(opts_.tickCostCycles);
     if (engine_)
@@ -75,6 +84,11 @@ void
 ProteanRuntime::deployVariant(ir::FuncId func, const BitVector &mask,
                               std::function<void()> on_dispatched)
 {
+    obs::metrics().counter("runtime.deploy.requests").inc();
+    obs::tracer().instant(
+        "runtime", "compile_enqueue",
+        strformat("\"func\":%u,\"mask_bits\":%zu", func,
+                  mask.count()));
     uint64_t before = compiler_->compileCycles();
     compiler_->requestVariant(
         func, mask,
@@ -82,6 +96,8 @@ ProteanRuntime::deployVariant(ir::FuncId func, const BitVector &mask,
          on_dispatched = std::move(on_dispatched)](isa::CodeAddr e) {
             if (!*alive)
                 return;
+            obs::tracer().instant("runtime", "variant_dispatch",
+                                  strformat("\"func\":%u", func));
             // Teach the PC sampler the new range, then dispatch by
             // retargeting the EVT slot.
             for (const auto &v : compiler_->variants()) {
@@ -113,6 +129,7 @@ ProteanRuntime::chargeWork(uint64_t cycles)
 {
     machine_.core(opts_.runtimeCore).stealCycles(cycles);
     runtimeCycles_ += cycles;
+    obs::metrics().counter("runtime.cycles").inc(cycles);
 }
 
 double

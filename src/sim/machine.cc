@@ -1,5 +1,9 @@
 #include "sim/machine.h"
 
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/logging.h"
 
 namespace protean {
@@ -10,6 +14,14 @@ Machine::Machine(const MachineConfig &cfg)
 {
     for (uint32_t c = 0; c < cfg.numCores; ++c)
         cores_.push_back(std::make_unique<Core>(c, cfg_, *memsys_));
+    // This machine's clock stamps all trace events until it dies (or
+    // a newer machine takes over; clocks stack, see obs::Tracer).
+    obs::tracer().setClock([this] { return now_; }, this);
+}
+
+Machine::~Machine()
+{
+    obs::tracer().clearClock(this);
 }
 
 Core &
@@ -121,6 +133,73 @@ Machine::allHalted() const
             return false;
     }
     return true;
+}
+
+void
+Machine::startObsSampling(double period_ms)
+{
+    if (obsSampling_)
+        return;
+    obsSampling_ = true;
+    obsPeriod_ = std::max<uint64_t>(msToCycles(period_ms), 1);
+    obsLast_.resize(cores_.size());
+    for (size_t c = 0; c < cores_.size(); ++c)
+        obsLast_[c] = cores_[c]->hpm();
+    obsLastDram_ = memsys_->dramAccesses();
+    scheduleAfter(obsPeriod_, [this] { obsSample(); });
+}
+
+void
+Machine::obsSample()
+{
+    obs::Tracer &tr = obs::tracer();
+    if (tr.enabled()) {
+        for (size_t c = 0; c < cores_.size(); ++c) {
+            HpmCounters delta = cores_[c]->hpm() - obsLast_[c];
+            obsLast_[c] = cores_[c]->hpm();
+            std::string lane = strformat("sim.core%zu", c);
+            tr.counter(lane, "ipc", delta.ipc());
+            tr.counter(lane, "l3_misses",
+                       static_cast<double>(delta.l3Misses));
+            tr.counter(lane, "nap_share",
+                       delta.cycles == 0 ? 0.0 :
+                       static_cast<double>(delta.nappedCycles) /
+                       static_cast<double>(delta.cycles));
+        }
+        uint64_t dram = memsys_->dramAccesses();
+        tr.counter("sim.mem", "dram_accesses",
+                   static_cast<double>(dram - obsLastDram_));
+        obsLastDram_ = dram;
+    }
+    scheduleAfter(obsPeriod_, [this] { obsSample(); });
+}
+
+void
+Machine::exportObsMetrics() const
+{
+    obs::MetricsRegistry &reg = obs::metrics();
+    // Counters are monotonic; publish cumulative totals by topping
+    // each one up to the live value, so repeated exports stay
+    // idempotent.
+    auto top_up = [&reg](const std::string &name, uint64_t total) {
+        obs::Counter &c = reg.counter(name);
+        c.inc(total - std::min(total, c.value()));
+    };
+    uint64_t l3_misses = 0;
+    for (size_t c = 0; c < cores_.size(); ++c) {
+        const HpmCounters &h = cores_[c]->hpm();
+        std::string p = strformat("sim.core%zu.", c);
+        top_up(p + "instructions", h.instructions);
+        top_up(p + "cycles", h.cycles);
+        top_up(p + "branches", h.branches);
+        top_up(p + "l3.misses", h.l3Misses);
+        top_up(p + "stolen_cycles", h.stolenCycles);
+        top_up(p + "napped_cycles", h.nappedCycles);
+        reg.gauge(p + "ipc").set(h.ipc());
+        l3_misses += h.l3Misses;
+    }
+    top_up("sim.l3.misses", l3_misses);
+    top_up("sim.dram.accesses", memsys_->dramAccesses());
 }
 
 void

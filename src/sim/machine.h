@@ -32,6 +32,10 @@ class Machine
 {
   public:
     explicit Machine(const MachineConfig &cfg = MachineConfig{});
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
 
     const MachineConfig &config() const { return cfg_; }
 
@@ -84,6 +88,21 @@ class Machine
     /** Convert simulated milliseconds to cycles. */
     uint64_t msToCycles(double ms) const { return cfg_.msToCycles(ms); }
 
+    /**
+     * Begin periodic observability sampling: every period, per-core
+     * HPM window deltas (IPC, L3 misses, nap share) land on the
+     * tracer's `sim.core<N>` counter tracks and the shared memory
+     * system's pressure on `sim.mem`. No-op when already sampling.
+     */
+    void startObsSampling(double period_ms);
+
+    /**
+     * Publish cumulative machine-level counters and gauges
+     * (`sim.core<N>.*`, `sim.l3.misses`, `sim.dram.accesses`) into
+     * the global metrics registry. Idempotent; call before export.
+     */
+    void exportObsMetrics() const;
+
   private:
     struct Event
     {
@@ -104,9 +123,16 @@ class Machine
         events_;
     uint64_t now_ = 0;
     uint64_t eventSeq_ = 0;
+    bool obsSampling_ = false;
+    uint64_t obsPeriod_ = 0;
+    std::vector<HpmCounters> obsLast_;
+    uint64_t obsLastDram_ = 0;
 
     /** Runnable core with the smallest clock; null if none. */
     Core *nextCore();
+
+    /** One observability sampling step (reschedules itself). */
+    void obsSample();
 };
 
 } // namespace sim

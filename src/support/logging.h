@@ -45,6 +45,9 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Report normal operational status. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/** Report developer-facing diagnostics (LogLevel::Debug only). */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
 /** Format a string printf-style. */
 std::string strformat(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests for the observability layer: the metrics registry, the
+ * cycle-stamped tracer, machine clock registration, and the
+ * acceptance property that two identical runs produce byte-identical
+ * exports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "datacenter/experiment.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/machine.h"
+
+namespace protean {
+namespace obs {
+namespace {
+
+/** Every test starts from a clean global registry/tracer. */
+class ObsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        metrics().reset();
+        tracer().clear();
+        tracer().setEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        tracer().setEnabled(false);
+        tracer().clear();
+        metrics().reset();
+    }
+};
+
+TEST_F(ObsTest, CounterFindOrCreateAndInc)
+{
+    Counter &c = metrics().counter("runtime.test.events");
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    // Same name -> same handle (hot paths cache the pointer).
+    EXPECT_EQ(&metrics().counter("runtime.test.events"), &c);
+    EXPECT_EQ(metrics().counter("runtime.test.events").value(), 42u);
+}
+
+TEST_F(ObsTest, GaugeKeepsLastValue)
+{
+    Gauge &g = metrics().gauge("sim.test.ipc");
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+    g.set(1.5);
+    g.set(0.25);
+    EXPECT_DOUBLE_EQ(metrics().gauge("sim.test.ipc").value(), 0.25);
+}
+
+TEST_F(ObsTest, HistogramBucketsInclusiveUpperEdges)
+{
+    Histogram &h =
+        metrics().histogram("t.lat", std::vector<double>{1, 10, 100});
+    h.observe(0.5);   // <= 1
+    h.observe(1.0);   // == upper edge -> still bucket 0
+    h.observe(1.5);   // (1, 10]
+    h.observe(100.0); // (10, 100]
+    h.observe(1e9);   // overflow
+    ASSERT_EQ(h.counts().size(), 4u);
+    EXPECT_EQ(h.counts()[0], 2u);
+    EXPECT_EQ(h.counts()[1], 1u);
+    EXPECT_EQ(h.counts()[2], 1u);
+    EXPECT_EQ(h.counts()[3], 1u);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 100.0 + 1e9);
+    // Bounds apply only on creation.
+    EXPECT_EQ(&metrics().histogram("t.lat", {7.0}), &h);
+    EXPECT_EQ(h.bounds().size(), 3u);
+}
+
+TEST_F(ObsTest, HistogramDefaultBoundsPowersOfFour)
+{
+    Histogram &h = metrics().histogram("t.cycles");
+    ASSERT_EQ(h.bounds().size(), 13u); // 4^0 .. 4^12
+    EXPECT_DOUBLE_EQ(h.bounds().front(), 1.0);
+    EXPECT_DOUBLE_EQ(h.bounds().back(), 16'777'216.0);
+    EXPECT_EQ(h.counts().size(), 14u);
+}
+
+TEST_F(ObsTest, JsonNumberDeterministicAndRoundTrips)
+{
+    EXPECT_EQ(detail::jsonNumber(3.0), "3");
+    EXPECT_EQ(detail::jsonNumber(-2.0), "-2");
+    EXPECT_EQ(detail::jsonNumber(0.5), "0.5");
+    for (double v : {0.1, 1.0 / 3.0, 1e-12, 123456.789}) {
+        std::string s = detail::jsonNumber(v);
+        EXPECT_EQ(s, detail::jsonNumber(v));
+        EXPECT_DOUBLE_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+    }
+}
+
+TEST_F(ObsTest, JsonEscapeControlCharacters)
+{
+    EXPECT_EQ(detail::jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(detail::jsonEscape(std::string(1, '\x01')), "\\u0001");
+    EXPECT_EQ(detail::jsonEscape("plain.name"), "plain.name");
+}
+
+TEST_F(ObsTest, RegistryJsonSortedAndStable)
+{
+    // Created out of order; exported keys must be sorted.
+    metrics().counter("z.last").inc(7);
+    metrics().counter("a.first").inc();
+    metrics().gauge("m.middle").set(2.5);
+    metrics().histogram("h.one", {4.0}).observe(3.0);
+
+    std::string json = metrics().toJson();
+    EXPECT_LT(json.find("\"a.first\": 1"), json.find("\"z.last\": 7"));
+    EXPECT_NE(json.find("\"m.middle\": 2.5"), std::string::npos);
+    EXPECT_NE(json.find("\"h.one\": {\"bounds\": [4], \"counts\": "
+                        "[1,0], \"total\": 1, \"sum\": 3}"),
+              std::string::npos);
+    // Two snapshots of the same state are byte-identical.
+    EXPECT_EQ(json, metrics().toJson());
+}
+
+TEST_F(ObsTest, RegistryResetDropsEverything)
+{
+    metrics().counter("x").inc();
+    metrics().gauge("y").set(1.0);
+    metrics().histogram("z").observe(1.0);
+    EXPECT_EQ(metrics().size(), 3u);
+    metrics().reset();
+    EXPECT_EQ(metrics().size(), 0u);
+    EXPECT_EQ(metrics().counter("x").value(), 0u);
+}
+
+TEST_F(ObsTest, TracerDisabledRecordsNothing)
+{
+    tracer().setEnabled(false);
+    tracer().instant("lane", "event");
+    tracer().counter("lane", "value", 1.0);
+    tracer().complete("lane", "span", 0, 10);
+    EXPECT_EQ(tracer().eventCount(), 0u);
+}
+
+TEST_F(ObsTest, TracerChromeExportShape)
+{
+    uint64_t t = 0;
+    tracer().setClock([&] { return t; }, &t);
+
+    t = 5;
+    tracer().instant("runtime", "attach", "\"functions\":3");
+    tracer().complete("pc3d", "search", 2, 9, "\"windows\":4");
+    t = 7;
+    tracer().counter("runtime", "nap", 0.25);
+    tracer().clearClock(&t);
+    EXPECT_EQ(tracer().eventCount(), 3u);
+
+    std::string json = tracer().toChromeJson();
+    // Lane metadata in first-use order: runtime=0, pc3d=1.
+    EXPECT_NE(json.find("{\"name\":\"thread_name\",\"ph\":\"M\","
+                        "\"pid\":1,\"tid\":0,\"args\":{\"name\":"
+                        "\"runtime\"}}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"tid\":1,\"args\":{\"name\":\"pc3d\"}"),
+              std::string::npos);
+    EXPECT_NE(json.find("{\"name\":\"attach\",\"pid\":1,\"tid\":0,"
+                        "\"ts\":5,\"ph\":\"i\",\"s\":\"t\","
+                        "\"args\":{\"functions\":3}}"),
+              std::string::npos);
+    EXPECT_NE(json.find("{\"name\":\"search\",\"pid\":1,\"tid\":1,"
+                        "\"ts\":2,\"ph\":\"X\",\"dur\":7,"
+                        "\"args\":{\"windows\":4}}"),
+              std::string::npos);
+    EXPECT_NE(json.find("{\"name\":\"nap\",\"pid\":1,\"tid\":0,"
+                        "\"ts\":7,\"ph\":\"C\","
+                        "\"args\":{\"value\":0.25}}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("],\"displayTimeUnit\":\"ns\"}"),
+              std::string::npos);
+}
+
+TEST_F(ObsTest, TracerClearKeepsClock)
+{
+    uint64_t t = 11;
+    tracer().setClock([&] { return t; }, &t);
+    tracer().instant("a", "e");
+    tracer().clear();
+    EXPECT_EQ(tracer().eventCount(), 0u);
+    EXPECT_EQ(tracer().now(), 11u);
+    tracer().clearClock(&t);
+    EXPECT_EQ(tracer().now(), 0u);
+}
+
+TEST_F(ObsTest, ClockStackingNewestWinsRemovalRestores)
+{
+    int a = 0, b = 0;
+    tracer().setClock([] { return uint64_t{10}; }, &a);
+    EXPECT_EQ(tracer().now(), 10u);
+    tracer().setClock([] { return uint64_t{20}; }, &b);
+    EXPECT_EQ(tracer().now(), 20u);
+    // Removing the newest restores the previous owner.
+    tracer().clearClock(&b);
+    EXPECT_EQ(tracer().now(), 10u);
+    // Removing a non-top owner leaves the top in charge.
+    tracer().setClock([] { return uint64_t{20}; }, &b);
+    tracer().clearClock(&a);
+    EXPECT_EQ(tracer().now(), 20u);
+    tracer().clearClock(&b);
+    EXPECT_EQ(tracer().now(), 0u);
+}
+
+TEST_F(ObsTest, MachineRegistersTracerClock)
+{
+    {
+        sim::Machine outer;
+        outer.runFor(1000);
+        EXPECT_EQ(tracer().now(), outer.now());
+        {
+            // Nested machines (solo references) take over the clock
+            // for their lifetime, then hand it back.
+            sim::Machine inner;
+            inner.runFor(5);
+            EXPECT_EQ(tracer().now(), inner.now());
+        }
+        EXPECT_EQ(tracer().now(), outer.now());
+    }
+    EXPECT_EQ(tracer().now(), 0u);
+}
+
+/** One small PC3D colocation with full observability on. */
+std::pair<std::string, std::string>
+tracedColocation()
+{
+    metrics().reset();
+    tracer().clear();
+    tracer().setEnabled(true);
+
+    datacenter::ColoConfig cfg;
+    cfg.service = "web-search";
+    cfg.batch = "libquantum";
+    cfg.qosTarget = 0.95;
+    cfg.qps = 120.0;
+    cfg.system = datacenter::System::Pc3d;
+    cfg.settleMs = 1500.0;
+    cfg.measureMs = 800.0;
+    datacenter::runColocationTrace(cfg, 200.0);
+
+    return {tracer().toChromeJson(), metrics().toJson()};
+}
+
+TEST_F(ObsTest, IdenticalRunsExportByteIdenticalFiles)
+{
+    auto [trace1, metrics1] = tracedColocation();
+    auto [trace2, metrics2] = tracedColocation();
+    EXPECT_EQ(trace1, trace2);
+    EXPECT_EQ(metrics1, metrics2);
+
+    // And the run actually recorded the instrumented subsystems.
+    EXPECT_NE(trace1.find("\"name\":\"experiment\""),
+              std::string::npos);
+    EXPECT_NE(trace1.find("\"name\":\"sim.core0\""),
+              std::string::npos);
+    EXPECT_NE(trace1.find("\"name\":\"attach\""), std::string::npos);
+    EXPECT_NE(metrics1.find("\"runtime.ticks\""), std::string::npos);
+    EXPECT_NE(metrics1.find("\"sim.l3.misses\""), std::string::npos);
+    EXPECT_NE(metrics1.find("\"runtime.compile.cycles_hist\""),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace obs
+} // namespace protean

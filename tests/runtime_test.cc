@@ -294,6 +294,44 @@ TEST(PcSampler, DecayReducesWeights)
     EXPECT_NEAR(after, before * 0.5, 1e-9);
 }
 
+TEST(PcSampler, HotFunctionsCumulativeFractionCutoff)
+{
+    HostRig rig;
+    PcSampler s(rig.machine, *rig.proc, 0);
+    // Synthetic distribution: 70% / 20% / 10%.
+    s.addWeight(3, 70.0);
+    s.addWeight(1, 20.0);
+    s.addWeight(2, 10.0);
+    // The top function alone covers 50%.
+    EXPECT_EQ(s.hotFunctions(0.5), (std::vector<ir::FuncId>{3}));
+    // 80% needs the top two (70 + 20).
+    EXPECT_EQ(s.hotFunctions(0.8), (std::vector<ir::FuncId>{3, 1}));
+    // 95% needs all three.
+    EXPECT_EQ(s.hotFunctions(0.95),
+              (std::vector<ir::FuncId>{3, 1, 2}));
+}
+
+TEST(PcSampler, HotFunctionsTieBreakByFuncId)
+{
+    HostRig rig;
+    PcSampler s(rig.machine, *rig.proc, 0);
+    s.addWeight(5, 1.0);
+    s.addWeight(2, 1.0);
+    EXPECT_EQ(s.hotFunctions(1.0), (std::vector<ir::FuncId>{2, 5}));
+}
+
+TEST(PcSampler, ZeroWeightFunctionsNeverAppear)
+{
+    // Fully decayed weights are the "uncovered code" PC3D prunes:
+    // they must not show up however generous the fraction.
+    HostRig rig;
+    PcSampler s(rig.machine, *rig.proc, 0);
+    s.addWeight(1, 4.0);
+    s.addWeight(2, 1.0);
+    s.decay(0.0);
+    EXPECT_TRUE(s.hotFunctions(1.0).empty());
+}
+
 TEST(HpmMonitor, WindowsAreDeltas)
 {
     HostRig rig;
@@ -340,6 +378,41 @@ TEST(PhaseDetector, DetectsHotSetTurnover)
     det.update(1.0, {1, 2});
     EXPECT_FALSE(det.update(1.0, {1, 2}));
     EXPECT_TRUE(det.update(1.0, {3, 4}));
+}
+
+TEST(PhaseDetector, FirstUpdatePrimesWithoutReporting)
+{
+    // The first window anchors the EWMA; however extreme, it can
+    // never be a "change" (there is nothing to change from).
+    PhaseDetector det(0.1, 1.0, 2);
+    EXPECT_FALSE(det.update(100.0, {1, 2, 3}));
+    EXPECT_DOUBLE_EQ(det.anchorIpc(), 100.0);
+    EXPECT_FALSE(det.update(100.0, {1, 2, 3}));
+}
+
+TEST(PhaseDetector, CooldownSuppressesAndAnchorTracks)
+{
+    // alpha = 1 disables smoothing so the arithmetic is exact.
+    PhaseDetector det(0.3, 1.0, 3);
+    det.update(1.0);
+    EXPECT_TRUE(det.update(2.0)); // 100% shift -> change, quiet=3
+    // During cooldown even large shifts stay quiet while the anchor
+    // tracks the signal.
+    EXPECT_FALSE(det.update(8.0));
+    EXPECT_DOUBLE_EQ(det.anchorIpc(), 8.0);
+    EXPECT_FALSE(det.update(1.0));
+    EXPECT_FALSE(det.update(4.0));
+    // Re-armed: 4.0 -> 8.0 is a 100% shift again.
+    EXPECT_TRUE(det.update(8.0));
+}
+
+TEST(PhaseDetector, EwmaRidesOutSingleWindowSpike)
+{
+    PhaseDetector det(0.3, 0.1, 2);
+    for (int i = 0; i < 10; ++i)
+        det.update(1.0);
+    // One extreme window moves the EWMA by only alpha: 10% < 30%.
+    EXPECT_FALSE(det.update(2.0));
 }
 
 TEST(NapGovernor, ProbeOverridesController)
