@@ -12,7 +12,9 @@
 #define PROTEAN_BENCH_COMMON_H
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -36,29 +38,141 @@ struct ObsConfig
 {
     std::string tracePath;
     std::string metricsPath;
+    /** Root seed for any stochastic model in the bench (--seed). */
+    uint64_t seed = 42;
 };
 
-/** Parse --trace/--metrics (and -v) and arm the tracer. */
+/**
+ * Small command-line flag parser for the benches.
+ *
+ * Built-in flags: `--trace=<path>`, `--metrics=<path>`,
+ * `--seed=<n>` and `-v`. Benches register extra flags with
+ * addFlag()/addSwitch() before parse(); unknown arguments fail with
+ * the full supported-flag list rather than a bare fatal.
+ */
+class ArgParser
+{
+  public:
+    /** Register `--name=<value>` bound to a string. */
+    void addFlag(const std::string &name, std::string *out,
+                 const std::string &help)
+    {
+        flags_.push_back({name, help, out, nullptr, nullptr, nullptr});
+    }
+
+    /** Register `--name=<n>` bound to an unsigned integer. */
+    void addFlag(const std::string &name, uint64_t *out,
+                 const std::string &help)
+    {
+        flags_.push_back({name, help, nullptr, out, nullptr, nullptr});
+    }
+
+    /** Register `--name=<x>` bound to a double. */
+    void addFlag(const std::string &name, double *out,
+                 const std::string &help)
+    {
+        flags_.push_back({name, help, nullptr, nullptr, out, nullptr});
+    }
+
+    /** Register a valueless `--name` switch bound to a bool. */
+    void addSwitch(const std::string &name, bool *out,
+                   const std::string &help)
+    {
+        flags_.push_back({name, help, nullptr, nullptr, nullptr, out});
+    }
+
+    /**
+     * Parse the command line; fatal (listing every supported flag)
+     * on anything unrecognized. Arms the tracer when --trace is
+     * given.
+     */
+    ObsConfig parse(int argc, char **argv)
+    {
+        ObsConfig cfg;
+        for (int i = 1; i < argc; ++i) {
+            std::string a = argv[i];
+            if (a.rfind("--trace=", 0) == 0) {
+                cfg.tracePath = a.substr(8);
+            } else if (a.rfind("--metrics=", 0) == 0) {
+                cfg.metricsPath = a.substr(10);
+            } else if (a.rfind("--seed=", 0) == 0) {
+                cfg.seed = std::strtoull(a.substr(7).c_str(),
+                                         nullptr, 0);
+            } else if (a == "-v") {
+                setLogLevel(LogLevel::Debug);
+            } else if (!parseExtra(a)) {
+                fatal("unknown argument %s\n%s", a.c_str(),
+                      usage().c_str());
+            }
+        }
+        if (!cfg.tracePath.empty())
+            obs::tracer().setEnabled(true);
+        return cfg;
+    }
+
+    /** The supported-flag list, one flag per line. */
+    std::string usage() const
+    {
+        std::string u = "supported flags:\n"
+            "  --trace=<path>    write Chrome trace JSON\n"
+            "  --metrics=<path>  write metrics snapshot JSON\n"
+            "  --seed=<n>        root seed for stochastic models\n"
+            "  -v                debug logging";
+        for (const Flag &f : flags_) {
+            std::string spec = "--" + f.name +
+                (f.b ? "" : f.s ? "=<value>" : f.d ? "=<x>" : "=<n>");
+            u += "\n  " + spec;
+            if (spec.size() < 18)
+                u += std::string(18 - spec.size(), ' ');
+            else
+                u += ' ';
+            u += f.help;
+        }
+        return u;
+    }
+
+  private:
+    struct Flag
+    {
+        std::string name;
+        std::string help;
+        std::string *s;
+        uint64_t *u;
+        double *d;
+        bool *b;
+    };
+
+    bool parseExtra(const std::string &a)
+    {
+        for (const Flag &f : flags_) {
+            if (f.b && a == "--" + f.name) {
+                *f.b = true;
+                return true;
+            }
+            std::string prefix = "--" + f.name + "=";
+            if (!f.b && a.rfind(prefix, 0) == 0) {
+                std::string v = a.substr(prefix.size());
+                if (f.s)
+                    *f.s = v;
+                else if (f.u)
+                    *f.u = std::strtoull(v.c_str(), nullptr, 0);
+                else if (f.d)
+                    *f.d = std::strtod(v.c_str(), nullptr);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    std::vector<Flag> flags_;
+};
+
+/** Parse the built-in flags only (--trace/--metrics/--seed/-v). */
 inline ObsConfig
 parseObsArgs(int argc, char **argv)
 {
-    ObsConfig cfg;
-    for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        if (a.rfind("--trace=", 0) == 0) {
-            cfg.tracePath = a.substr(8);
-        } else if (a.rfind("--metrics=", 0) == 0) {
-            cfg.metricsPath = a.substr(10);
-        } else if (a == "-v") {
-            setLogLevel(LogLevel::Debug);
-        } else {
-            fatal("unknown argument %s (expected --trace=<path>, "
-                  "--metrics=<path> or -v)", a.c_str());
-        }
-    }
-    if (!cfg.tracePath.empty())
-        obs::tracer().setEnabled(true);
-    return cfg;
+    ArgParser parser;
+    return parser.parse(argc, argv);
 }
 
 /** Write the requested exports (call at the end of main). */

@@ -4,12 +4,15 @@
  * webservice/batch-mix pairing at equal throughput — 10k PC3D
  * servers vs the no-co-location policy's 10k + dedicated batch
  * servers. Batch utilizations come from live PC3D colocation
- * experiments at a 95% QoS target.
+ * experiments at a 95% QoS target. With --fleet, utilizations come
+ * from a real small-N fleet run (cells sharing the fleet compilation
+ * service) instead of independent single-server colocations.
  */
 
 #include "common.h"
 
 #include "datacenter/experiment.h"
+#include "datacenter/fleet_calibration.h"
 #include "datacenter/scaleout.h"
 
 using namespace protean;
@@ -17,7 +20,12 @@ using namespace protean;
 int
 main(int argc, char **argv)
 {
-    bench::ObsConfig obs_cfg = bench::parseObsArgs(argc, argv);
+    bool use_fleet = false;
+    bench::ArgParser parser;
+    parser.addSwitch("fleet", &use_fleet,
+                     "measure utilizations from a shared-service "
+                     "fleet run");
+    bench::ObsConfig obs_cfg = parser.parse(argc, argv);
     {
         TextTable t3("Table III: workload mixes for scale-out "
                      "analysis");
@@ -40,21 +48,33 @@ main(int argc, char **argv)
     for (const auto &service : workloads::webserviceNames()) {
         for (const auto &[mix, members] :
              datacenter::tableThreeMixes()) {
-            std::vector<double> utils;
-            for (const auto &batch : members) {
-                datacenter::ColoConfig cfg;
-                cfg.service = service;
-                cfg.batch = batch;
-                cfg.qosTarget = 0.95;
-                cfg.qps = 120.0;
-                cfg.system = datacenter::System::Pc3d;
-                cfg.settleMs = 4000.0;
-                cfg.measureMs = 2000.0;
-                utils.push_back(
-                    datacenter::runColocation(cfg).utilization);
+            datacenter::ScaleOutResult r;
+            if (use_fleet) {
+                datacenter::FleetMixConfig fcfg;
+                fcfg.service = service;
+                fcfg.qps = 120.0;
+                fcfg.serversPerApp = 1;
+                fcfg.settleMs = 4000.0;
+                fcfg.measureMs = 2000.0;
+                r = datacenter::analyzeMixFromFleet(
+                        service, mix, members, {}, fcfg)
+                        .scaleout;
+            } else {
+                std::vector<double> utils;
+                for (const auto &batch : members) {
+                    datacenter::ColoConfig cfg;
+                    cfg.service = service;
+                    cfg.batch = batch;
+                    cfg.qosTarget = 0.95;
+                    cfg.qps = 120.0;
+                    cfg.system = datacenter::System::Pc3d;
+                    cfg.settleMs = 4000.0;
+                    cfg.measureMs = 2000.0;
+                    utils.push_back(
+                        datacenter::runColocation(cfg).utilization);
+                }
+                r = datacenter::analyzeMix(service, mix, utils);
             }
-            datacenter::ScaleOutResult r =
-                datacenter::analyzeMix(service, mix, utils);
             t.addRow({service + "/" + mix,
                       strformat("%uk", r.pc3dServers / 1000),
                       strformat("%.1fk", r.noColoServers / 1000.0),

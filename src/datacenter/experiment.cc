@@ -22,8 +22,10 @@ constexpr uint32_t kServiceCore = 0;
 constexpr uint32_t kBatchCore = 1;
 constexpr uint32_t kRuntimeCore = 2;
 
+} // namespace
+
 /** Everything a running colocation needs, with stable lifetimes. */
-struct Rig
+struct ColoCellImpl
 {
     sim::Machine machine;
     ir::Module svcModule;
@@ -35,11 +37,18 @@ struct Rig
     std::unique_ptr<workloads::ServiceDriver> driver;
     std::unique_ptr<runtime::NapGovernor> governor;
     std::unique_ptr<runtime::QosMonitor> qos;
+    std::unique_ptr<runtime::CompileBackend> backend;
     std::unique_ptr<runtime::ProteanRuntime> rt;
     std::unique_ptr<pc3d::Pc3dEngine> engine;
     std::unique_ptr<reqos::ReQosController> reqos;
 
-    explicit Rig(const ColoConfig &cfg)
+    /** Measurement snapshot (beginMeasure / finish). */
+    sim::HpmCounters host0;
+    sim::HpmCounters co0;
+    uint64_t measureStart = 0;
+    bool measuring = false;
+
+    explicit ColoCellImpl(const ColoConfig &cfg)
         : machine(cfg.machine),
           svcModule(workloads::buildService(
               workloads::serviceSpec(cfg.service))),
@@ -77,6 +86,10 @@ struct Rig
           case System::Pc3d: {
             runtime::RuntimeOptions ropts;
             ropts.runtimeCore = kRuntimeCore;
+            if (cfg.backendFactory) {
+                backend = cfg.backendFactory(machine, kRuntimeCore);
+                ropts.compileBackend = backend.get();
+            }
             rt = std::make_unique<runtime::ProteanRuntime>(
                 machine, *batch, ropts);
             pc3d::Pc3dOptions popts;
@@ -115,8 +128,10 @@ struct Rig
     }
 };
 
+namespace {
+
 ColoResult
-finalize(const ColoConfig &cfg, Rig &rig, ColoResult result,
+finalize(const ColoConfig &cfg, ColoCellImpl &rig, ColoResult result,
          uint64_t measure_cycles, const sim::HpmCounters &host0,
          const sim::HpmCounters &co0)
 {
@@ -185,18 +200,52 @@ soloBatchBpc(const std::string &batch, const sim::MachineConfig &mcfg)
     return bpc;
 }
 
+ColoCell::ColoCell(const ColoConfig &cfg)
+    : cfg_(cfg), impl_(std::make_unique<ColoCellImpl>(cfg))
+{
+}
+
+ColoCell::~ColoCell() = default;
+
+sim::Machine &
+ColoCell::machine()
+{
+    return impl_->machine;
+}
+
+runtime::ProteanRuntime *
+ColoCell::runtime()
+{
+    return impl_->rt.get();
+}
+
+void
+ColoCell::beginMeasure()
+{
+    impl_->host0 = impl_->machine.core(kBatchCore).hpm();
+    impl_->co0 = impl_->machine.core(kServiceCore).hpm();
+    impl_->measureStart = impl_->machine.now();
+    impl_->measuring = true;
+}
+
+ColoResult
+ColoCell::finish()
+{
+    if (!impl_->measuring)
+        fatal("ColoCell::finish called before beginMeasure");
+    uint64_t cycles = impl_->machine.now() - impl_->measureStart;
+    return finalize(cfg_, *impl_, ColoResult{}, cycles,
+                    impl_->host0, impl_->co0);
+}
+
 ColoResult
 runColocation(const ColoConfig &cfg)
 {
-    Rig rig(cfg);
-    rig.machine.runFor(rig.machine.msToCycles(cfg.settleMs));
-
-    sim::HpmCounters host0 = rig.machine.core(kBatchCore).hpm();
-    sim::HpmCounters co0 = rig.machine.core(kServiceCore).hpm();
-    uint64_t measure = rig.machine.msToCycles(cfg.measureMs);
-    rig.machine.runFor(measure);
-
-    return finalize(cfg, rig, ColoResult{}, measure, host0, co0);
+    ColoCell cell(cfg);
+    cell.machine().runFor(cell.machine().msToCycles(cfg.settleMs));
+    cell.beginMeasure();
+    cell.machine().runFor(cell.machine().msToCycles(cfg.measureMs));
+    return cell.finish();
 }
 
 ColoResult
@@ -204,7 +253,7 @@ runColocationTrace(const ColoConfig &cfg, double sample_ms)
 {
     if (sample_ms <= 0.0)
         fatal("runColocationTrace: sample_ms must be positive");
-    Rig rig(cfg);
+    ColoCellImpl rig(cfg);
     ColoResult result;
 
     double total_ms = cfg.settleMs + cfg.measureMs;

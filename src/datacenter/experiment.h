@@ -21,6 +21,7 @@
 #define PROTEAN_DATACENTER_EXPERIMENT_H
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,16 @@
 #include "workloads/driver.h"
 
 namespace protean {
+
+namespace runtime {
+class CompileBackend;
+class ProteanRuntime;
+}
+
+namespace sim {
+class Machine;
+}
+
 namespace datacenter {
 
 /** Mitigation system under test. */
@@ -58,6 +69,16 @@ struct ColoConfig
     sim::MachineConfig machine;
     /** Override PC3D evaluation-window length (0 = default). */
     double pc3dWindowMs = 0.0;
+    /**
+     * Optional compile-backend factory (Pc3d only). Called with the
+     * cell's machine and the runtime core once both exist; the
+     * returned backend is owned by the cell and handed to the
+     * runtime. nullptr keeps the local (on-server) compiler. A
+     * fleet::RemoteBackend factory routes this cell's compiles
+     * through a shared fleet compilation service.
+     */
+    std::function<std::unique_ptr<runtime::CompileBackend>(
+        sim::Machine &, uint32_t)> backendFactory;
 };
 
 /** Timeline sample for trace experiments. */
@@ -91,6 +112,44 @@ struct ColoResult
     size_t maxDepthLoads = 0;
     /** Timeline (filled when sampleMs > 0 in runColocationTrace). */
     std::vector<TraceSample> trace;
+};
+
+struct ColoCellImpl;
+
+/**
+ * One live colocation cell, exposed for fleet experiments: N cells
+ * (each its own server) can be advanced in lockstep by
+ * fleet::Cluster while sharing one compilation service through
+ * ColoConfig::backendFactory. runColocation() is the single-cell
+ * convenience wrapper.
+ */
+class ColoCell
+{
+  public:
+    explicit ColoCell(const ColoConfig &cfg);
+    ~ColoCell();
+
+    ColoCell(const ColoCell &) = delete;
+    ColoCell &operator=(const ColoCell &) = delete;
+
+    sim::Machine &machine();
+    const ColoConfig &config() const { return cfg_; }
+
+    /** The cell's protean runtime; nullptr unless system == Pc3d. */
+    runtime::ProteanRuntime *runtime();
+
+    /** Snapshot counters; call once the cell has settled. */
+    void beginMeasure();
+
+    /** Measure from the beginMeasure() snapshot to now. */
+    ColoResult finish();
+
+    /** Internal rig access (experiment.cc and trace harness). */
+    ColoCellImpl &impl() { return *impl_; }
+
+  private:
+    ColoConfig cfg_;
+    std::unique_ptr<ColoCellImpl> impl_;
 };
 
 /** Run one colocation cell. */

@@ -1,0 +1,48 @@
+#include "fleet/client.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/logging.h"
+
+namespace protean {
+namespace fleet {
+
+RemoteBackend::RemoteBackend(CompileService &svc,
+                             sim::Machine &machine,
+                             uint32_t server_id, uint32_t install_core,
+                             uint64_t install_cycles)
+    : svc_(svc), machine_(machine), serverId_(server_id),
+      installCore_(install_core), installCycles_(install_cycles)
+{
+}
+
+void
+RemoteBackend::compile(const runtime::CompileJob &job,
+                       std::function<
+                           void(const runtime::CompileOutcome &)> done)
+{
+    ++requests_;
+    obs::metrics().counter("fleet.client.requests").inc();
+    uint64_t arrival =
+        machine_.now() + svc_.config().net.requestLatencyCycles;
+    svc_.submit(
+        serverId_, job, arrival,
+        [this, done = std::move(done)](
+            const runtime::CompileOutcome &out) {
+            // Fires from CompileService::advance() at a cluster time
+            // barrier; the caller schedules dispatch no earlier than
+            // out.readyCycle on this machine's event queue.
+            machine_.core(installCore_).stealCycles(installCycles_);
+            obs::tracer().instant(
+                "fleet.client",
+                out.remoteHit ? "install cached variant" :
+                                "install compiled variant",
+                strformat("\"server\":%u", serverId_));
+            runtime::CompileOutcome charged = out;
+            charged.chargedCycles = installCycles_;
+            done(charged);
+        });
+}
+
+} // namespace fleet
+} // namespace protean

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fleet cache client: the remote CompileBackend.
+ *
+ * Plugs into runtime::RuntimeCompiler in place of the local backend.
+ * A variant request becomes a network message to the shared
+ * CompileService; the server pays only a small install cost (EVT
+ * patch, code-cache append bookkeeping) plus the modeled network
+ * round trip — never the compile cycles, which land on the service
+ * (and are amortized fleet-wide by its content-addressed cache).
+ */
+
+#ifndef PROTEAN_FLEET_CLIENT_H
+#define PROTEAN_FLEET_CLIENT_H
+
+#include "fleet/service.h"
+#include "sim/machine.h"
+
+namespace protean {
+namespace fleet {
+
+/** Per-server client for the fleet compilation service. */
+class RemoteBackend : public runtime::CompileBackend
+{
+  public:
+    /**
+     * @param svc The shared service (must outlive the backend).
+     * @param machine This server's machine (send times, installs).
+     * @param server_id Fleet-wide server index (stats, traces).
+     * @param install_core Core charged with variant installation.
+     * @param install_cycles Modeled cost of installing a received
+     *        variant (EVT patch + bookkeeping).
+     */
+    RemoteBackend(CompileService &svc, sim::Machine &machine,
+                  uint32_t server_id, uint32_t install_core = 0,
+                  uint64_t install_cycles = 100);
+
+    void compile(const runtime::CompileJob &job,
+                 std::function<void(const runtime::CompileOutcome &)>
+                     done) override;
+
+    const char *backendName() const override { return "fleet"; }
+
+    uint32_t serverId() const { return serverId_; }
+    uint64_t requestCount() const { return requests_; }
+
+  private:
+    CompileService &svc_;
+    sim::Machine &machine_;
+    uint32_t serverId_;
+    uint32_t installCore_;
+    uint64_t installCycles_;
+    uint64_t requests_ = 0;
+};
+
+} // namespace fleet
+} // namespace protean
+
+#endif // PROTEAN_FLEET_CLIENT_H

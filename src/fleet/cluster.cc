@@ -1,0 +1,50 @@
+#include "fleet/cluster.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace protean {
+namespace fleet {
+
+Cluster::Cluster(CompileService &svc) : svc_(svc)
+{
+    // A request submitted just after a barrier arrives at the
+    // service requestLatency later and responds at least
+    // responseLatency after its batch closes, so with the quantum
+    // capped at the round trip every ready cycle is >= the barrier
+    // that resolves it: responses always land in the future.
+    const NetworkModel &net = svc.config().net;
+    quantum_ = std::max<uint64_t>(
+        1, net.requestLatencyCycles + net.responseLatencyCycles);
+}
+
+void
+Cluster::addMachine(sim::Machine &m)
+{
+    if (m.now() != now_)
+        fatal("Cluster: machine joins at cycle %llu, cluster is at "
+              "%llu",
+              static_cast<unsigned long long>(m.now()),
+              static_cast<unsigned long long>(now_));
+    machines_.push_back(&m);
+}
+
+void
+Cluster::run(uint64_t until_cycle)
+{
+    if (until_cycle < now_)
+        panic("Cluster: running into the past");
+    while (now_ < until_cycle) {
+        uint64_t t = std::min(until_cycle, now_ + quantum_);
+        // Fixed server order per quantum keeps the interleaving of
+        // service submissions deterministic.
+        for (sim::Machine *m : machines_)
+            m->run(t);
+        svc_.advance(t);
+        now_ = t;
+    }
+}
+
+} // namespace fleet
+} // namespace protean

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Lockstep cluster coordinator.
+ *
+ * Advances N independent sim::Machines and the shared CompileService
+ * through global time together: machines run one quantum each (in
+ * fixed server order), then the service resolves everything that
+ * reached it (advance(T)). The quantum is capped at the service's
+ * network round trip, so every response's ready cycle lands at or
+ * after the barrier that produced it — responses are scheduled into
+ * each machine's future, never its past, and the whole simulation
+ * stays deterministic (see DESIGN.md §7 for the rules).
+ */
+
+#ifndef PROTEAN_FLEET_CLUSTER_H
+#define PROTEAN_FLEET_CLUSTER_H
+
+#include <vector>
+
+#include "fleet/service.h"
+#include "sim/machine.h"
+
+namespace protean {
+namespace fleet {
+
+/** Runs machines + service in lockstep quanta. */
+class Cluster
+{
+  public:
+    explicit Cluster(CompileService &svc);
+
+    /** Register a machine (non-owning). All machines must share the
+     *  cluster's current time. */
+    void addMachine(sim::Machine &m);
+
+    /** Advance everything to an absolute global cycle. */
+    void run(uint64_t until_cycle);
+
+    /** Advance everything by a duration. */
+    void runFor(uint64_t cycles) { run(now_ + cycles); }
+
+    uint64_t now() const { return now_; }
+    uint64_t quantum() const { return quantum_; }
+    size_t numMachines() const { return machines_.size(); }
+
+  private:
+    CompileService &svc_;
+    std::vector<sim::Machine *> machines_;
+    uint64_t now_ = 0;
+    uint64_t quantum_;
+};
+
+} // namespace fleet
+} // namespace protean
+
+#endif // PROTEAN_FLEET_CLUSTER_H

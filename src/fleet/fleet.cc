@@ -1,0 +1,183 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <set>
+
+#include "obs/metrics.h"
+#include "pcc/pcc.h"
+#include "support/logging.h"
+#include "workloads/registry.h"
+
+namespace protean {
+namespace fleet {
+
+namespace {
+
+ir::Module
+buildFleetModule(const FleetConfig &cfg)
+{
+    workloads::BatchSpec spec = workloads::batchSpec(cfg.batch);
+    return workloads::buildBatch(spec);
+}
+
+} // namespace
+
+FleetSim::FleetSim(const FleetConfig &cfg)
+    : cfg_(cfg), module_(buildFleetModule(cfg)),
+      image_(pcc::compile(module_)), svc_(cfg.service), cluster_(svc_)
+{
+    if (cfg_.numServers == 0)
+        fatal("FleetSim: numServers must be > 0");
+    if (cfg_.runtimeCore >= cfg_.machine.numCores)
+        fatal("FleetSim: runtimeCore %u out of range (%u cores)",
+              cfg_.runtimeCore, cfg_.machine.numCores);
+    buildCatalog();
+
+    // One seed stream forked per server, in server order, so every
+    // server's arrival process is independent yet the whole fleet is
+    // reproducible from cfg.seed.
+    Rng seeder(cfg_.seed);
+    servers_.reserve(cfg_.numServers);
+    for (uint32_t i = 0; i < cfg_.numServers; ++i) {
+        auto s = std::make_unique<Server>();
+        s->rng = seeder.fork();
+        s->machine = std::make_unique<sim::Machine>(cfg_.machine);
+        sim::Process &proc = s->machine->load(image_, 0);
+        runtime::RuntimeOptions opts;
+        opts.runtimeCore = cfg_.runtimeCore;
+        if (cfg_.remoteBackend) {
+            s->backend = std::make_unique<RemoteBackend>(
+                svc_, *s->machine, i, cfg_.runtimeCore,
+                cfg_.installCycles);
+            opts.compileBackend = s->backend.get();
+        }
+        s->rt = std::make_unique<runtime::ProteanRuntime>(
+            *s->machine, proc, opts);
+        cluster_.addMachine(*s->machine);
+        servers_.push_back(std::move(s));
+    }
+    for (auto &s : servers_)
+        scheduleNextRequest(*s);
+}
+
+FleetSim::~FleetSim() = default;
+
+void
+FleetSim::buildCatalog()
+{
+    // The catalog is derived from the binary alone, so every server
+    // (running the same binary) would derive the same one — which is
+    // why requests collide fleet-wide and the service's content
+    // addressing pays off.
+    codegen::VirtualizationMap slots = pcc::chooseVirtualizedCallees(
+        module_, pcc::EdgePolicy::MultiBlockCallees);
+    std::vector<ir::FuncId> funcs;
+    funcs.reserve(slots.size());
+    for (const auto &[f, slot] : slots) {
+        (void)slot;
+        funcs.push_back(f);
+    }
+    std::sort(funcs.begin(), funcs.end());
+
+    for (ir::FuncId f : funcs) {
+        std::vector<ir::LoadId> loads;
+        for (const auto &bb : module_.function(f).blocks()) {
+            for (const auto &inst : bb.insts) {
+                if (inst.op == ir::Opcode::Load &&
+                    inst.loadId != ir::kInvalidId)
+                    loads.push_back(inst.loadId);
+            }
+        }
+        if (loads.empty()) {
+            Directive d;
+            d.func = f;
+            d.mask = BitVector(module_.numLoads());
+            catalog_.push_back(std::move(d));
+            continue;
+        }
+        // Nested prefix masks of increasing NT aggressiveness — the
+        // shapes PC3D's peeling search actually deploys.
+        std::set<size_t> depths;
+        for (uint32_t k = 1; k <= cfg_.masksPerFunction; ++k) {
+            size_t n = (loads.size() * k + cfg_.masksPerFunction - 1) /
+                cfg_.masksPerFunction;
+            depths.insert(std::max<size_t>(1, n));
+        }
+        for (size_t n : depths) {
+            Directive d;
+            d.func = f;
+            d.mask = BitVector(module_.numLoads());
+            for (size_t i = 0; i < n; ++i)
+                d.mask.set(loads[i]);
+            catalog_.push_back(std::move(d));
+        }
+    }
+    if (catalog_.empty())
+        fatal("FleetSim: batch '%s' has no virtualized functions",
+              cfg_.batch.c_str());
+}
+
+void
+FleetSim::scheduleNextRequest(Server &s)
+{
+    double wait_ms = s.rng.nextExponential(cfg_.meanRequestMs);
+    uint64_t delay =
+        std::max<uint64_t>(1, s.machine->msToCycles(wait_ms));
+    s.machine->scheduleAfter(delay, [this, &s] {
+        const Directive &d = catalog_[s.rng.nextBelow(catalog_.size())];
+        ++deployRequests_;
+        s.rt->deployVariant(d.func, d.mask);
+        scheduleNextRequest(s);
+    });
+}
+
+void
+FleetSim::run(double ms)
+{
+    cluster_.runFor(cfg_.machine.msToCycles(ms));
+}
+
+FleetStats
+FleetSim::stats() const
+{
+    FleetStats st;
+    st.deployRequests = deployRequests_;
+    st.service = svc_.stats();
+    for (const auto &s : servers_) {
+        const runtime::RuntimeCompiler &rc = s->rt->compiler();
+        st.serverCompiles += rc.compileCount();
+        st.serverCompileCycles += rc.compileCycles();
+        st.remoteHits += rc.remoteHits();
+        st.hostBranches += s->machine->core(0).hpm().branches;
+    }
+    return st;
+}
+
+void
+FleetSim::exportObsMetrics() const
+{
+    // Per-machine exportObsMetrics() publishes under shared names
+    // with max semantics — wrong summed across a fleet — so the fleet
+    // publishes its own aggregates instead.
+    svc_.exportObsMetrics();
+    FleetStats st = stats();
+    obs::MetricsRegistry &m = obs::metrics();
+    m.gauge("fleet.sim.servers").set(
+        static_cast<double>(cfg_.numServers));
+    m.gauge("fleet.sim.catalog_size").set(
+        static_cast<double>(catalog_.size()));
+    m.gauge("fleet.sim.deploy_requests").set(
+        static_cast<double>(st.deployRequests));
+    m.gauge("fleet.sim.server_compiles").set(
+        static_cast<double>(st.serverCompiles));
+    m.gauge("fleet.sim.server_compile_cycles").set(
+        static_cast<double>(st.serverCompileCycles));
+    m.gauge("fleet.sim.total_compile_cycles").set(
+        static_cast<double>(st.totalCompileCycles()));
+    m.gauge("fleet.sim.host_branches").set(
+        static_cast<double>(st.hostBranches));
+    m.gauge("fleet.sim.dedup_factor").set(st.dedupFactor());
+}
+
+} // namespace fleet
+} // namespace protean

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The simulated fleet: N servers, one binary, one compile service.
+ *
+ * Every server is a full sim::Machine running the same protean
+ * binary with a ProteanRuntime attached. Variant requests arrive at
+ * each server as an independent exponential process (its own
+ * monitoring stack deciding to retune), drawn from a shared catalog
+ * of (function, NT mask) directives — the same binary produces the
+ * same catalog on every server, which is exactly the WSC redundancy
+ * the compilation service amortizes (paper Section V-E).
+ *
+ * With cfg.remoteBackend=false every server compiles locally (the
+ * single-server baseline); with true, all requests route through the
+ * shared content-addressed CompileService, and the fleet-wide compile
+ * cycle total collapses by roughly the server count.
+ */
+
+#ifndef PROTEAN_FLEET_FLEET_H
+#define PROTEAN_FLEET_FLEET_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/client.h"
+#include "fleet/cluster.h"
+#include "fleet/service.h"
+#include "ir/module.h"
+#include "isa/image.h"
+#include "runtime/runtime.h"
+#include "sim/machine.h"
+#include "support/random.h"
+
+namespace protean {
+namespace fleet {
+
+/** Fleet simulation parameters. */
+struct FleetConfig
+{
+    uint32_t numServers = 8;
+    /** Batch application every server runs (same binary fleet-wide). */
+    std::string batch = "soplex";
+    ServiceConfig service;
+    /** false = local compile backend on every server (baseline). */
+    bool remoteBackend = true;
+    /** Mean per-server variant-request interarrival, simulated ms. */
+    double meanRequestMs = 4.0;
+    /** Catalog depth: NT masks generated per virtualized function. */
+    uint32_t masksPerFunction = 4;
+    uint64_t seed = 42;
+    /** Server-side cost of installing a received variant. */
+    uint64_t installCycles = 100;
+    /** Core charged with runtime/compile/install work. Defaults to
+     *  the host's own core, the WSC configuration: no server
+     *  dedicates a core to compilation, so local compiles steal host
+     *  cycles and the service's value shows up as host progress. */
+    uint32_t runtimeCore = 0;
+    sim::MachineConfig machine;
+};
+
+/** Aggregated fleet results. */
+struct FleetStats
+{
+    /** Variant deploy requests issued across all servers. */
+    uint64_t deployRequests = 0;
+    /** Variants materialized into server code caches. */
+    uint64_t serverCompiles = 0;
+    /** Compile cycles charged to servers (stolen from hosts). */
+    uint64_t serverCompileCycles = 0;
+    /** Requests the service satisfied without a fresh compile. */
+    uint64_t remoteHits = 0;
+    /** Host progress: retired branches summed over all servers. */
+    uint64_t hostBranches = 0;
+    ServiceStats service;
+
+    /** Fleet-wide compile cycles: servers + service. */
+    uint64_t totalCompileCycles() const
+    {
+        return serverCompileCycles + service.compileCycles;
+    }
+
+    /** Variants materialized per fresh compile anywhere: the
+     *  amortization the service buys (1.0 for the local baseline). */
+    double dedupFactor() const
+    {
+        uint64_t compiles = service.compiles > 0 ? service.compiles :
+            serverCompiles;
+        if (compiles == 0)
+            return 1.0;
+        return static_cast<double>(serverCompiles) /
+            static_cast<double>(compiles);
+    }
+};
+
+/** N servers + shared compile service, run in lockstep. */
+class FleetSim
+{
+  public:
+    explicit FleetSim(const FleetConfig &cfg);
+    ~FleetSim();
+
+    FleetSim(const FleetSim &) = delete;
+    FleetSim &operator=(const FleetSim &) = delete;
+
+    /** Advance the whole fleet by a simulated duration. */
+    void run(double ms);
+
+    FleetStats stats() const;
+
+    CompileService &service() { return svc_; }
+    Cluster &cluster() { return cluster_; }
+    size_t catalogSize() const { return catalog_.size(); }
+
+    /** Publish fleet gauges + per-shard service gauges. */
+    void exportObsMetrics() const;
+
+  private:
+    struct Server
+    {
+        std::unique_ptr<sim::Machine> machine;
+        std::unique_ptr<RemoteBackend> backend;
+        std::unique_ptr<runtime::ProteanRuntime> rt;
+        Rng rng;
+    };
+
+    /** One catalog entry: a deployable transformation directive. */
+    struct Directive
+    {
+        ir::FuncId func = ir::kInvalidId;
+        BitVector mask;
+    };
+
+    FleetConfig cfg_;
+    ir::Module module_;
+    isa::Image image_;
+    CompileService svc_;
+    Cluster cluster_;
+    std::vector<Directive> catalog_;
+    std::vector<std::unique_ptr<Server>> servers_;
+    uint64_t deployRequests_ = 0;
+
+    void buildCatalog();
+    void scheduleNextRequest(Server &s);
+};
+
+} // namespace fleet
+} // namespace protean
+
+#endif // PROTEAN_FLEET_FLEET_H

@@ -1,0 +1,284 @@
+#include "fleet/service.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/logging.h"
+
+namespace protean {
+namespace fleet {
+
+namespace {
+
+/** SplitMix64 finalizer: spreads content keys across shards. */
+uint64_t
+mix64(uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace
+
+CompileService::CompileService(const ServiceConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.numShards == 0)
+        fatal("CompileService: numShards must be positive");
+    shards_.resize(cfg_.numShards);
+}
+
+uint32_t
+CompileService::shardOf(uint64_t content_key) const
+{
+    return static_cast<uint32_t>(mix64(content_key) %
+                                 cfg_.numShards);
+}
+
+size_t
+CompileService::shardOccupancy(uint32_t shard) const
+{
+    if (shard >= shards_.size())
+        panic("CompileService: bad shard %u", shard);
+    return shards_[shard].index.size();
+}
+
+uint64_t
+CompileService::shardCompileCycles(uint32_t shard) const
+{
+    if (shard >= shards_.size())
+        panic("CompileService: bad shard %u", shard);
+    return shards_[shard].compileCycles;
+}
+
+double
+CompileService::hitRate() const
+{
+    uint64_t classified = stats_.hits + stats_.misses +
+        stats_.coalesced;
+    if (classified == 0)
+        return 0.0;
+    return static_cast<double>(stats_.hits + stats_.coalesced) /
+        static_cast<double>(classified);
+}
+
+void
+CompileService::submit(uint32_t server,
+                       const runtime::CompileJob &job,
+                       uint64_t arrival_cycle, Response done)
+{
+    ++stats_.requests;
+    obs::metrics().counter("fleet.service.requests").inc();
+    Request r;
+    r.arrival = arrival_cycle;
+    r.seq = seq_++;
+    r.server = server;
+    r.job = job;
+    r.done = std::move(done);
+    pending_.push_back(std::move(r));
+}
+
+void
+CompileService::advance(uint64_t cycle)
+{
+    // Route everything that has reached the service, in strict
+    // (arrival, submission) order, preserving per-shard arrival
+    // order. Later-arriving requests stay pending.
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [](const Request &a, const Request &b) {
+                         return a.arrival != b.arrival ?
+                             a.arrival < b.arrival : a.seq < b.seq;
+                     });
+    std::vector<Request> later;
+    for (auto &r : pending_) {
+        if (r.arrival <= cycle)
+            shards_[shardOf(r.job.contentKey)].queue.push_back(
+                std::move(r));
+        else
+            later.push_back(std::move(r));
+    }
+    pending_ = std::move(later);
+
+    for (uint32_t s = 0; s < shards_.size(); ++s)
+        advanceShard(s, cycle);
+}
+
+void
+CompileService::advanceShard(uint32_t s, uint64_t cycle)
+{
+    Shard &sh = shards_[s];
+    // Interleave compile completions and batch closes in cycle order
+    // (completions first on ties, so a just-finished variant is a
+    // cache hit for a batch closing the same cycle).
+    for (;;) {
+        uint64_t next_done = sh.completions.empty() ?
+            UINT64_MAX : sh.completions.begin()->first;
+        uint64_t next_close = sh.queue.empty() ?
+            UINT64_MAX :
+            sh.queue.front().arrival + cfg_.batchWindowCycles;
+        if (next_done <= next_close && next_done <= cycle) {
+            installCompletions(s, sh, next_done);
+        } else if (next_close <= cycle) {
+            resolveBatch(s, sh, next_close);
+        } else {
+            break;
+        }
+    }
+}
+
+void
+CompileService::installCompletions(uint32_t s, Shard &sh,
+                                   uint64_t cycle)
+{
+    while (!sh.completions.empty() &&
+           sh.completions.begin()->first <= cycle) {
+        auto it = sh.completions.begin();
+        for (uint64_t key : it->second) {
+            auto inflight = sh.inflight.find(key);
+            uint64_t bytes = inflight == sh.inflight.end() ?
+                0 : inflight->second.second;
+            sh.inflight.erase(key);
+            installKey(s, sh, key, bytes);
+        }
+        sh.completions.erase(it);
+    }
+}
+
+void
+CompileService::installKey(uint32_t s, Shard &sh, uint64_t key,
+                           uint64_t code_bytes)
+{
+    if (cfg_.shardCapacity == 0)
+        return; // cache disabled: compile results are not retained
+    if (sh.index.count(key))
+        return;
+    if (sh.index.size() >= cfg_.shardCapacity) {
+        const CacheEntry &victim = sh.lru.back();
+        sh.index.erase(victim.key);
+        sh.lru.pop_back();
+        ++stats_.evictions;
+        obs::metrics().counter("fleet.service.evictions").inc();
+        obs::tracer().instant(
+            strformat("fleet.shard%u", s), "evict",
+            strformat("\"key\":%llu",
+                      static_cast<unsigned long long>(victim.key)));
+    }
+    sh.lru.push_front(CacheEntry{key, code_bytes});
+    sh.index[key] = sh.lru.begin();
+}
+
+void
+CompileService::resolveBatch(uint32_t s, Shard &sh, uint64_t close)
+{
+    std::vector<Request> batch;
+    while (!sh.queue.empty() && sh.queue.front().arrival <= close) {
+        batch.push_back(std::move(sh.queue.front()));
+        sh.queue.pop_front();
+    }
+    ++stats_.batches;
+    obs::metrics().counter("fleet.service.batches").inc();
+    obs::metrics().histogram("fleet.service.batch_size",
+                             {1, 2, 4, 8, 16, 32, 64, 128})
+        .observe(static_cast<double>(batch.size()));
+    std::string lane = strformat("fleet.shard%u", s);
+    obs::tracer().instant(lane, "batch_close",
+                          strformat("\"size\":%zu", batch.size()));
+
+    const NetworkModel &net = cfg_.net;
+    for (Request &r : batch) {
+        uint64_t key = r.job.contentKey;
+        runtime::CompileOutcome out;
+        const char *verdict = nullptr;
+
+        auto hit = sh.index.find(key);
+        auto inflight = sh.inflight.find(key);
+        if (hit != sh.index.end()) {
+            // Cache hit: touch LRU, ship the cached variant.
+            sh.lru.splice(sh.lru.begin(), sh.lru, hit->second);
+            uint64_t done = close + cfg_.lookupCycles;
+            out.startCycle = close;
+            out.readyCycle = done + net.responseLatencyCycles +
+                net.transferCycles(hit->second->codeBytes);
+            out.remoteHit = true;
+            ++stats_.hits;
+            stats_.bytesOut += hit->second->codeBytes;
+            obs::metrics().counter("fleet.service.hits").inc();
+            verdict = "hit";
+        } else if (inflight != sh.inflight.end()) {
+            // Another server's miss is already compiling this key:
+            // coalesce onto its completion.
+            uint64_t done = inflight->second.first;
+            out.startCycle = close;
+            out.readyCycle = done + net.responseLatencyCycles +
+                net.transferCycles(r.job.codeBytes);
+            out.remoteHit = true;
+            ++stats_.coalesced;
+            stats_.bytesOut += r.job.codeBytes;
+            obs::metrics().counter("fleet.service.coalesced").inc();
+            verdict = "coalesced";
+        } else {
+            // Miss: compile on this shard's serial backend.
+            uint64_t start = std::max(close + cfg_.lookupCycles,
+                                      sh.backendFree);
+            uint64_t done = start + r.job.costCycles;
+            sh.backendFree = done;
+            sh.inflight[key] = {done, r.job.codeBytes};
+            sh.completions[done].push_back(key);
+            sh.compileCycles += r.job.costCycles;
+            ++stats_.misses;
+            ++stats_.compiles;
+            stats_.compileCycles += r.job.costCycles;
+            stats_.bytesOut += r.job.codeBytes;
+            obs::metrics().counter("fleet.service.misses").inc();
+            obs::metrics().counter("fleet.service.compiles").inc();
+            obs::metrics().counter("fleet.service.compile_cycles")
+                .inc(r.job.costCycles);
+            obs::metrics()
+                .histogram("fleet.service.compile_cycles_hist")
+                .observe(static_cast<double>(r.job.costCycles));
+            obs::tracer().complete(
+                lane, strformat("compile %s", r.job.name.c_str()),
+                start, done,
+                strformat("\"key\":%llu,\"server\":%u",
+                          static_cast<unsigned long long>(key),
+                          r.server));
+            out.startCycle = start;
+            out.readyCycle = done + net.responseLatencyCycles +
+                net.transferCycles(r.job.codeBytes);
+            out.remoteHit = false;
+            verdict = "miss";
+        }
+
+        uint64_t send = r.arrival >= net.requestLatencyCycles ?
+            r.arrival - net.requestLatencyCycles : 0;
+        obs::metrics().histogram("fleet.service.latency")
+            .observe(static_cast<double>(out.readyCycle - send));
+        obs::tracer().complete(
+            lane, strformat("request %s", r.job.name.c_str()),
+            r.arrival, out.readyCycle,
+            strformat("\"server\":%u,\"outcome\":\"%s\"", r.server,
+                      verdict));
+        r.done(out);
+    }
+}
+
+void
+CompileService::exportObsMetrics() const
+{
+    obs::MetricsRegistry &reg = obs::metrics();
+    for (uint32_t s = 0; s < shards_.size(); ++s) {
+        std::string p = strformat("fleet.shard%u.", s);
+        reg.gauge(p + "occupancy")
+            .set(static_cast<double>(shards_[s].index.size()));
+        reg.gauge(p + "compile_cycles")
+            .set(static_cast<double>(shards_[s].compileCycles));
+    }
+    reg.gauge("fleet.service.hit_rate").set(hitRate());
+}
+
+} // namespace fleet
+} // namespace protean

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Fleet-wide compilation service (paper Section V-E).
+ *
+ * Thousands of servers in a warehouse-scale cluster run the *same*
+ * binary, so protean-code transformations requested on one server are
+ * requested — byte-for-byte identically — on every other. The service
+ * exploits that: a content-addressed variant cache keyed by
+ * (IR function hash, restricted NT mask, codegen options), sharded
+ * K ways by key hash, with LRU eviction per shard, request
+ * batching/coalescing (concurrent misses for one key collapse into a
+ * single compile), and a network latency/bandwidth cost model charged
+ * through the requesting machine's event queue.
+ *
+ * Determinism rules (see DESIGN.md §7): the service only mutates
+ * state inside advance(), which processes work in strict
+ * (cycle, submission order) order; submissions carry explicit arrival
+ * cycles; all responses resolve to explicit ready cycles. Two
+ * identical runs therefore produce byte-identical metrics and traces.
+ */
+
+#ifndef PROTEAN_FLEET_SERVICE_H
+#define PROTEAN_FLEET_SERVICE_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/compiler.h"
+
+namespace protean {
+namespace fleet {
+
+/** Client <-> service network cost model, in cycles. */
+struct NetworkModel
+{
+    /** One-way client -> service latency. */
+    uint64_t requestLatencyCycles = 400;
+    /** One-way service -> client latency. */
+    uint64_t responseLatencyCycles = 400;
+    /** Response-payload bandwidth (variant code shipping). */
+    double bytesPerCycle = 16.0;
+
+    /** Cycles to push `bytes` through the response link. */
+    uint64_t transferCycles(uint64_t bytes) const
+    {
+        if (bytesPerCycle <= 0.0)
+            return 0;
+        return static_cast<uint64_t>(
+            (static_cast<double>(bytes) + bytesPerCycle - 1.0) /
+            bytesPerCycle);
+    }
+};
+
+/** Service sizing and cost parameters. */
+struct ServiceConfig
+{
+    /** K-way sharding by content-key hash. */
+    uint32_t numShards = 4;
+    /** Cached variants per shard (LRU beyond this). */
+    size_t shardCapacity = 64;
+    /** Requests arriving within this window of the first queued
+     *  request are processed as one batch at the shard. */
+    uint64_t batchWindowCycles = 200;
+    /** Per-batch-member shard work (cache probe, bookkeeping). */
+    uint64_t lookupCycles = 20;
+    NetworkModel net;
+};
+
+/** Cumulative service statistics (also exported through obs). */
+struct ServiceStats
+{
+    uint64_t requests = 0;
+    uint64_t hits = 0;
+    /** Misses that started a fresh compile. */
+    uint64_t misses = 0;
+    /** Misses that joined an in-flight compile for the same key. */
+    uint64_t coalesced = 0;
+    uint64_t evictions = 0;
+    uint64_t batches = 0;
+    uint64_t compiles = 0;
+    uint64_t compileCycles = 0;
+    uint64_t bytesOut = 0;
+};
+
+/**
+ * The shared compilation service.
+ *
+ * Clients submit jobs with explicit arrival cycles; a coordinator
+ * (fleet::Cluster) calls advance(T) at time barriers, which resolves
+ * everything arriving or completing at or before T and invokes the
+ * response callbacks with the computed ready cycles.
+ */
+class CompileService
+{
+  public:
+    using Response =
+        std::function<void(const runtime::CompileOutcome &)>;
+
+    explicit CompileService(const ServiceConfig &cfg);
+
+    const ServiceConfig &config() const { return cfg_; }
+
+    /**
+     * Submit a compile request.
+     * @param server Requesting server id (stats, traces).
+     * @param job The compile job (content key, cost, size).
+     * @param arrival_cycle When the request reaches the service.
+     * @param done Invoked (from a later advance()) with the outcome;
+     *        outcome.readyCycle is when the client holds the variant.
+     */
+    void submit(uint32_t server, const runtime::CompileJob &job,
+                uint64_t arrival_cycle, Response done);
+
+    /** Resolve all work arriving/completing at or before cycle. */
+    void advance(uint64_t cycle);
+
+    /** Shard a content key routes to (stable across instances). */
+    uint32_t shardOf(uint64_t content_key) const;
+
+    /** Cached variants currently resident in one shard. */
+    size_t shardOccupancy(uint32_t shard) const;
+
+    /** Compile cycles spent by one shard's backend. */
+    uint64_t shardCompileCycles(uint32_t shard) const;
+
+    const ServiceStats &stats() const { return stats_; }
+
+    /** Hit fraction of all classified requests (hits + coalesced
+     *  count as served-without-compile). */
+    double hitRate() const;
+
+    /** Publish per-shard occupancy/compile gauges (idempotent). */
+    void exportObsMetrics() const;
+
+  private:
+    struct Request
+    {
+        uint64_t arrival = 0;
+        uint64_t seq = 0;
+        uint32_t server = 0;
+        runtime::CompileJob job;
+        Response done;
+    };
+
+    struct CacheEntry
+    {
+        uint64_t key = 0;
+        uint64_t codeBytes = 0;
+    };
+
+    struct Shard
+    {
+        /** LRU order, most recently used first. */
+        std::list<CacheEntry> lru;
+        std::unordered_map<uint64_t, std::list<CacheEntry>::iterator>
+            index;
+        /** Arrival-ordered requests not yet in a closed batch. */
+        std::deque<Request> queue;
+        /** In-flight compiles: key -> (completion cycle, bytes). */
+        std::unordered_map<uint64_t, std::pair<uint64_t, uint64_t>>
+            inflight;
+        /** Completion cycle -> keys finishing then (install order). */
+        std::map<uint64_t, std::vector<uint64_t>> completions;
+        /** Serial compile backend availability. */
+        uint64_t backendFree = 0;
+        uint64_t compileCycles = 0;
+    };
+
+    ServiceConfig cfg_;
+    std::vector<Shard> shards_;
+    /** Submitted but not yet routed (sorted into shards at
+     *  advance()). */
+    std::vector<Request> pending_;
+    uint64_t seq_ = 0;
+    ServiceStats stats_;
+
+    void advanceShard(uint32_t s, uint64_t cycle);
+    /** Move keys completing at or before cycle into the cache. */
+    void installCompletions(uint32_t s, Shard &sh, uint64_t cycle);
+    void installKey(uint32_t s, Shard &sh, uint64_t key,
+                    uint64_t code_bytes);
+    void resolveBatch(uint32_t s, Shard &sh, uint64_t close);
+};
+
+} // namespace fleet
+} // namespace protean
+
+#endif // PROTEAN_FLEET_SERVICE_H

@@ -58,7 +58,36 @@ readInstruction(ByteReader &r)
     return inst;
 }
 
+/** Serialize a function's body (everything but its name). */
+void
+writeFunctionBody(ByteWriter &w, const Function &fn)
+{
+    w.writeVarUint(fn.numParams());
+    w.writeVarUint(fn.numRegs());
+    w.writeVarUint(fn.numBlocks());
+    for (const auto &bb : fn.blocks()) {
+        w.writeVarUint(bb.insts.size());
+        for (const auto &inst : bb.insts)
+            writeInstruction(w, inst);
+    }
+}
+
 } // namespace
+
+uint64_t
+functionHash(const Module &module, FuncId func)
+{
+    ByteWriter w;
+    writeFunctionBody(w, module.function(func));
+    // FNV-1a over the serialized body: stable across processes, so
+    // identical binaries on different servers agree on the hash.
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint8_t b : w.bytes()) {
+        h ^= b;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
 
 std::vector<uint8_t>
 serialize(const Module &module)
@@ -77,14 +106,7 @@ serialize(const Module &module)
     for (FuncId f = 0; f < module.numFunctions(); ++f) {
         const Function &fn = module.function(f);
         w.writeString(fn.name());
-        w.writeVarUint(fn.numParams());
-        w.writeVarUint(fn.numRegs());
-        w.writeVarUint(fn.numBlocks());
-        for (const auto &bb : fn.blocks()) {
-            w.writeVarUint(bb.insts.size());
-            for (const auto &inst : bb.insts)
-                writeInstruction(w, inst);
-        }
+        writeFunctionBody(w, fn);
     }
     return w.take();
 }

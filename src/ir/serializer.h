@@ -30,6 +30,18 @@ std::vector<uint8_t> serialize(const Module &module);
  */
 std::unique_ptr<Module> deserialize(const std::vector<uint8_t> &bytes);
 
+/**
+ * Stable 64-bit content hash of one function.
+ *
+ * Hashes the function's serialized body (params, registers, blocks,
+ * instructions — not its name), so two functions with identical
+ * content hash equal and the value is reproducible across processes
+ * and machines. This is the content-address the fleet compilation
+ * service keys its variant cache on: every server running the same
+ * binary derives the same hash for the same function.
+ */
+uint64_t functionHash(const Module &module, FuncId func);
+
 /** Serialize, then compress (the embedded on-binary form). */
 std::vector<uint8_t> serializeCompressed(const Module &module);
 

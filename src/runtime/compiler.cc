@@ -1,5 +1,8 @@
 #include "runtime/compiler.h"
 
+#include <algorithm>
+
+#include "ir/serializer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/logging.h"
@@ -7,15 +10,41 @@
 namespace protean {
 namespace runtime {
 
+void
+LocalCompileBackend::compile(const CompileJob &job,
+                             std::function<
+                                 void(const CompileOutcome &)> done)
+{
+    machine_.core(core_).stealCycles(job.costCycles);
+    // The compiler backend is serial: queued compiles finish in
+    // order, each after its own latency.
+    uint64_t start = std::max(machine_.now(), backendFree_);
+    CompileOutcome out;
+    out.startCycle = start;
+    out.readyCycle = start + job.costCycles;
+    out.chargedCycles = job.costCycles;
+    backendFree_ = out.readyCycle;
+    done(out);
+}
+
 RuntimeCompiler::RuntimeCompiler(sim::Machine &machine,
                                  sim::Process &proc,
                                  const ir::Module &module,
                                  const codegen::VirtualizationMap &slots,
-                                 uint32_t runtime_core)
+                                 uint32_t runtime_core,
+                                 CompileBackend *backend)
     : machine_(machine), proc_(proc), module_(module), slots_(slots),
       runtimeCore_(runtime_core)
 {
+    if (backend) {
+        backend_ = backend;
+    } else {
+        ownedBackend_ = std::make_unique<LocalCompileBackend>(
+            machine, runtime_core);
+        backend_ = ownedBackend_.get();
+    }
     funcLoads_.resize(module.numFunctions());
+    funcHashes_.resize(module.numFunctions());
     for (ir::FuncId f = 0; f < module.numFunctions(); ++f) {
         for (const auto &bb : module.function(f).blocks()) {
             for (const auto &inst : bb.insts) {
@@ -25,7 +54,16 @@ RuntimeCompiler::RuntimeCompiler(sim::Machine &machine,
                 }
             }
         }
+        funcHashes_[f] = ir::functionHash(module, f);
     }
+}
+
+void
+RuntimeCompiler::setRuntimeCore(uint32_t core)
+{
+    runtimeCore_ = core;
+    if (ownedBackend_)
+        ownedBackend_->setCore(core);
 }
 
 std::string
@@ -37,6 +75,33 @@ RuntimeCompiler::maskKey(ir::FuncId func, const BitVector &mask) const
     for (ir::LoadId id : funcLoads_[func])
         key.push_back(id < mask.size() && mask.test(id) ? '1' : '0');
     return key;
+}
+
+uint64_t
+RuntimeCompiler::contentKey(ir::FuncId func,
+                            const std::string &key) const
+{
+    if (func >= funcHashes_.size())
+        panic("RuntimeCompiler: bad function %u", func);
+    // FNV-1a over the function's IR hash, the restricted mask bits
+    // (skipping the function-id prefix, which is already covered by
+    // the IR hash) and the codegen options in effect. Stable across
+    // servers running the same binary.
+    uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    mix(funcHashes_[func]);
+    size_t colon = key.find(':');
+    for (size_t i = colon + 1; i < key.size(); ++i) {
+        h ^= static_cast<uint8_t>(key[i]);
+        h *= 0x100000001b3ULL;
+    }
+    mix(static_cast<uint64_t>(slots_.size()));
+    return h;
 }
 
 isa::CodeAddr
@@ -94,35 +159,49 @@ RuntimeCompiler::requestVariant(ir::FuncId func, const BitVector &mask,
         return;
     }
 
-    uint64_t cycles = cost_.cost(module_.function(func));
-    ++compiles_;
-    compileCycles_ += cycles;
-    machine_.core(runtimeCore_).stealCycles(cycles);
-    obs::metrics().counter("runtime.compile.count").inc();
-    obs::metrics().counter("runtime.compile.cycles").inc(cycles);
-    obs::metrics().histogram("runtime.compile.cycles_hist")
-        .observe(static_cast<double>(cycles));
+    const ir::Function &fn = module_.function(func);
+    CompileJob job;
+    job.contentKey = contentKey(func, key);
+    job.func = func;
+    job.costCycles = cost_.cost(fn);
+    job.codeBytes = fn.instructionCount() * sizeof(isa::MInst);
+    job.name = fn.name();
 
-    // The compiler backend is serial: queued compiles finish in
-    // order, each after its own latency.
-    uint64_t start = std::max(machine_.now(), backendFree_);
-    uint64_t done = start + cycles;
-    backendFree_ = done;
-    // Both endpoints of the async compile are known at request time,
-    // so the span can be recorded immediately (compile_start ==
-    // backend pickup, not request arrival).
-    obs::tracer().complete(
-        "runtime.compiler",
-        strformat("compile %s",
-                  module_.function(func).name().c_str()),
-        start, done,
-        strformat("\"func\":%u,\"cycles\":%llu", func,
-                  static_cast<unsigned long long>(cycles)));
+    backend_->compile(
+        job,
+        [this, func, mask, key,
+         on_ready = std::move(on_ready)](const CompileOutcome &out) {
+            ++compiles_;
+            compileCycles_ += out.chargedCycles;
+            if (out.remoteHit)
+                ++remoteHits_;
+            obs::metrics().counter("runtime.compile.count").inc();
+            obs::metrics().counter("runtime.compile.cycles")
+                .inc(out.chargedCycles);
+            obs::metrics().histogram("runtime.compile.cycles_hist")
+                .observe(static_cast<double>(out.chargedCycles));
+            // Both endpoints of the async compile are known once the
+            // backend resolves, so the span can be recorded
+            // immediately (compile_start == backend pickup, not
+            // request arrival).
+            obs::tracer().complete(
+                "runtime.compiler",
+                strformat("compile %s",
+                          module_.function(func).name().c_str()),
+                out.startCycle, out.readyCycle,
+                strformat("\"func\":%u,\"cycles\":%llu,"
+                          "\"backend\":\"%s\"",
+                          func,
+                          static_cast<unsigned long long>(
+                              out.chargedCycles),
+                          backend_->backendName()));
 
-    isa::CodeAddr entry = compileNow(func, mask, key);
-    machine_.schedule(done, [on_ready = std::move(on_ready), entry] {
-        on_ready(entry);
-    });
+            isa::CodeAddr entry = compileNow(func, mask, key);
+            uint64_t at = std::max(out.readyCycle, machine_.now());
+            machine_.schedule(at,
+                              [on_ready = std::move(on_ready),
+                               entry] { on_ready(entry); });
+        });
 }
 
 } // namespace runtime

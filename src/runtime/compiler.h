@@ -4,16 +4,25 @@
  *
  * Compiles variants of host functions from the embedded IR,
  * asynchronously with respect to the host: compile work is charged
- * to the runtime's core (stalling the host only when they share a
- * core), and the variant becomes dispatchable once the modeled
- * compile latency has elapsed. Variants are cached by
- * (function, restricted non-temporal mask).
+ * through a pluggable CompileBackend, and the variant becomes
+ * dispatchable once the modeled latency has elapsed. Variants are
+ * cached locally by (function, restricted non-temporal mask).
+ *
+ * Backends decide where the compile cycles are spent:
+ *  - LocalCompileBackend (the default) charges the designated runtime
+ *    core on this server, serially — the single-server model of the
+ *    paper's Section III-B;
+ *  - fleet::RemoteBackend forwards the request to a fleet-wide
+ *    compilation service keyed by content hash, so servers running
+ *    the same binary amortize compiles across the cluster
+ *    (Section V-E's WSC argument).
  */
 
 #ifndef PROTEAN_RUNTIME_COMPILER_H
 #define PROTEAN_RUNTIME_COMPILER_H
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -36,6 +45,86 @@ struct VariantRecord
     std::string key;
 };
 
+/** One compile request as a backend sees it. */
+struct CompileJob
+{
+    /**
+     * Content address of the requested variant: a stable hash over
+     * (function IR content, restricted NT mask, codegen options).
+     * Identical binaries on different servers produce identical keys
+     * for identical requests — the fleet cache's index.
+     */
+    uint64_t contentKey = 0;
+    ir::FuncId func = ir::kInvalidId;
+    /** Modeled backend compile cost, in cycles. */
+    uint64_t costCycles = 0;
+    /** Estimated variant code size (network transfer modeling). */
+    uint64_t codeBytes = 0;
+    /** Function name (spans and debugging). */
+    std::string name;
+};
+
+/** What a backend resolved a job to. */
+struct CompileOutcome
+{
+    /** Cycle the backend started working on the job. */
+    uint64_t startCycle = 0;
+    /** Cycle the variant may be installed on the requester. */
+    uint64_t readyCycle = 0;
+    /** Cycles charged to the requesting server. */
+    uint64_t chargedCycles = 0;
+    /** Satisfied from a shared cache (no fresh compile anywhere). */
+    bool remoteHit = false;
+};
+
+/**
+ * Where compile work happens and what it costs.
+ *
+ * compile() may invoke `done` synchronously (local backend) or later
+ * (remote backend, once the service responds); either way the
+ * outcome's readyCycle is the earliest cycle the caller may dispatch
+ * the variant.
+ */
+class CompileBackend
+{
+  public:
+    virtual ~CompileBackend() = default;
+
+    virtual void compile(const CompileJob &job,
+                         std::function<void(const CompileOutcome &)>
+                             done) = 0;
+
+    /** Short label for traces ("local", "fleet"). */
+    virtual const char *backendName() const = 0;
+};
+
+/**
+ * The paper's single-server backend: compiles are charged to one
+ * designated core and queue serially (one compiler thread).
+ */
+class LocalCompileBackend : public CompileBackend
+{
+  public:
+    LocalCompileBackend(sim::Machine &machine, uint32_t core)
+        : machine_(machine), core_(core)
+    {
+    }
+
+    void setCore(uint32_t core) { core_ = core; }
+
+    void compile(const CompileJob &job,
+                 std::function<void(const CompileOutcome &)> done)
+        override;
+
+    const char *backendName() const override { return "local"; }
+
+  private:
+    sim::Machine &machine_;
+    uint32_t core_;
+    /** Completion time of the last queued compile. */
+    uint64_t backendFree_ = 0;
+};
+
 /** Asynchronous variant compiler with a code cache. */
 class RuntimeCompiler
 {
@@ -46,23 +135,26 @@ class RuntimeCompiler
      * @param module The re-hydrated IR from the attachment.
      * @param slots Virtualization map (nested calls stay indirect).
      * @param runtime_core Core charged with compile work.
+     * @param backend Compile backend; nullptr selects an owned
+     *        LocalCompileBackend on runtime_core.
      */
     RuntimeCompiler(sim::Machine &machine, sim::Process &proc,
                     const ir::Module &module,
                     const codegen::VirtualizationMap &slots,
-                    uint32_t runtime_core);
+                    uint32_t runtime_core,
+                    CompileBackend *backend = nullptr);
 
-    /** Change which core absorbs compile work. */
-    void setRuntimeCore(uint32_t core) { runtimeCore_ = core; }
+    /** Change which core absorbs compile work (local backend only). */
+    void setRuntimeCore(uint32_t core);
 
     /** Override the compile cost model. */
     void setCostModel(const codegen::CompileCostModel &m) { cost_ = m; }
 
     /**
      * Request a variant of func under a module-wide NT mask.
-     * If an identical variant is cached, on_ready fires immediately
-     * (still through the event queue at now). Otherwise the compile
-     * is charged to the runtime core and on_ready fires when the
+     * If an identical variant is cached locally, on_ready fires
+     * immediately (still through the event queue at now). Otherwise
+     * the request goes to the backend and on_ready fires when the
      * modeled latency elapses.
      */
     void requestVariant(ir::FuncId func, const BitVector &mask,
@@ -79,11 +171,20 @@ class RuntimeCompiler
     isa::CodeAddr cachedEntry(ir::FuncId func,
                               const BitVector &mask) const;
 
+    /** Variants materialized into this server's code cache. */
     uint64_t compileCount() const { return compiles_; }
+    /** Compile cycles charged to this server (backend-dependent). */
     uint64_t compileCycles() const { return compileCycles_; }
+    /** Requests the backend satisfied from a shared cache. */
+    uint64_t remoteHits() const { return remoteHits_; }
 
     /** Restrict a module mask to one function's loads (cache key). */
     std::string maskKey(ir::FuncId func, const BitVector &mask) const;
+
+    /** Content address of (func, restricted mask, options). */
+    uint64_t contentKey(ir::FuncId func, const std::string &key) const;
+
+    CompileBackend &backend() { return *backend_; }
 
   private:
     sim::Machine &machine_;
@@ -92,16 +193,19 @@ class RuntimeCompiler
     const codegen::VirtualizationMap &slots_;
     uint32_t runtimeCore_;
     codegen::CompileCostModel cost_;
+    std::unique_ptr<LocalCompileBackend> ownedBackend_;
+    CompileBackend *backend_;
 
     /** Per-function list of its LoadIds (restriction support). */
     std::vector<std::vector<ir::LoadId>> funcLoads_;
+    /** Per-function stable IR content hashes. */
+    std::vector<uint64_t> funcHashes_;
 
     std::unordered_map<std::string, isa::CodeAddr> cache_;
     std::vector<VariantRecord> variants_;
     uint64_t compiles_ = 0;
     uint64_t compileCycles_ = 0;
-    /** Completion time of the last queued compile (serial backend). */
-    uint64_t backendFree_ = 0;
+    uint64_t remoteHits_ = 0;
 
     isa::CodeAddr compileNow(ir::FuncId func, const BitVector &mask,
                              const std::string &key);

@@ -20,7 +20,7 @@ ProteanRuntime::ProteanRuntime(sim::Machine &machine,
                                         att_.slots);
     compiler_ = std::make_unique<RuntimeCompiler>(
         machine_, host_, *att_.module, evt_->slots(),
-        opts_.runtimeCore);
+        opts_.runtimeCore, opts_.compileBackend);
     compiler_->setCostModel(opts_.costModel);
     sampler_ = std::make_unique<PcSampler>(machine_, host_,
                                            host_.coreId());
@@ -32,7 +32,8 @@ ProteanRuntime::ProteanRuntime(sim::Machine &machine,
     obs::tracer().instant(
         "runtime", "attach",
         strformat("\"host\":\"%s\",\"functions\":%u,\"slots\":%zu",
-                  host.name().c_str(), att_.module->numFunctions(),
+                  host.name().c_str(),
+                  static_cast<uint32_t>(att_.module->numFunctions()),
                   att_.slots.size()));
 }
 

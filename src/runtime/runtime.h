@@ -50,6 +50,12 @@ struct RuntimeOptions
     uint64_t tickCostCycles = 60;
     /** Dynamic-compile cost model. */
     codegen::CompileCostModel costModel;
+    /**
+     * Compile backend (non-owning; must outlive the runtime).
+     * nullptr = a local backend on runtimeCore (the single-server
+     * behavior); a fleet::RemoteBackend shares compiles fleet-wide.
+     */
+    CompileBackend *compileBackend = nullptr;
 };
 
 /** The runtime process attached to one host. */

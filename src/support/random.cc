@@ -72,6 +72,17 @@ Rng::nextRange(int64_t lo, int64_t hi)
     return lo + static_cast<int64_t>(nextBelow(span));
 }
 
+uint64_t
+Rng::nextBounded(uint64_t lo, uint64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::nextBounded called with lo > hi");
+    uint64_t span = hi - lo + 1;
+    if (span == 0) // full 64-bit range
+        return next();
+    return lo + nextBelow(span);
+}
+
 double
 Rng::nextDouble()
 {
@@ -101,6 +112,15 @@ Rng::nextGaussian(double mean, double stddev)
     gauss_ = r * std::sin(theta);
     haveGauss_ = true;
     return mean + stddev * (r * std::cos(theta));
+}
+
+double
+Rng::nextExponential(double mean)
+{
+    if (mean <= 0.0)
+        panic("Rng::nextExponential requires mean > 0");
+    // Inverse transform; 1 - u avoids log(0) since u is in [0, 1).
+    return -mean * std::log(1.0 - nextDouble());
 }
 
 Rng

@@ -31,6 +31,10 @@ class Rng
     /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
     int64_t nextRange(int64_t lo, int64_t hi);
 
+    /** Uniform unsigned integer in [lo, hi] inclusive; lo <= hi.
+     *  Unlike nextRange, covers the full uint64_t domain. */
+    uint64_t nextBounded(uint64_t lo, uint64_t hi);
+
     /** Uniform double in [0, 1). */
     double nextDouble();
 
@@ -43,6 +47,12 @@ class Rng
      * @param stddev Distribution standard deviation.
      */
     double nextGaussian(double mean = 0.0, double stddev = 1.0);
+
+    /**
+     * Exponential sample (Poisson-process interarrival time).
+     * @param mean Distribution mean (= 1/rate); must be > 0.
+     */
+    double nextExponential(double mean);
 
     /** Fork an independent stream (stable given call order). */
     Rng fork();

@@ -63,6 +63,31 @@ TEST(ScaleOut, ZeroIdlePowerRemovesConsolidationWin)
     EXPECT_NEAR(r.energyEfficiencyRatio, 1.0, 0.01);
 }
 
+TEST(ScaleOut, FullIdlePowerCapsTheWinAtServerCount)
+{
+    // idlePowerFraction = 1: power is pure server count, so the
+    // efficiency ratio degenerates to noColo/pc3d server counts.
+    ScaleOutParams params;
+    params.idlePowerFraction = 1.0;
+    ScaleOutResult r = analyzeMix("s", "m", {0.5}, params);
+    EXPECT_NEAR(r.energyEfficiencyRatio,
+                static_cast<double>(r.noColoServers) /
+                    static_cast<double>(r.pc3dServers),
+                1e-12);
+}
+
+TEST(ScaleOut, SingleServerCluster)
+{
+    // The model holds at N=1: one PC3D server vs one LS server plus
+    // one (fractionally utilized, fully powered) batch server.
+    ScaleOutParams params;
+    params.baseServers = 1;
+    ScaleOutResult r = analyzeMix("s", "m", {0.5}, params);
+    EXPECT_EQ(r.pc3dServers, 1u);
+    EXPECT_EQ(r.noColoServers, 2u);
+    EXPECT_GT(r.energyEfficiencyRatio, 1.0);
+}
+
 TEST(ScaleOut, HigherIdleFractionIncreasesWin)
 {
     ScaleOutParams low;

@@ -102,6 +102,63 @@ TEST(Rng, GaussianMoments)
     EXPECT_NEAR(s.stddev(), 2.0, 0.1);
 }
 
+TEST(Rng, NextBoundedInclusiveAndCovering)
+{
+    Rng r(21);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        uint64_t v = r.nextBounded(10, 17);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 17u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 8u);
+    // Degenerate interval and the full 64-bit domain both work.
+    EXPECT_EQ(r.nextBounded(5, 5), 5u);
+    (void)r.nextBounded(0, UINT64_MAX);
+}
+
+TEST(Rng, NextBoundedUniform)
+{
+    // Chi-square-ish sanity: each of 8 buckets gets its fair share.
+    Rng r(23);
+    uint64_t counts[8] = {};
+    const int kDraws = 16000;
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[r.nextBounded(0, 7)];
+    for (uint64_t c : counts) {
+        EXPECT_GT(c, kDraws / 8 * 0.85);
+        EXPECT_LT(c, kDraws / 8 * 1.15);
+    }
+}
+
+TEST(Rng, ExponentialMoments)
+{
+    // Exponential(mean): mean == stddev == the parameter.
+    Rng r(29);
+    RunningStat s;
+    for (int i = 0; i < 40000; ++i) {
+        double v = r.nextExponential(4.0);
+        EXPECT_GE(v, 0.0);
+        s.add(v);
+    }
+    EXPECT_NEAR(s.mean(), 4.0, 0.15);
+    EXPECT_NEAR(s.stddev(), 4.0, 0.25);
+}
+
+TEST(Rng, ExponentialMemoryless)
+{
+    // P(X > t) = exp(-t/mean): check the survival function at the
+    // mean (should be ~36.8%).
+    Rng r(31);
+    int above = 0;
+    const int kDraws = 20000;
+    for (int i = 0; i < kDraws; ++i)
+        above += r.nextExponential(2.0) > 2.0;
+    double frac = static_cast<double>(above) / kDraws;
+    EXPECT_NEAR(frac, std::exp(-1.0), 0.02);
+}
+
 TEST(Rng, ForkIndependence)
 {
     Rng a(17);
