@@ -40,13 +40,20 @@ struct ObsConfig
     std::string metricsPath;
     /** Root seed for any stochastic model in the bench (--seed). */
     uint64_t seed = 42;
+    /** Host-side worker threads for fleet-stepping benches
+     *  (--parallel; results stay byte-identical to serial). */
+    uint64_t parallel = 1;
 };
 
 /**
  * Small command-line flag parser for the benches.
  *
  * Built-in flags: `--trace=<path>`, `--metrics=<path>`,
- * `--seed=<n>` and `-v`. Benches register extra flags with
+ * `--seed=<n>`, `--engine=step|batch`, `--parallel=<n>` and `-v`.
+ * `--engine` sets the process-wide default execution engine, so
+ * every bench opts into (or out of) the horizon-batched fast path
+ * without code changes; `--parallel` is surfaced through ObsConfig
+ * for fleet-stepping benches. Benches register extra flags with
  * addFlag()/addSwitch() before parse(); unknown arguments fail with
  * the full supported-flag list rather than a bare fatal.
  */
@@ -98,6 +105,18 @@ class ArgParser
             } else if (a.rfind("--seed=", 0) == 0) {
                 cfg.seed = std::strtoull(a.substr(7).c_str(),
                                          nullptr, 0);
+            } else if (a.rfind("--engine=", 0) == 0) {
+                std::string e = a.substr(9);
+                if (e == "step")
+                    sim::setDefaultEngine(sim::Engine::Step);
+                else if (e == "batch")
+                    sim::setDefaultEngine(sim::Engine::Batch);
+                else
+                    fatal("unknown engine '%s' (step|batch)",
+                          e.c_str());
+            } else if (a.rfind("--parallel=", 0) == 0) {
+                cfg.parallel = std::strtoull(a.substr(11).c_str(),
+                                             nullptr, 0);
             } else if (a == "-v") {
                 setLogLevel(LogLevel::Debug);
             } else if (!parseExtra(a)) {

@@ -27,7 +27,7 @@ namespace {
 fleet::FleetStats
 runFleet(uint32_t servers, bool remote, double ms, double mean_ms,
          uint64_t seed, const fleet::ServiceConfig &svc,
-         bool export_obs)
+         bool export_obs, uint32_t workers)
 {
     fleet::FleetConfig cfg;
     cfg.numServers = servers;
@@ -35,6 +35,7 @@ runFleet(uint32_t servers, bool remote, double ms, double mean_ms,
     cfg.meanRequestMs = mean_ms;
     cfg.seed = seed;
     cfg.service = svc;
+    cfg.parallelWorkers = workers;
     fleet::FleetSim sim(cfg);
     sim.run(ms);
     if (export_obs)
@@ -72,12 +73,14 @@ main(int argc, char **argv)
                      "Hit rate", "Host branches", "Dedup"});
         fleet::FleetStats local = runFleet(
             static_cast<uint32_t>(servers), false, ms, mean_ms,
-            obs_cfg.seed, svc, false);
+            obs_cfg.seed, svc, false,
+            static_cast<uint32_t>(obs_cfg.parallel));
         // The remote run is exported last so --metrics/--trace
         // describe the shared-service configuration.
         fleet::FleetStats remote = runFleet(
             static_cast<uint32_t>(servers), true, ms, mean_ms,
-            obs_cfg.seed, svc, true);
+            obs_cfg.seed, svc, true,
+            static_cast<uint32_t>(obs_cfg.parallel));
         t.addRow({"local",
                   strformat("%llu", static_cast<unsigned long long>(
                                         local.totalCompileCycles())),
@@ -124,7 +127,8 @@ main(int argc, char **argv)
                     sc.shardCapacity = cap;
                     fleet::FleetStats st = runFleet(
                         n, true, ms / 2.0, mean_ms, obs_cfg.seed,
-                        sc, false);
+                        sc, false,
+                        static_cast<uint32_t>(obs_cfg.parallel));
                     t.addRow(
                         {strformat("%u", n), strformat("%u", shards),
                          strformat("%u", cap),

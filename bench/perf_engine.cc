@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Host-side throughput of the execution engines (DESIGN.md §8).
+ *
+ * Measures simulated-instructions per host second for the reference
+ * Step engine against the horizon-batched Batch engine on a single
+ * machine, across two workloads bracketing the engine's range: a
+ * compute-bound ALU kernel (per-instruction model cost is tiny, so
+ * the scheduler scan Step pays per instruction dominates — batching
+ * at its best) and the memory-bound protean soplex binary (cache/
+ * DRAM modeling dominates both engines, so batching only shaves the
+ * smaller scheduling share). Each runs with one hot core — the
+ * fleet shape — and colocated on two cores, the horizon's worst
+ * case. Then host wall time for an 8-server FleetSim stepped
+ * serially vs on `--parallel=N` worker threads. Every configuration
+ * cross-checks its simulated totals against the reference run, so a
+ * speedup that changed observable behavior fails the bench instead
+ * of reporting a number.
+ *
+ * Emits machine-readable results as JSON (--out, default
+ * BENCH_engine.json). `--min-speedup=<x>` exits nonzero when the
+ * single-proc ALU batch/step ratio falls below x, which is how CI
+ * keeps the fast path honest.
+ *
+ * Flags (beyond the common set): --ms=<x> (simulated run length,
+ * single machine), --fleet-ms=<x>, --servers=<n>, --out=<path>,
+ * --min-speedup=<x> and --quick.
+ */
+
+#include "common.h"
+
+#include <chrono>
+#include <thread>
+
+#include "fleet/fleet.h"
+#include "ir/builder.h"
+
+using namespace protean;
+
+namespace {
+
+/** Compute-bound kernel: a dependent ALU chain and a branch, no
+ *  memory traffic — the per-instruction model cost floor. */
+ir::Module
+aluModule()
+{
+    ir::Module m("alu");
+    ir::IRBuilder b(m);
+    b.startFunction("main", 0);
+    ir::Reg one = b.constInt(1);
+    ir::Reg three = b.constInt(3);
+    ir::Reg acc = b.constInt(0x9e3779b9);
+    ir::Reg tmp = b.func().newReg();
+    b.func().noteReg(tmp);
+    ir::BlockId loop = b.newBlock();
+    b.br(loop);
+    b.setBlock(loop);
+    b.binaryInto(tmp, ir::Opcode::Shl, acc, three);
+    b.binaryInto(tmp, ir::Opcode::Xor, tmp, acc);
+    b.binaryInto(acc, ir::Opcode::Add, tmp, one);
+    b.binaryInto(tmp, ir::Opcode::Shr, acc, one);
+    b.binaryInto(acc, ir::Opcode::Or, acc, tmp);
+    b.br(loop);
+    return m;
+}
+
+double
+elapsedSec(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+struct SingleResult
+{
+    double wallSec = 0.0;
+    uint64_t instructions = 0;
+    uint64_t branches = 0;
+
+    double ips() const
+    {
+        return wallSec <= 0.0 ? 0.0 :
+            static_cast<double>(instructions) / wallSec;
+    }
+};
+
+/** One timed single-machine run: `procs` copies of the batch app on
+ *  cores 0..procs-1, advanced `ms` simulated milliseconds. */
+SingleResult
+runSingle(sim::Engine engine, const isa::Image &image, uint32_t procs,
+          double ms)
+{
+    sim::Machine machine;
+    machine.setEngine(engine);
+    for (uint32_t c = 0; c < procs; ++c)
+        machine.load(image, c);
+    auto t0 = std::chrono::steady_clock::now();
+    machine.runFor(machine.msToCycles(ms));
+    SingleResult r;
+    r.wallSec = elapsedSec(t0);
+    for (uint32_t c = 0; c < machine.numCores(); ++c) {
+        r.instructions += machine.core(c).hpm().instructions;
+        r.branches += machine.core(c).hpm().branches;
+    }
+    return r;
+}
+
+struct FleetResult
+{
+    double wallSec = 0.0;
+    fleet::FleetStats stats;
+};
+
+FleetResult
+runFleetTimed(uint32_t servers, uint32_t workers, double ms,
+              uint64_t seed)
+{
+    fleet::FleetConfig cfg;
+    cfg.numServers = servers;
+    cfg.seed = seed;
+    cfg.parallelWorkers = workers;
+    fleet::FleetSim sim(cfg);
+    auto t0 = std::chrono::steady_clock::now();
+    sim.run(ms);
+    FleetResult r;
+    r.wallSec = elapsedSec(t0);
+    r.stats = sim.stats();
+    return r;
+}
+
+void
+checkSingleEquivalent(const SingleResult &step,
+                      const SingleResult &batch, const char *what)
+{
+    if (step.instructions != batch.instructions ||
+        step.branches != batch.branches)
+        fatal("engine mismatch (%s): step retired %llu/%llu "
+              "instructions/branches, batch %llu/%llu",
+              what,
+              static_cast<unsigned long long>(step.instructions),
+              static_cast<unsigned long long>(step.branches),
+              static_cast<unsigned long long>(batch.instructions),
+              static_cast<unsigned long long>(batch.branches));
+}
+
+void
+checkFleetEquivalent(const fleet::FleetStats &serial,
+                     const fleet::FleetStats &par, uint32_t workers)
+{
+    if (serial.deployRequests != par.deployRequests ||
+        serial.hostBranches != par.hostBranches ||
+        serial.service.compiles != par.service.compiles ||
+        serial.service.requests != par.service.requests)
+        fatal("fleet mismatch at --parallel=%u: serial "
+              "(%llu req, %llu branches) vs parallel "
+              "(%llu req, %llu branches)",
+              workers,
+              static_cast<unsigned long long>(serial.deployRequests),
+              static_cast<unsigned long long>(serial.hostBranches),
+              static_cast<unsigned long long>(par.deployRequests),
+              static_cast<unsigned long long>(par.hostBranches));
+}
+
+std::string
+fmtIps(double ips)
+{
+    return strformat("%.2fM", ips / 1e6);
+}
+
+} // namespace
+
+/** One (workload, proc-count) comparison. */
+struct CaseResult
+{
+    std::string workload;
+    uint32_t procs = 1;
+    SingleResult step;
+    SingleResult batch;
+
+    double speedup() const
+    {
+        return batch.wallSec <= 0.0 ? 0.0 :
+            step.wallSec / batch.wallSec;
+    }
+};
+
+int
+main(int argc, char **argv)
+{
+    double ms = 1500.0;
+    double fleet_ms = 300.0;
+    uint64_t servers = 8;
+    std::string out = "BENCH_engine.json";
+    double min_speedup = 0.0;
+    bool quick = false;
+    bench::ArgParser parser;
+    parser.addFlag("ms", &ms, "simulated ms, single machine");
+    parser.addFlag("fleet-ms", &fleet_ms, "simulated ms, fleet runs");
+    parser.addFlag("servers", &servers, "fleet size (default 8)");
+    parser.addFlag("out", &out, "JSON results path");
+    parser.addFlag("min-speedup", &min_speedup,
+                   "fail unless ALU batch/step >= x (0 = report only)");
+    parser.addSwitch("quick", &quick, "small configuration for CI");
+    bench::ObsConfig obs_cfg = parser.parse(argc, argv);
+    if (quick) {
+        ms = 300.0;
+        fleet_ms = 60.0;
+    }
+
+    ir::Module alu_m = aluModule();
+    isa::Image alu = pcc::compilePlain(alu_m);
+    workloads::BatchSpec spec = workloads::batchSpec("soplex");
+    spec.targetStaticLoads = 0; // padding never executes
+    ir::Module soplex_m = workloads::buildBatch(spec);
+    isa::Image soplex = pcc::compile(soplex_m);
+
+    // Warm-up: touch the code paths once so the first timed run does
+    // not pay one-time allocation/page-in costs.
+    runSingle(sim::Engine::Batch, alu, 1, ms / 20.0);
+    runSingle(sim::Engine::Batch, soplex, 1, ms / 20.0);
+
+    std::vector<CaseResult> cases;
+    struct
+    {
+        const char *name;
+        const isa::Image *image;
+    } workloads_tbl[] = {{"alu", &alu}, {"soplex", &soplex}};
+    for (const auto &w : workloads_tbl) {
+        for (uint32_t procs : {1u, 2u}) {
+            CaseResult c;
+            c.workload = w.name;
+            c.procs = procs;
+            c.step =
+                runSingle(sim::Engine::Step, *w.image, procs, ms);
+            c.batch =
+                runSingle(sim::Engine::Batch, *w.image, procs, ms);
+            checkSingleEquivalent(
+                c.step, c.batch,
+                strformat("%s/%u", w.name, procs).c_str());
+            cases.push_back(std::move(c));
+        }
+    }
+
+    {
+        TextTable t("Single machine: simulated instructions per host "
+                    "second");
+        t.setHeader({"Workload", "Procs", "Engine", "Wall s",
+                     "Sim instrs", "Instrs/s", "Speedup"});
+        for (const CaseResult &c : cases) {
+            t.addRow({c.workload, strformat("%u", c.procs), "step",
+                      strformat("%.3f", c.step.wallSec),
+                      strformat("%llu", static_cast<unsigned long long>(
+                                            c.step.instructions)),
+                      fmtIps(c.step.ips()), "-"});
+            t.addRow({c.workload, strformat("%u", c.procs), "batch",
+                      strformat("%.3f", c.batch.wallSec),
+                      strformat("%llu", static_cast<unsigned long long>(
+                                            c.batch.instructions)),
+                      fmtIps(c.batch.ips()),
+                      bench::fmtRatio(c.speedup())});
+        }
+        t.print();
+    }
+
+    // Fleet: serial reference first, then each worker count against
+    // it. The serial run also serves as the equivalence baseline.
+    std::vector<uint32_t> worker_counts = quick ?
+        std::vector<uint32_t>{1, 2} : std::vector<uint32_t>{1, 2, 4};
+    std::vector<FleetResult> fleet_runs;
+    for (uint32_t w : worker_counts) {
+        fleet_runs.push_back(runFleetTimed(
+            static_cast<uint32_t>(servers), w, fleet_ms,
+            obs_cfg.seed));
+        if (w != 1)
+            checkFleetEquivalent(fleet_runs.front().stats,
+                                 fleet_runs.back().stats, w);
+    }
+
+    {
+        std::printf("\n");
+        TextTable t(strformat("Fleet of %llu servers: serial vs "
+                              "--parallel stepping",
+                              static_cast<unsigned long long>(
+                                  servers)));
+        t.setHeader({"Workers", "Wall s", "Host branches", "Speedup"});
+        for (size_t i = 0; i < fleet_runs.size(); ++i) {
+            const FleetResult &r = fleet_runs[i];
+            double sp = r.wallSec <= 0.0 ? 0.0 :
+                fleet_runs.front().wallSec / r.wallSec;
+            t.addRow({strformat("%u", worker_counts[i]),
+                      strformat("%.3f", r.wallSec),
+                      strformat("%llu", static_cast<unsigned long long>(
+                                            r.stats.hostBranches)),
+                      i == 0 ? "-" : bench::fmtRatio(sp)});
+        }
+        t.print();
+        unsigned hw = std::thread::hardware_concurrency();
+        if (hw <= 1)
+            std::printf("(host has %u hardware thread%s: --parallel "
+                        "cannot scale here, shown for equivalence "
+                        "only)\n",
+                        hw ? hw : 1, hw == 1 ? "" : "s");
+    }
+
+    double alu_speedup = cases.front().speedup();
+    std::printf("\nbatch engine: %sx on the ALU kernel (1 proc), "
+                "%sx on soplex; exports byte-identical across all "
+                "modes\n",
+                bench::fmtRatio(alu_speedup).c_str(),
+                bench::fmtRatio(cases[2].speedup()).c_str());
+
+    if (!out.empty()) {
+        FILE *f = std::fopen(out.c_str(), "w");
+        if (!f)
+            fatal("cannot write %s", out.c_str());
+        std::fprintf(f,
+                     "{\n  \"single\": {\n    \"sim_ms\": %g,\n"
+                     "    \"cases\": [\n",
+                     ms);
+        for (size_t i = 0; i < cases.size(); ++i) {
+            const CaseResult &c = cases[i];
+            auto one = [&](const SingleResult &r) {
+                return strformat(
+                    "{\"wall_sec\": %.6f, \"instructions\": %llu, "
+                    "\"ips\": %.1f}",
+                    r.wallSec,
+                    static_cast<unsigned long long>(r.instructions),
+                    r.ips());
+            };
+            std::fprintf(
+                f,
+                "      {\"workload\": \"%s\", \"procs\": %u,\n"
+                "       \"step\": %s,\n       \"batch\": %s,\n"
+                "       \"speedup\": %.3f}%s\n",
+                c.workload.c_str(), c.procs, one(c.step).c_str(),
+                one(c.batch).c_str(), c.speedup(),
+                i + 1 < cases.size() ? "," : "");
+        }
+        std::fprintf(f, "    ]\n  },\n");
+        std::fprintf(f,
+                     "  \"fleet\": {\n    \"servers\": %llu,\n"
+                     "    \"sim_ms\": %g,\n    \"hw_threads\": %u,\n"
+                     "    \"runs\": [\n",
+                     static_cast<unsigned long long>(servers),
+                     fleet_ms,
+                     std::thread::hardware_concurrency());
+        for (size_t i = 0; i < fleet_runs.size(); ++i) {
+            const FleetResult &r = fleet_runs[i];
+            std::fprintf(
+                f,
+                "      {\"parallel\": %u, \"wall_sec\": %.6f, "
+                "\"host_branches\": %llu, \"speedup\": %.3f}%s\n",
+                worker_counts[i], r.wallSec,
+                static_cast<unsigned long long>(r.stats.hostBranches),
+                r.wallSec <= 0.0 ? 0.0 :
+                    fleet_runs.front().wallSec / r.wallSec,
+                i + 1 < fleet_runs.size() ? "," : "");
+        }
+        std::fprintf(f, "    ]\n  }\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", out.c_str());
+    }
+
+    bench::exportObs(obs_cfg);
+
+    if (min_speedup > 0.0 && alu_speedup < min_speedup) {
+        std::fprintf(stderr,
+                     "FAIL: ALU batch/step speedup %.3f below "
+                     "required %.3f\n",
+                     alu_speedup, min_speedup);
+        return 1;
+    }
+    return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "support/logging.h"
 
 namespace protean {
@@ -19,6 +20,8 @@ Cluster::Cluster(CompileService &svc) : svc_(svc)
         1, net.requestLatencyCycles + net.responseLatencyCycles);
 }
 
+Cluster::~Cluster() = default;
+
 void
 Cluster::addMachine(sim::Machine &m)
 {
@@ -31,16 +34,47 @@ Cluster::addMachine(sim::Machine &m)
 }
 
 void
+Cluster::setParallel(uint32_t workers)
+{
+    workers_ = std::max<uint32_t>(workers, 1);
+    if (workers_ == 1)
+        pool_.reset();
+}
+
+void
 Cluster::run(uint64_t until_cycle)
 {
     if (until_cycle < now_)
         panic("Cluster: running into the past");
     while (now_ < until_cycle) {
         uint64_t t = std::min(until_cycle, now_ + quantum_);
-        // Fixed server order per quantum keeps the interleaving of
-        // service submissions deterministic.
-        for (sim::Machine *m : machines_)
-            m->run(t);
+        // Tracing forces serial stepping: the trace log records
+        // events in append order, which only the serial schedule
+        // reproduces. Metrics are commutative, so they do not.
+        bool parallel = workers_ > 1 && machines_.size() > 1 &&
+            !obs::tracer().enabled();
+        if (parallel) {
+            if (!pool_) {
+                uint32_t n = std::min<uint32_t>(
+                    workers_,
+                    static_cast<uint32_t>(machines_.size()));
+                pool_ = std::make_unique<WorkerPool>(n);
+            }
+            // Machines only meet the service this quantum; stage
+            // their submissions and replay them in machine order at
+            // the barrier so sequencing matches the serial schedule.
+            svc_.setDeferSubmissions(true);
+            pool_->parallelFor(machines_.size(), [this, t](size_t i) {
+                machines_[i]->run(t);
+            });
+            svc_.setDeferSubmissions(false);
+            svc_.flushDeferred();
+        } else {
+            // Fixed server order per quantum keeps the interleaving
+            // of service submissions deterministic.
+            for (sim::Machine *m : machines_)
+                m->run(t);
+        }
         svc_.advance(t);
         now_ = t;
     }

@@ -3,22 +3,34 @@
  * Lockstep cluster coordinator.
  *
  * Advances N independent sim::Machines and the shared CompileService
- * through global time together: machines run one quantum each (in
- * fixed server order), then the service resolves everything that
- * reached it (advance(T)). The quantum is capped at the service's
- * network round trip, so every response's ready cycle lands at or
- * after the barrier that produced it — responses are scheduled into
- * each machine's future, never its past, and the whole simulation
- * stays deterministic (see DESIGN.md §7 for the rules).
+ * through global time together: machines run one quantum each, then
+ * the service resolves everything that reached it (advance(T)). The
+ * quantum is capped at the service's network round trip, so every
+ * response's ready cycle lands at or after the barrier that produced
+ * it — responses are scheduled into each machine's future, never its
+ * past, and the whole simulation stays deterministic (see DESIGN.md
+ * §7 for the rules).
+ *
+ * Within one quantum, machines never read each other's state: their
+ * only shared interaction is submitting compile requests to the
+ * service, which is resolved at the barrier. setParallel(N) exploits
+ * that — machines advance concurrently on a worker pool while the
+ * service stages submissions, then the coordinator replays them in
+ * fixed machine order, so the parallel run is byte-identical to the
+ * serial one (DESIGN.md §8). Tracing forces the serial path: the
+ * tracer's event log is append-ordered, and only serial stepping
+ * keeps that order reproducible.
  */
 
 #ifndef PROTEAN_FLEET_CLUSTER_H
 #define PROTEAN_FLEET_CLUSTER_H
 
+#include <memory>
 #include <vector>
 
 #include "fleet/service.h"
 #include "sim/machine.h"
+#include "support/threadpool.h"
 
 namespace protean {
 namespace fleet {
@@ -28,10 +40,22 @@ class Cluster
 {
   public:
     explicit Cluster(CompileService &svc);
+    ~Cluster();
 
     /** Register a machine (non-owning). All machines must share the
-     *  cluster's current time. */
+     *  cluster's current time. Registration order defines the serial
+     *  stepping order; for byte-identical parallel runs, clients'
+     *  server ids must follow it (FleetSim registers in id order). */
     void addMachine(sim::Machine &m);
+
+    /**
+     * Advance machines on up to `workers` threads per quantum
+     * (0 or 1 = serial). Exports stay byte-identical to serial runs;
+     * when the tracer is enabled, quanta silently run serially so
+     * trace event order is preserved too.
+     */
+    void setParallel(uint32_t workers);
+    uint32_t parallel() const { return workers_; }
 
     /** Advance everything to an absolute global cycle. */
     void run(uint64_t until_cycle);
@@ -48,6 +72,8 @@ class Cluster
     std::vector<sim::Machine *> machines_;
     uint64_t now_ = 0;
     uint64_t quantum_;
+    uint32_t workers_ = 1;
+    std::unique_ptr<WorkerPool> pool_;
 };
 
 } // namespace fleet

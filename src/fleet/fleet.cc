@@ -58,6 +58,7 @@ FleetSim::FleetSim(const FleetConfig &cfg)
     }
     for (auto &s : servers_)
         scheduleNextRequest(*s);
+    cluster_.setParallel(cfg_.parallelWorkers);
 }
 
 FleetSim::~FleetSim() = default;
@@ -125,7 +126,7 @@ FleetSim::scheduleNextRequest(Server &s)
         std::max<uint64_t>(1, s.machine->msToCycles(wait_ms));
     s.machine->scheduleAfter(delay, [this, &s] {
         const Directive &d = catalog_[s.rng.nextBelow(catalog_.size())];
-        ++deployRequests_;
+        ++s.deploys;
         s.rt->deployVariant(d.func, d.mask);
         scheduleNextRequest(s);
     });
@@ -141,9 +142,9 @@ FleetStats
 FleetSim::stats() const
 {
     FleetStats st;
-    st.deployRequests = deployRequests_;
     st.service = svc_.stats();
     for (const auto &s : servers_) {
+        st.deployRequests += s->deploys;
         const runtime::RuntimeCompiler &rc = s->rt->compiler();
         st.serverCompiles += rc.compileCount();
         st.serverCompileCycles += rc.compileCycles();

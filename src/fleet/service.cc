@@ -71,20 +71,54 @@ CompileService::submit(uint32_t server,
                        const runtime::CompileJob &job,
                        uint64_t arrival_cycle, Response done)
 {
-    ++stats_.requests;
-    obs::metrics().counter("fleet.service.requests").inc();
     Request r;
     r.arrival = arrival_cycle;
-    r.seq = seq_++;
     r.server = server;
     r.job = job;
     r.done = std::move(done);
+    if (defer_) {
+        // Worker-thread path: stage only; sequencing, stats and
+        // metrics all happen at flushDeferred() on the coordinator.
+        std::lock_guard<std::mutex> lock(deferMu_);
+        deferred_[server].push_back(std::move(r));
+        return;
+    }
+    ++stats_.requests;
+    obs::metrics().counter("fleet.service.requests").inc();
+    r.seq = seq_++;
     pending_.push_back(std::move(r));
+}
+
+void
+CompileService::setDeferSubmissions(bool on)
+{
+    defer_ = on;
+}
+
+void
+CompileService::flushDeferred()
+{
+    if (defer_)
+        panic("CompileService: flushDeferred() while still "
+              "deferring");
+    std::map<uint32_t, std::vector<Request>> staged;
+    staged.swap(deferred_);
+    for (auto &entry : staged) {
+        for (Request &r : entry.second) {
+            ++stats_.requests;
+            obs::metrics().counter("fleet.service.requests").inc();
+            r.seq = seq_++;
+            pending_.push_back(std::move(r));
+        }
+    }
 }
 
 void
 CompileService::advance(uint64_t cycle)
 {
+    if (!deferred_.empty())
+        panic("CompileService: advance() with unflushed deferred "
+              "submissions");
     // Route everything that has reached the service, in strict
     // (arrival, submission) order, preserving per-shard arrival
     // order. Later-arriving requests stay pending.
@@ -157,15 +191,15 @@ CompileService::installKey(uint32_t s, Shard &sh, uint64_t key,
     if (sh.index.count(key))
         return;
     if (sh.index.size() >= cfg_.shardCapacity) {
-        const CacheEntry &victim = sh.lru.back();
-        sh.index.erase(victim.key);
+        uint64_t victim_key = sh.lru.back().key;
+        sh.index.erase(victim_key);
         sh.lru.pop_back();
         ++stats_.evictions;
         obs::metrics().counter("fleet.service.evictions").inc();
         obs::tracer().instant(
             strformat("fleet.shard%u", s), "evict",
             strformat("\"key\":%llu",
-                      static_cast<unsigned long long>(victim.key)));
+                      static_cast<unsigned long long>(victim_key)));
     }
     sh.lru.push_front(CacheEntry{key, code_bytes});
     sh.index[key] = sh.lru.begin();

@@ -27,6 +27,7 @@
 #include <functional>
 #include <list>
 #include <map>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -116,6 +117,25 @@ class CompileService
     void submit(uint32_t server, const runtime::CompileJob &job,
                 uint64_t arrival_cycle, Response done);
 
+    /**
+     * Enter/leave deferred-submission mode (parallel fleet
+     * stepping). While on, submit() only appends to a per-server
+     * staging buffer under an internal lock — no stats, metrics or
+     * ordering decisions are made — so machines on worker threads may
+     * submit concurrently. flushDeferred() replays the buffers.
+     */
+    void setDeferSubmissions(bool on);
+
+    /**
+     * Replay deferred submissions through the normal submit path, in
+     * ascending server order (submission order within one server is
+     * preserved). When server ids follow the coordinator's machine
+     * stepping order — as fleet::FleetSim guarantees — the resulting
+     * sequence numbering is identical to a serial quantum, making
+     * parallel runs byte-identical to serial ones.
+     */
+    void flushDeferred();
+
     /** Resolve all work arriving/completing at or before cycle. */
     void advance(uint64_t cycle);
 
@@ -178,6 +198,10 @@ class CompileService
     std::vector<Request> pending_;
     uint64_t seq_ = 0;
     ServiceStats stats_;
+    /** Deferred-submission staging (parallel quanta). */
+    bool defer_ = false;
+    std::mutex deferMu_;
+    std::map<uint32_t, std::vector<Request>> deferred_;
 
     void advanceShard(uint32_t s, uint64_t cycle);
     /** Move keys completing at or before cycle into the cache. */

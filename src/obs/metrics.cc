@@ -65,6 +65,7 @@ Histogram::observe(double x)
     size_t b = 0;
     while (b < bounds_.size() && x > bounds_[b])
         ++b;
+    std::lock_guard<std::mutex> lock(mu_);
     ++counts_[b];
     ++total_;
     sum_ += x;
@@ -73,6 +74,7 @@ Histogram::observe(double x)
 Counter &
 MetricsRegistry::counter(const std::string &name)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto &slot = counters_[name];
     if (!slot)
         slot = std::make_unique<Counter>();
@@ -82,6 +84,7 @@ MetricsRegistry::counter(const std::string &name)
 Gauge &
 MetricsRegistry::gauge(const std::string &name)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto &slot = gauges_[name];
     if (!slot)
         slot = std::make_unique<Gauge>();
@@ -92,6 +95,7 @@ Histogram &
 MetricsRegistry::histogram(const std::string &name,
                            std::vector<double> bounds)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto &slot = histograms_[name];
     if (!slot) {
         if (bounds.empty()) {
@@ -109,6 +113,7 @@ MetricsRegistry::toJson() const
     using detail::jsonEscape;
     using detail::jsonNumber;
 
+    std::lock_guard<std::mutex> lock(mu_);
     std::string out = "{\n  \"counters\": {";
     bool first = true;
     for (const auto &[name, c] : counters_) {
@@ -170,6 +175,7 @@ MetricsRegistry::writeJson(const std::string &path) const
 void
 MetricsRegistry::reset()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     counters_.clear();
     gauges_.clear();
     histograms_.clear();

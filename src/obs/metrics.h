@@ -14,39 +14,59 @@
 #ifndef PROTEAN_OBS_METRICS_H
 #define PROTEAN_OBS_METRICS_H
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace protean {
 namespace obs {
 
-/** Monotonic counter. */
+/**
+ * Monotonic counter. Increments are relaxed atomics so machine
+ * callbacks running on a parallel fleet's worker threads (see
+ * fleet::Cluster::setParallel) can instrument concurrently; sums are
+ * order-independent, keeping exports byte-identical to serial runs.
+ */
 class Counter
 {
   public:
-    void inc(uint64_t n = 1) { value_ += n; }
-    uint64_t value() const { return value_; }
+    void inc(uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
 
   private:
-    uint64_t value_ = 0;
+    std::atomic<uint64_t> value_{0};
 };
 
-/** Last-value gauge. */
+/** Last-value gauge. Writes race-free but last-write-wins; parallel
+ *  fleet phases must not set the same gauge from two machines (the
+ *  instrumented paths only set gauges from the coordinator). */
 class Gauge
 {
   public:
-    void set(double v) { value_ = v; }
-    double value() const { return value_; }
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
 
   private:
-    double value_ = 0.0;
+    std::atomic<double> value_{0.0};
 };
 
 /** Fixed-bucket histogram: bounds are inclusive upper edges, plus an
- *  implicit overflow bucket. */
+ *  implicit overflow bucket. observe() is internally locked; bucket
+ *  counts and integer-valued sums are order-independent, so parallel
+ *  observation keeps exports deterministic. */
 class Histogram
 {
   public:
@@ -57,7 +77,8 @@ class Histogram
     void observe(double x);
 
     const std::vector<double> &bounds() const { return bounds_; }
-    /** bounds().size() + 1 entries; the last is the overflow. */
+    /** bounds().size() + 1 entries; the last is the overflow.
+     *  Read only from quiesced phases (exports, tests). */
     const std::vector<uint64_t> &counts() const { return counts_; }
     uint64_t total() const { return total_; }
     double sum() const { return sum_; }
@@ -67,9 +88,12 @@ class Histogram
     std::vector<uint64_t> counts_;
     uint64_t total_ = 0;
     double sum_ = 0.0;
+    std::mutex mu_;
 };
 
-/** Named metrics, hierarchically dotted, exported with stable keys. */
+/** Named metrics, hierarchically dotted, exported with stable keys.
+ *  Find-or-create is internally locked, so instrumentation may run
+ *  from fleet worker threads; handles stay valid until reset(). */
 class MetricsRegistry
 {
   public:
@@ -97,10 +121,12 @@ class MetricsRegistry
 
     size_t size() const
     {
+        std::lock_guard<std::mutex> lock(mu_);
         return counters_.size() + gauges_.size() + histograms_.size();
     }
 
   private:
+    mutable std::mutex mu_;
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;

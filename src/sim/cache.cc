@@ -24,6 +24,7 @@ Cache::Cache(std::string name, const CacheConfig &cfg)
               name_.c_str(), lineBytes_);
     indexShift_ = static_cast<uint32_t>(std::countr_zero(lineBytes_));
     lines_.resize(static_cast<size_t>(sets_) * ways_);
+    mruWay_.resize(sets_, 0);
 }
 
 uint64_t
@@ -41,10 +42,18 @@ Cache::setIndex(uint64_t line_addr) const
 Cache::Line *
 Cache::findLine(uint64_t line_addr)
 {
-    Line *set = &lines_[static_cast<size_t>(setIndex(line_addr)) * ways_];
+    uint32_t si = setIndex(line_addr);
+    Line *set = &lines_[static_cast<size_t>(si) * ways_];
+    // MRU-way fast path: repeated touches to a hot line skip the
+    // associative scan entirely.
+    uint32_t m = mruWay_[si];
+    if (set[m].valid && set[m].tag == line_addr)
+        return &set[m];
     for (uint32_t w = 0; w < ways_; ++w) {
-        if (set[w].valid && set[w].tag == line_addr)
+        if (set[w].valid && set[w].tag == line_addr) {
+            mruWay_[si] = w;
             return &set[w];
+        }
     }
     return nullptr;
 }
@@ -92,6 +101,7 @@ Cache::fill(uint64_t addr, bool nonTemporal)
     }
     victim->valid = true;
     victim->tag = la;
+    mruWay_[setIndex(la)] = static_cast<uint32_t>(victim - set);
     if (nonTemporal) {
         // LRU-position insertion: next fill in this set evicts it
         // unless it is re-referenced first.

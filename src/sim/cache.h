@@ -90,6 +90,11 @@ class Cache
     uint32_t indexShift_;
     uint64_t useCounter_ = 1;
     std::vector<Line> lines_; // sets_ * ways_, set-major
+    /** Per-set way of the last hit/fill: a pure lookup shortcut —
+     *  temporal locality makes the next access to a set usually hit
+     *  the same way, skipping the associative scan. Never consulted
+     *  for replacement, so recency semantics are untouched. */
+    std::vector<uint32_t> mruWay_;
     CacheStats stats_;
 
     uint64_t lineAddr(uint64_t addr) const;

@@ -113,6 +113,25 @@ Core::step()
     execute(inst);
 }
 
+void
+Core::run(uint64_t horizon)
+{
+    // The hot loop of the batched engine: no scheduler scan, no
+    // event-heap peek — just instructions until the horizon. Throttle
+    // checks are hoisted behind one cheap test (both are rare), and a
+    // single consumed throttle may overshoot the horizon, exactly as
+    // one step() can.
+    while (cycle_ < horizon) {
+        if (stolenBacklog_ > 0 || napIntensity_ > 0.0) {
+            if (consumeThrottles())
+                continue;
+        }
+        if (!proc_ || proc_->state() != ProcState::Running)
+            return;
+        execute(proc_->inst(pc_));
+    }
+}
+
 uint64_t
 Core::memAccess(uint64_t vaddr, bool nonTemporal)
 {

@@ -65,6 +65,14 @@ class Core
      */
     void step();
 
+    /**
+     * Execute instructions until cycle() >= horizon or the core stops
+     * being runnable. Each iteration is exactly one step(), so the
+     * observable state after run(h) equals stepping in a loop while
+     * cycle() < h — the horizon-batched engine relies on this.
+     */
+    void run(uint64_t horizon);
+
     /** Current program counter (PC-sampling interface). */
     isa::CodeAddr pc() const { return pc_; }
 

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Movable binary min-heap for the machine's event calendar.
+ *
+ * std::priority_queue only exposes a const top(), which forced a
+ * const_cast to move the callback out before popping. This heap is
+ * the same O(log n) binary heap but pop() returns the entry by move,
+ * so event callbacks (std::function, potentially with captured
+ * state) never need to be copied or const_cast.
+ *
+ * Ordering is (cycle, seq): events at the same cycle fire in
+ * scheduling order, which keeps the calendar deterministic.
+ */
+
+#ifndef PROTEAN_SIM_EVENT_HEAP_H
+#define PROTEAN_SIM_EVENT_HEAP_H
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace protean {
+namespace sim {
+
+/** Min-heap of timed callbacks, ordered by (cycle, seq). */
+class EventHeap
+{
+  public:
+    struct Entry
+    {
+        uint64_t cycle = 0;
+        uint64_t seq = 0;
+        std::function<void()> fn;
+    };
+
+    bool empty() const { return heap_.empty(); }
+    size_t size() const { return heap_.size(); }
+
+    /** Earliest entry; heap must be non-empty. */
+    const Entry &top() const { return heap_.front(); }
+
+    /** Cycle of the earliest entry; heap must be non-empty. */
+    uint64_t topCycle() const { return heap_.front().cycle; }
+
+    void push(Entry e)
+    {
+        heap_.push_back(std::move(e));
+        siftUp(heap_.size() - 1);
+    }
+
+    /** Remove and return the earliest entry by move. */
+    Entry pop()
+    {
+        Entry out = std::move(heap_.front());
+        heap_.front() = std::move(heap_.back());
+        heap_.pop_back();
+        if (!heap_.empty())
+            siftDown(0);
+        return out;
+    }
+
+    void clear() { heap_.clear(); }
+
+  private:
+    static bool before(const Entry &a, const Entry &b)
+    {
+        return a.cycle != b.cycle ? a.cycle < b.cycle : a.seq < b.seq;
+    }
+
+    void siftUp(size_t i)
+    {
+        while (i > 0) {
+            size_t parent = (i - 1) / 2;
+            if (!before(heap_[i], heap_[parent]))
+                break;
+            std::swap(heap_[i], heap_[parent]);
+            i = parent;
+        }
+    }
+
+    void siftDown(size_t i)
+    {
+        for (;;) {
+            size_t l = 2 * i + 1;
+            size_t r = l + 1;
+            size_t best = i;
+            if (l < heap_.size() && before(heap_[l], heap_[best]))
+                best = l;
+            if (r < heap_.size() && before(heap_[r], heap_[best]))
+                best = r;
+            if (best == i)
+                break;
+            std::swap(heap_[i], heap_[best]);
+            i = best;
+        }
+    }
+
+    std::vector<Entry> heap_;
+};
+
+} // namespace sim
+} // namespace protean
+
+#endif // PROTEAN_SIM_EVENT_HEAP_H

@@ -9,8 +9,25 @@
 namespace protean {
 namespace sim {
 
+namespace {
+Engine g_defaultEngine = Engine::Batch;
+} // namespace
+
+Engine
+defaultEngine()
+{
+    return g_defaultEngine;
+}
+
+void
+setDefaultEngine(Engine e)
+{
+    g_defaultEngine = e;
+}
+
 Machine::Machine(const MachineConfig &cfg)
-    : cfg_(cfg), memsys_(std::make_unique<MemorySystem>(cfg))
+    : cfg_(cfg), memsys_(std::make_unique<MemorySystem>(cfg)),
+      engine_(g_defaultEngine)
 {
     for (uint32_t c = 0; c < cfg.numCores; ++c)
         cores_.push_back(std::make_unique<Core>(c, cfg_, *memsys_));
@@ -86,11 +103,20 @@ Machine::nextCore()
 void
 Machine::run(uint64_t until_cycle)
 {
+    if (engine_ == Engine::Step)
+        runStep(until_cycle);
+    else
+        runBatch(until_cycle);
+}
+
+void
+Machine::runStep(uint64_t until_cycle)
+{
     for (;;) {
         Core *c = nextCore();
         uint64_t core_t = c ? c->cycle() : UINT64_MAX;
         uint64_t event_t =
-            events_.empty() ? UINT64_MAX : events_.top().cycle;
+            events_.empty() ? UINT64_MAX : events_.topCycle();
 
         uint64_t t = std::min(core_t, event_t);
         if (t >= until_cycle) {
@@ -99,17 +125,71 @@ Machine::run(uint64_t until_cycle)
         }
 
         if (event_t <= core_t) {
-            // const_cast: priority_queue::top() is const but we must
-            // move the callback out before popping.
-            auto fn =
-                std::move(const_cast<Event &>(events_.top()).fn);
-            events_.pop();
+            EventHeap::Entry e = events_.pop();
             now_ = event_t;
-            fn();
+            e.fn();
         } else {
             now_ = core_t;
             c->step();
         }
+    }
+}
+
+void
+Machine::runBatch(uint64_t until_cycle)
+{
+    for (;;) {
+        // One scan finds both the scheduler's choice (min cycle,
+        // lowest index on ties — exactly nextCore()) and the core
+        // that would be chosen if `best` were absent, which bounds
+        // how far `best` may run without changing the interleaving.
+        Core *best = nullptr;
+        Core *other = nullptr;
+        for (auto &u : cores_) {
+            Core *k = u.get();
+            if (!k->runnable())
+                continue;
+            if (!best) {
+                best = k;
+            } else if (k->cycle() < best->cycle()) {
+                other = best;
+                best = k;
+            } else if (!other || k->cycle() < other->cycle()) {
+                other = k;
+            }
+        }
+
+        uint64_t core_t = best ? best->cycle() : UINT64_MAX;
+        uint64_t event_t =
+            events_.empty() ? UINT64_MAX : events_.topCycle();
+
+        uint64_t t = std::min(core_t, event_t);
+        if (t >= until_cycle) {
+            now_ = until_cycle;
+            break;
+        }
+
+        if (event_t <= core_t) {
+            EventHeap::Entry e = events_.pop();
+            now_ = event_t;
+            e.fn();
+            continue;
+        }
+
+        // best stays the scheduler's choice while its cycle is below
+        // every other runnable core's — and, when it has the lower
+        // index, also on ties (nextCore keeps the first minimum). It
+        // must stop at the next event or the until-cycle (both fire
+        // when the min core cycle reaches them: `t >= bound`).
+        uint64_t horizon = std::min(event_t, until_cycle);
+        if (other) {
+            uint64_t bound = other->cycle();
+            if (best->id() < other->id())
+                ++bound; // best also wins the tie at bound
+            horizon = std::min(horizon, bound);
+        }
+        now_ = core_t;
+        best->run(horizon);
     }
 }
 
@@ -140,11 +220,18 @@ Machine::startObsSampling(double period_ms)
 {
     if (obsSampling_)
         return;
+    // Sampling only feeds the tracer; with it disabled, scheduling
+    // per-period events would just churn the event heap for nothing.
+    if (!obs::tracer().enabled())
+        return;
     obsSampling_ = true;
     obsPeriod_ = std::max<uint64_t>(msToCycles(period_ms), 1);
     obsLast_.resize(cores_.size());
-    for (size_t c = 0; c < cores_.size(); ++c)
+    obsLanes_.resize(cores_.size());
+    for (size_t c = 0; c < cores_.size(); ++c) {
         obsLast_[c] = cores_[c]->hpm();
+        obsLanes_[c] = strformat("sim.core%zu", c);
+    }
     obsLastDram_ = memsys_->dramAccesses();
     scheduleAfter(obsPeriod_, [this] { obsSample(); });
 }
@@ -153,24 +240,28 @@ void
 Machine::obsSample()
 {
     obs::Tracer &tr = obs::tracer();
-    if (tr.enabled()) {
-        for (size_t c = 0; c < cores_.size(); ++c) {
-            HpmCounters delta = cores_[c]->hpm() - obsLast_[c];
-            obsLast_[c] = cores_[c]->hpm();
-            std::string lane = strformat("sim.core%zu", c);
-            tr.counter(lane, "ipc", delta.ipc());
-            tr.counter(lane, "l3_misses",
-                       static_cast<double>(delta.l3Misses));
-            tr.counter(lane, "nap_share",
-                       delta.cycles == 0 ? 0.0 :
-                       static_cast<double>(delta.nappedCycles) /
-                       static_cast<double>(delta.cycles));
-        }
-        uint64_t dram = memsys_->dramAccesses();
-        tr.counter("sim.mem", "dram_accesses",
-                   static_cast<double>(dram - obsLastDram_));
-        obsLastDram_ = dram;
+    if (!tr.enabled()) {
+        // Tracer turned off mid-run: stop sampling; a later
+        // startObsSampling may arm it again.
+        obsSampling_ = false;
+        return;
     }
+    for (size_t c = 0; c < cores_.size(); ++c) {
+        HpmCounters delta = cores_[c]->hpm() - obsLast_[c];
+        obsLast_[c] = cores_[c]->hpm();
+        const std::string &lane = obsLanes_[c];
+        tr.counter(lane, "ipc", delta.ipc());
+        tr.counter(lane, "l3_misses",
+                   static_cast<double>(delta.l3Misses));
+        tr.counter(lane, "nap_share",
+                   delta.cycles == 0 ? 0.0 :
+                   static_cast<double>(delta.nappedCycles) /
+                   static_cast<double>(delta.cycles));
+    }
+    uint64_t dram = memsys_->dramAccesses();
+    tr.counter("sim.mem", "dram_accesses",
+               static_cast<double>(dram - obsLastDram_));
+    obsLastDram_ = dram;
     scheduleAfter(obsPeriod_, [this] { obsSample(); });
 }
 
@@ -209,7 +300,7 @@ Machine::schedule(uint64_t cycle, std::function<void()> fn)
         panic("machine: scheduling into the past (%llu < %llu)",
               static_cast<unsigned long long>(cycle),
               static_cast<unsigned long long>(now_));
-    events_.push(Event{cycle, eventSeq_++, std::move(fn)});
+    events_.push(EventHeap::Entry{cycle, eventSeq_++, std::move(fn)});
 }
 
 } // namespace sim

@@ -16,16 +16,33 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
+#include <string>
 #include <vector>
 
 #include "isa/image.h"
 #include "sim/core.h"
+#include "sim/event_heap.h"
 #include "sim/memsys.h"
 #include "sim/process.h"
 
 namespace protean {
 namespace sim {
+
+/**
+ * Execution engine selection.
+ *
+ * Step is the reference semantics: one global scheduling decision
+ * (min-cycle core scan + event peek) per instruction. Batch picks the
+ * same core but lets it run a whole horizon of instructions —
+ * until the next event, the until-cycle, or the point where another
+ * core becomes the scheduler's choice — amortizing the scheduling
+ * overhead without changing a single observable cycle (DESIGN.md §8).
+ */
+enum class Engine : uint8_t { Step, Batch };
+
+/** Process-wide default engine for new machines (initially Batch). */
+Engine defaultEngine();
+void setDefaultEngine(Engine e);
 
 /** The simulated server. */
 class Machine
@@ -51,6 +68,10 @@ class Machine
 
     /** Current global simulated time. */
     uint64_t now() const { return now_; }
+
+    /** Select the execution engine (default: defaultEngine()). */
+    void setEngine(Engine e) { engine_ = e; }
+    Engine engine() const { return engine_; }
 
     /**
      * Create a process from an image and bind it to a core.
@@ -104,34 +125,32 @@ class Machine
     void exportObsMetrics() const;
 
   private:
-    struct Event
-    {
-        uint64_t cycle;
-        uint64_t seq;
-        std::function<void()> fn;
-        bool operator>(const Event &o) const
-        {
-            return cycle != o.cycle ? cycle > o.cycle : seq > o.seq;
-        }
-    };
-
     MachineConfig cfg_;
     std::unique_ptr<MemorySystem> memsys_;
     std::vector<std::unique_ptr<Core>> cores_;
     std::vector<std::unique_ptr<Process>> procs_;
-    std::priority_queue<Event, std::vector<Event>, std::greater<>>
-        events_;
+    EventHeap events_;
     uint64_t now_ = 0;
     uint64_t eventSeq_ = 0;
+    Engine engine_;
     bool obsSampling_ = false;
     uint64_t obsPeriod_ = 0;
     std::vector<HpmCounters> obsLast_;
     uint64_t obsLastDram_ = 0;
+    /** Precomputed "sim.core<N>" tracer lane names. */
+    std::vector<std::string> obsLanes_;
 
     /** Runnable core with the smallest clock; null if none. */
     Core *nextCore();
 
-    /** One observability sampling step (reschedules itself). */
+    /** Reference engine: one scheduling decision per instruction. */
+    void runStep(uint64_t until_cycle);
+
+    /** Horizon-batched engine (same observable behavior). */
+    void runBatch(uint64_t until_cycle);
+
+    /** One observability sampling step (reschedules itself while the
+     *  tracer stays enabled). */
     void obsSample();
 };
 

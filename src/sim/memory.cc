@@ -18,10 +18,15 @@ PagedMemory::read(uint64_t byte_addr) const
 {
     checkAligned(byte_addr);
     uint64_t word = byte_addr / 8;
-    auto it = pages_.find(word / kPageWords);
+    uint64_t page_no = word / kPageWords;
+    if (page_no == cachedPageNo_)
+        return (*cachedPage_)[word % kPageWords];
+    auto it = pages_.find(page_no);
     if (it == pages_.end())
         return 0;
-    return (*it->second)[word % kPageWords];
+    cachedPageNo_ = page_no;
+    cachedPage_ = it->second.get();
+    return (*cachedPage_)[word % kPageWords];
 }
 
 void
@@ -29,9 +34,16 @@ PagedMemory::write(uint64_t byte_addr, uint64_t value)
 {
     checkAligned(byte_addr);
     uint64_t word = byte_addr / 8;
-    auto &page = pages_[word / kPageWords];
+    uint64_t page_no = word / kPageWords;
+    if (page_no == cachedPageNo_) {
+        (*cachedPage_)[word % kPageWords] = value;
+        return;
+    }
+    auto &page = pages_[page_no];
     if (!page)
         page = std::make_unique<Page>(kPageWords, 0);
+    cachedPageNo_ = page_no;
+    cachedPage_ = page.get();
     (*page)[word % kPageWords] = value;
 }
 

@@ -40,6 +40,11 @@ class PagedMemory
     static constexpr uint64_t kPageWords = 512; // 4 KiB pages
     using Page = std::vector<uint64_t>;
     std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+    /** Last-touched page: consecutive accesses overwhelmingly hit
+     *  the same page, skipping the hash lookup. Pages are never
+     *  freed, so the cached pointer cannot dangle. */
+    mutable uint64_t cachedPageNo_ = ~0ULL;
+    mutable Page *cachedPage_ = nullptr;
 
     static void checkAligned(uint64_t byte_addr);
 };

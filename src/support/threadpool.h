@@ -1,0 +1,75 @@
+/**
+ * @file
+ * A small persistent worker pool for deterministic fan-out.
+ *
+ * parallelFor(n, fn) runs fn(i) for i in [0, n) across the pool and
+ * blocks until every call returns. Work is partitioned statically —
+ * lane w takes indices w, w+W, w+2W, ... — so the assignment of
+ * items to threads is itself reproducible. The pool exists because
+ * fleet::Cluster advances machines every quantum: quanta are short
+ * (a network round trip, microseconds of host work), so both thread
+ * spawning and mutex/condvar wakeups per quantum would cost more
+ * than the parallelism saves. Dispatch is therefore a spin-then-
+ * sleep generation counter: workers burn a short spin window
+ * between back-to-back quanta and only fall back to a condition
+ * variable when the pool goes idle. The calling thread executes
+ * lane 0 itself, so a pool of W lanes spawns W-1 threads and the
+ * caller never pays a wakeup for its own share.
+ */
+
+#ifndef PROTEAN_SUPPORT_THREADPOOL_H
+#define PROTEAN_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace protean {
+
+/** Fixed-size pool of worker lanes with a fork-join API. */
+class WorkerPool
+{
+  public:
+    /** @param threads Lane count (including the caller's lane);
+     *  clamped to at least 1. */
+    explicit WorkerPool(uint32_t threads);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    uint32_t numThreads() const { return count_; }
+
+    /**
+     * Run fn(i) for every i in [0, n), statically partitioned across
+     * the pool; returns when all calls have completed. The caller
+     * runs lane 0. Not reentrant: fn must not call parallelFor on
+     * the same pool, and only one thread may drive the pool.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+  private:
+    uint32_t count_ = 0;
+    std::vector<std::thread> threads_;
+    /** Job slot, published before the gen_ bump (release) and read
+     *  by workers after observing it (acquire). */
+    const std::function<void(size_t)> *fn_ = nullptr;
+    size_t n_ = 0;
+    std::atomic<uint64_t> gen_{0};
+    std::atomic<uint32_t> pending_{0};
+    std::atomic<bool> stop_{false};
+    /** Only for the idle-pool deep sleep; never taken per quantum
+     *  while work keeps arriving. */
+    std::mutex mu_;
+    std::condition_variable wake_;
+
+    void workerMain(uint32_t lane);
+};
+
+} // namespace protean
+
+#endif // PROTEAN_SUPPORT_THREADPOOL_H

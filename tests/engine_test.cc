@@ -1,0 +1,530 @@
+/**
+ * @file
+ * Execution-engine equivalence suite (DESIGN.md §8).
+ *
+ * The horizon-batched engine and the parallel fleet stepper are pure
+ * host-side optimizations: every simulated observable must match the
+ * reference Step engine and the serial cluster schedule exactly.
+ * These tests pin that down — per-core HPM counter files, cache
+ * stats, event ordering, and byte-identical metrics exports — plus
+ * unit tests for the movable event heap and the MRU-way cache
+ * shortcut the fast path relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.h"
+#include "ir/builder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "pcc/pcc.h"
+#include "sim/cache.h"
+#include "sim/event_heap.h"
+#include "sim/machine.h"
+#include "workloads/registry.h"
+
+namespace protean {
+namespace sim {
+namespace {
+
+/** Process-wide engine default is test-visible state; pin it. */
+class EngineTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        saved_ = defaultEngine();
+        obs::metrics().reset();
+        obs::tracer().clear();
+    }
+
+    void
+    TearDown() override
+    {
+        setDefaultEngine(saved_);
+        obs::tracer().clear();
+        obs::metrics().reset();
+    }
+
+  private:
+    Engine saved_ = Engine::Batch;
+};
+
+TEST(EventHeap, PopsInCycleOrder)
+{
+    EventHeap h;
+    std::vector<uint64_t> fired;
+    uint64_t seq = 0;
+    for (uint64_t c : {50u, 10u, 40u, 20u, 30u})
+        h.push({c, seq++, [&fired, c] { fired.push_back(c); }});
+    EXPECT_EQ(h.size(), 5u);
+    while (!h.empty())
+        h.pop().fn();
+    EXPECT_EQ(fired, (std::vector<uint64_t>{10, 20, 30, 40, 50}));
+}
+
+TEST(EventHeap, SameCycleFiresInSchedulingOrder)
+{
+    // All entries share a cycle: seq (scheduling order) breaks the
+    // tie, so the calendar stays deterministic.
+    EventHeap h;
+    std::vector<int> fired;
+    for (int i = 0; i < 8; ++i)
+        h.push({100, static_cast<uint64_t>(i),
+                [&fired, i] { fired.push_back(i); }});
+    while (!h.empty())
+        h.pop().fn();
+    EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+/** Counts copy-constructions of a lambda capture. */
+struct CopyCounter
+{
+    int *copies;
+    explicit CopyCounter(int *c) : copies(c) {}
+    CopyCounter(const CopyCounter &o) : copies(o.copies)
+    {
+        ++*copies;
+    }
+    CopyCounter(CopyCounter &&o) noexcept : copies(o.copies) {}
+};
+
+TEST(EventHeap, PopMovesCallbackOut)
+{
+    // The point of replacing priority_queue (whose const top()
+    // forced copying the callback out before popping): callbacks
+    // move through push, sift and pop without a single copy of
+    // their captured state.
+    EventHeap h;
+    int copies = 0;
+    h.push({5, 0, [c = CopyCounter(&copies)] { (void)c; }});
+    h.push({1, 1, [] {}});
+    h.push({9, 2, [c = CopyCounter(&copies)] { (void)c; }});
+    h.pop().fn();                 // cycle 1
+    EventHeap::Entry e = h.pop(); // cycle 5
+    e.fn();
+    h.pop().fn(); // cycle 9
+    EXPECT_EQ(copies, 0);
+    EXPECT_TRUE(h.empty());
+}
+
+TEST(EventHeap, InterleavedPushPop)
+{
+    EventHeap h;
+    uint64_t seq = 0;
+    std::vector<uint64_t> fired;
+    auto add = [&](uint64_t c) {
+        h.push({c, seq++, [&fired, c] { fired.push_back(c); }});
+    };
+    add(30);
+    add(10);
+    h.pop().fn(); // 10
+    add(20);
+    add(5);
+    h.pop().fn(); // 5
+    h.pop().fn(); // 20
+    add(1);
+    while (!h.empty())
+        h.pop().fn();
+    EXPECT_EQ(fired, (std::vector<uint64_t>{10, 5, 20, 1, 30}));
+}
+
+ir::Module
+spinModule(const std::string &name = "spin")
+{
+    ir::Module m(name);
+    ir::IRBuilder b(m);
+    b.startFunction("main", 0);
+    ir::BlockId loop = b.newBlock();
+    ir::Reg one = b.constInt(1);
+    ir::Reg acc = b.constInt(0);
+    b.br(loop);
+    b.setBlock(loop);
+    b.binaryInto(acc, ir::Opcode::Add, acc, one);
+    b.br(loop);
+    return m;
+}
+
+/** A looping strided walker over `bytes` of data (misses in the
+ *  memory hierarchy, unlike the spin loop). */
+ir::Module
+walkerModule(uint64_t bytes, const std::string &name,
+             int64_t stride_bytes = 64)
+{
+    ir::Module m(name);
+    ir::IRBuilder b(m);
+    ir::GlobalId g = m.addGlobal("a", bytes + 4096);
+    b.startFunction("main", 0);
+    ir::Reg base = b.globalAddr(g);
+    ir::Reg mask = b.constInt(static_cast<int64_t>(bytes - 64));
+    ir::Reg stride = b.constInt(stride_bytes);
+    ir::Reg cur = b.constInt(0);
+    ir::Reg x = b.func().newReg();
+    ir::Reg addr = b.func().newReg();
+    b.func().noteReg(x);
+    b.func().noteReg(addr);
+    ir::BlockId loop = b.newBlock();
+    b.br(loop);
+    b.setBlock(loop);
+    b.binaryInto(addr, ir::Opcode::And, cur, mask);
+    b.binaryInto(addr, ir::Opcode::Add, addr, base);
+    b.loadInto(x, addr);
+    b.binaryInto(cur, ir::Opcode::Add, cur, stride);
+    b.br(loop);
+    return m;
+}
+
+void
+expectHpmEq(const HpmCounters &a, const HpmCounters &b, uint32_t core)
+{
+    SCOPED_TRACE("core " + std::to_string(core));
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.nappedCycles, b.nappedCycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.branches, b.branches);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.hints, b.hints);
+    EXPECT_EQ(a.l1Misses, b.l1Misses);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.l3Accesses, b.l3Accesses);
+    EXPECT_EQ(a.l3Misses, b.l3Misses);
+    EXPECT_EQ(a.dramAccesses, b.dramAccesses);
+    EXPECT_EQ(a.stolenCycles, b.stolenCycles);
+}
+
+/** Everything one engine run can observe. */
+struct RunRecord
+{
+    uint64_t now = 0;
+    std::vector<HpmCounters> hpm;
+    uint64_t l3Misses = 0;
+    uint64_t dramAccesses = 0;
+    std::vector<int> eventLog;
+    std::string metricsJson;
+};
+
+/**
+ * Drive `images[i]` on core i under `engine`, in uneven runFor
+ * chunks (so until-cycle horizons land mid-stream), with mid-run
+ * scheduled events that perturb core timing (stolen cycles, naps) —
+ * the interleavings the batch engine must not reorder.
+ */
+RunRecord
+runEngine(Engine engine, const std::vector<const isa::Image *> &images,
+          uint64_t total_cycles)
+{
+    obs::metrics().reset();
+    Machine machine;
+    machine.setEngine(engine);
+    for (uint32_t c = 0; c < images.size(); ++c)
+        machine.load(*images[c], c);
+
+    RunRecord rec;
+    machine.scheduleAfter(total_cycles / 3, [&machine, &rec] {
+        rec.eventLog.push_back(1);
+        machine.core(0).stealCycles(5'000);
+    });
+    machine.scheduleAfter(total_cycles / 3, [&machine, &rec] {
+        // Same cycle as the steal: order must hold in both engines.
+        rec.eventLog.push_back(2);
+        if (machine.numCores() > 1)
+            machine.core(1).setNapIntensity(0.5);
+    });
+    machine.scheduleAfter(2 * total_cycles / 3, [&machine, &rec] {
+        rec.eventLog.push_back(3);
+        if (machine.numCores() > 1)
+            machine.core(1).setNapIntensity(0.0);
+    });
+
+    uint64_t chunks[] = {total_cycles / 7, total_cycles / 3 + 11, 1,
+                         total_cycles};
+    for (uint64_t c : chunks)
+        machine.runFor(c);
+
+    rec.now = machine.now();
+    for (uint32_t c = 0; c < machine.numCores(); ++c)
+        rec.hpm.push_back(machine.core(c).hpm());
+    rec.l3Misses = machine.memsys().l3().stats().misses;
+    rec.dramAccesses = machine.memsys().dramAccesses();
+    machine.exportObsMetrics();
+    rec.metricsJson = obs::metrics().toJson();
+    return rec;
+}
+
+void
+expectRunsEq(const RunRecord &step, const RunRecord &batch)
+{
+    EXPECT_EQ(step.now, batch.now);
+    ASSERT_EQ(step.hpm.size(), batch.hpm.size());
+    for (uint32_t c = 0; c < step.hpm.size(); ++c)
+        expectHpmEq(step.hpm[c], batch.hpm[c], c);
+    EXPECT_EQ(step.l3Misses, batch.l3Misses);
+    EXPECT_EQ(step.dramAccesses, batch.dramAccesses);
+    EXPECT_EQ(step.eventLog, batch.eventLog);
+    EXPECT_EQ(step.metricsJson, batch.metricsJson);
+}
+
+TEST_F(EngineTest, StepVsBatchSpinPlusWalker)
+{
+    // Asymmetric per-instruction costs: the cores' clocks leapfrog,
+    // exercising the horizon bound against the other-core minimum.
+    ir::Module sm = spinModule();
+    isa::Image spin = pcc::compilePlain(sm);
+    ir::Module wm = walkerModule(1 << 20, "walker", 320);
+    isa::Image walker = pcc::compilePlain(wm);
+    RunRecord step =
+        runEngine(Engine::Step, {&spin, &walker}, 600'000);
+    RunRecord batch =
+        runEngine(Engine::Batch, {&spin, &walker}, 600'000);
+    expectRunsEq(step, batch);
+}
+
+TEST_F(EngineTest, StepVsBatchColocatedWalkers)
+{
+    // Two walkers share the L3: interleaving at the shared level is
+    // the most fragile observable, since a reordered access changes
+    // which line gets evicted.
+    ir::Module am = walkerModule(64 * 1024, "reuse", 320);
+    isa::Image a = pcc::compilePlain(am);
+    ir::Module bm = walkerModule(4 << 20, "stream");
+    isa::Image b = pcc::compilePlain(bm);
+    RunRecord step = runEngine(Engine::Step, {&a, &b}, 800'000);
+    RunRecord batch = runEngine(Engine::Batch, {&a, &b}, 800'000);
+    expectRunsEq(step, batch);
+}
+
+TEST_F(EngineTest, StepVsBatchProteanBinary)
+{
+    // A realistic protean-compiled batch app (virtualized calls,
+    // padded loads) on a single hot core — the fleet shape, and the
+    // configuration where batching runs longest uninterrupted.
+    workloads::BatchSpec spec = workloads::batchSpec("soplex");
+    ir::Module m = workloads::buildBatch(spec);
+    isa::Image image = pcc::compile(m);
+    RunRecord step = runEngine(Engine::Step, {&image}, 400'000);
+    RunRecord batch = runEngine(Engine::Batch, {&image}, 400'000);
+    expectRunsEq(step, batch);
+}
+
+TEST_F(EngineTest, SameCycleEventsFireInScheduleOrderBothEngines)
+{
+    for (Engine e : {Engine::Step, Engine::Batch}) {
+        SCOPED_TRACE(e == Engine::Step ? "step" : "batch");
+        Machine machine;
+        machine.setEngine(e);
+        std::vector<int> order;
+        machine.schedule(1000, [&order] { order.push_back(1); });
+        machine.schedule(1000, [&order] { order.push_back(2); });
+        machine.schedule(500, [&order] { order.push_back(0); });
+        machine.schedule(1000, [&order] { order.push_back(3); });
+        machine.runFor(2000);
+        EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    }
+}
+
+TEST_F(EngineTest, EventsCanRescheduleUnderBatch)
+{
+    Machine machine;
+    machine.setEngine(Engine::Batch);
+    ir::Module m = spinModule();
+    isa::Image image = pcc::compilePlain(m);
+    machine.load(image, 0);
+    int ticks = 0;
+    std::function<void()> tick = [&] {
+        ++ticks;
+        if (ticks < 5)
+            machine.scheduleAfter(100, tick);
+    };
+    machine.scheduleAfter(100, tick);
+    machine.runFor(10'000);
+    EXPECT_EQ(ticks, 5);
+}
+
+TEST_F(EngineTest, DefaultEngineSelectsNewMachines)
+{
+    setDefaultEngine(Engine::Step);
+    Machine a;
+    EXPECT_EQ(a.engine(), Engine::Step);
+    setDefaultEngine(Engine::Batch);
+    Machine b;
+    EXPECT_EQ(b.engine(), Engine::Batch);
+    EXPECT_EQ(a.engine(), Engine::Step); // existing machines keep theirs
+}
+
+TEST(Cache, MruHintStaleStillHits)
+{
+    // Alternating ways in one set keeps the MRU hint stale half the
+    // time; the fallback scan must still find every line.
+    CacheConfig cfg;
+    cfg.sizeBytes = 256;
+    cfg.ways = 2;
+    cfg.lineBytes = 64;
+    Cache c("t", cfg);
+    c.fill(0, false);
+    c.fill(128, false); // same set, other way
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(c.access(0));
+        EXPECT_TRUE(c.access(128));
+    }
+    EXPECT_EQ(c.stats().misses, 0u);
+}
+
+TEST(Cache, MruHintNeverAffectsReplacement)
+{
+    // Recency is decided by access order alone: hammering one way
+    // (parking the hint there) must not save it from LRU eviction
+    // once the other way is touched more recently.
+    CacheConfig cfg;
+    cfg.sizeBytes = 256;
+    cfg.ways = 2;
+    cfg.lineBytes = 64;
+    Cache c("t", cfg);
+    c.fill(0, false);
+    c.fill(128, false);
+    for (int i = 0; i < 10; ++i)
+        c.access(0); // hint parks on 0's way
+    c.access(128);   // ...but 0 is now LRU
+    c.access(0);     // 128 LRU again
+    c.fill(256, false);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(128));
+    EXPECT_TRUE(c.contains(256));
+}
+
+} // namespace
+} // namespace sim
+
+namespace fleet {
+namespace {
+
+/** Serial/parallel cluster equivalence: stats + exports must be
+ *  byte-identical (the whole contract of Cluster::setParallel). */
+class ParallelFleetTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        obs::metrics().reset();
+        obs::tracer().clear();
+    }
+
+    void
+    TearDown() override
+    {
+        obs::tracer().clear();
+        obs::metrics().reset();
+    }
+};
+
+struct FleetRecord
+{
+    FleetStats stats;
+    std::string metricsJson;
+};
+
+FleetRecord
+runFleet(uint32_t servers, uint32_t workers, double ms)
+{
+    obs::metrics().reset();
+    FleetConfig cfg;
+    cfg.numServers = servers;
+    cfg.parallelWorkers = workers;
+    FleetSim sim(cfg);
+    EXPECT_EQ(sim.cluster().parallel(), std::max(workers, 1u));
+    sim.run(ms);
+    FleetRecord rec;
+    rec.stats = sim.stats();
+    sim.exportObsMetrics();
+    rec.metricsJson = obs::metrics().toJson();
+    return rec;
+}
+
+void
+expectFleetEq(const FleetRecord &serial, const FleetRecord &par)
+{
+    EXPECT_EQ(serial.stats.deployRequests, par.stats.deployRequests);
+    EXPECT_EQ(serial.stats.serverCompiles, par.stats.serverCompiles);
+    EXPECT_EQ(serial.stats.serverCompileCycles,
+              par.stats.serverCompileCycles);
+    EXPECT_EQ(serial.stats.remoteHits, par.stats.remoteHits);
+    EXPECT_EQ(serial.stats.hostBranches, par.stats.hostBranches);
+    EXPECT_EQ(serial.stats.service.requests,
+              par.stats.service.requests);
+    EXPECT_EQ(serial.stats.service.hits, par.stats.service.hits);
+    EXPECT_EQ(serial.stats.service.misses, par.stats.service.misses);
+    EXPECT_EQ(serial.stats.service.coalesced,
+              par.stats.service.coalesced);
+    EXPECT_EQ(serial.stats.service.evictions,
+              par.stats.service.evictions);
+    EXPECT_EQ(serial.stats.service.batches, par.stats.service.batches);
+    EXPECT_EQ(serial.stats.service.compiles,
+              par.stats.service.compiles);
+    EXPECT_EQ(serial.stats.service.compileCycles,
+              par.stats.service.compileCycles);
+    EXPECT_EQ(serial.stats.service.bytesOut, par.stats.service.bytesOut);
+    EXPECT_EQ(serial.metricsJson, par.metricsJson);
+}
+
+TEST_F(ParallelFleetTest, SerialVsParallelByteIdentical)
+{
+    for (uint32_t servers : {2u, 4u, 8u}) {
+        SCOPED_TRACE("servers " + std::to_string(servers));
+        FleetRecord serial = runFleet(servers, 1, 30.0);
+        for (uint32_t workers : {2u, 4u}) {
+            SCOPED_TRACE("workers " + std::to_string(workers));
+            FleetRecord par = runFleet(servers, workers, 30.0);
+            expectFleetEq(serial, par);
+        }
+    }
+}
+
+TEST_F(ParallelFleetTest, ParallelRepeatsAreDeterministic)
+{
+    // Thread scheduling varies run to run; results must not.
+    FleetRecord a = runFleet(4, 4, 25.0);
+    FleetRecord b = runFleet(4, 4, 25.0);
+    expectFleetEq(a, b);
+}
+
+TEST_F(ParallelFleetTest, MoreWorkersThanMachines)
+{
+    FleetRecord serial = runFleet(2, 1, 20.0);
+    FleetRecord par = runFleet(2, 8, 20.0);
+    expectFleetEq(serial, par);
+}
+
+TEST_F(ParallelFleetTest, TracerForcesSerialPathStaysIdentical)
+{
+    // With the tracer armed, the parallel cluster silently runs
+    // serially — exports (including the trace) must match a
+    // workers=1 run exactly.
+    auto traced = [](uint32_t workers) {
+        obs::metrics().reset();
+        obs::tracer().clear();
+        obs::tracer().setEnabled(true);
+        FleetConfig cfg;
+        cfg.numServers = 2;
+        cfg.parallelWorkers = workers;
+        FleetSim sim(cfg);
+        sim.run(15.0);
+        obs::tracer().setEnabled(false);
+        std::ostringstream os;
+        os << sim.stats().hostBranches << "|"
+           << sim.stats().deployRequests;
+        return os.str();
+    };
+    EXPECT_EQ(traced(1), traced(4));
+}
+
+} // namespace
+} // namespace fleet
+} // namespace protean
