@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -90,22 +91,30 @@ class ArgParser
 
     /**
      * Parse the command line; fatal (listing every supported flag)
-     * on anything unrecognized. Arms the tracer when --trace is
+     * on anything unrecognized, and fatal on a repeated flag — a
+     * duplicated `--seed=1 --seed=2` is almost always a typo whose
+     * silent last-one-wins resolution corrupts sweeps. (`-v` stays
+     * repeatable: it is idempotent.) Arms the tracer when --trace is
      * given.
      */
     ObsConfig parse(int argc, char **argv)
     {
         ObsConfig cfg;
+        std::set<std::string> seen;
         for (int i = 1; i < argc; ++i) {
             std::string a = argv[i];
             if (a.rfind("--trace=", 0) == 0) {
+                markSeen("trace", seen);
                 cfg.tracePath = a.substr(8);
             } else if (a.rfind("--metrics=", 0) == 0) {
+                markSeen("metrics", seen);
                 cfg.metricsPath = a.substr(10);
             } else if (a.rfind("--seed=", 0) == 0) {
+                markSeen("seed", seen);
                 cfg.seed = std::strtoull(a.substr(7).c_str(),
                                          nullptr, 0);
             } else if (a.rfind("--engine=", 0) == 0) {
+                markSeen("engine", seen);
                 std::string e = a.substr(9);
                 if (e == "step")
                     sim::setDefaultEngine(sim::Engine::Step);
@@ -115,11 +124,12 @@ class ArgParser
                     fatal("unknown engine '%s' (step|batch)",
                           e.c_str());
             } else if (a.rfind("--parallel=", 0) == 0) {
+                markSeen("parallel", seen);
                 cfg.parallel = std::strtoull(a.substr(11).c_str(),
                                              nullptr, 0);
             } else if (a == "-v") {
                 setLogLevel(LogLevel::Debug);
-            } else if (!parseExtra(a)) {
+            } else if (!parseExtra(a, seen)) {
                 fatal("unknown argument %s\n%s", a.c_str(),
                       usage().c_str());
             }
@@ -161,15 +171,25 @@ class ArgParser
         bool *b;
     };
 
-    bool parseExtra(const std::string &a)
+    void markSeen(const std::string &name,
+                  std::set<std::string> &seen)
+    {
+        if (!seen.insert(name).second)
+            fatal("flag --%s given more than once\n%s", name.c_str(),
+                  usage().c_str());
+    }
+
+    bool parseExtra(const std::string &a, std::set<std::string> &seen)
     {
         for (const Flag &f : flags_) {
             if (f.b && a == "--" + f.name) {
+                markSeen(f.name, seen);
                 *f.b = true;
                 return true;
             }
             std::string prefix = "--" + f.name + "=";
             if (!f.b && a.rfind(prefix, 0) == 0) {
+                markSeen(f.name, seen);
                 std::string v = a.substr(prefix.size());
                 if (f.s)
                     *f.s = v;

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Fault injection and graceful degradation study (DESIGN.md §9).
+ *
+ * Sweeps fault intensity x replication factor x client retry policy
+ * over the fleet compilation service and reports what the degradation
+ * ladder buys: hit rate under fire, compile-cycle overhead versus the
+ * benign run, retry/fallback activity, the worst-case flip latency
+ * (slowest request -> variant-ready), and — the gate — host workload
+ * stalls.
+ *
+ * The bench exits nonzero if any faulted configuration with
+ * replication >= 2 and the ladder armed leaves a stalled request:
+ * every request must resolve via retry, replica, or local fallback.
+ * CI runs `--quick` twice (serial and --parallel=2) and byte-diffs
+ * the exports, so the faulted runs double as determinism fixtures.
+ *
+ * Flags (beyond the common set): --servers=<n>, --ms=<x> (simulated
+ * run length), --mean-ms=<x> (request interarrival mean) and --quick.
+ */
+
+#include "common.h"
+
+#include "fleet/fleet.h"
+
+using namespace protean;
+
+namespace {
+
+struct FaultLevel
+{
+    const char *name;
+    faults::FaultConfig cfg;
+};
+
+struct PolicyLevel
+{
+    const char *name;
+    fleet::RetryPolicy policy;
+};
+
+fleet::FleetStats
+runFleet(uint32_t servers, double ms, double mean_ms, uint64_t seed,
+         const faults::FaultConfig &faults,
+         const fleet::RetryPolicy &retry, uint32_t replication,
+         uint32_t workers, bool export_obs)
+{
+    fleet::FleetConfig cfg;
+    cfg.numServers = servers;
+    cfg.remoteBackend = true;
+    cfg.meanRequestMs = mean_ms;
+    cfg.seed = seed;
+    cfg.faults = faults;
+    cfg.retry = retry;
+    cfg.service.replication = replication;
+    cfg.parallelWorkers = workers;
+    fleet::FleetSim sim(cfg);
+    sim.run(ms);
+    if (export_obs)
+        sim.exportObsMetrics();
+    return sim.stats();
+}
+
+faults::FaultConfig
+faultsAt(double intensity)
+{
+    // One scalar dials every fault stream: intensity 1.0 is the
+    // "moderate" point (a shard crashes about once per 40 simulated
+    // ms, 2% of requests vanish, ...), 0.0 is benign.
+    faults::FaultConfig f;
+    if (intensity <= 0.0)
+        return f;
+    f.shardCrashMeanCycles = 200000.0 / intensity;
+    f.shardRestartCycles = 20000;
+    f.requestDropProb = 0.02 * intensity;
+    f.requestDelayProb = 0.05 * intensity;
+    f.responseCorruptProb = 0.01 * intensity;
+    f.cacheCorruptProb = 0.01 * intensity;
+    f.serverPauseProb = 0.01 * intensity;
+    return f;
+}
+
+fleet::RetryPolicy
+ladder(bool hedged)
+{
+    fleet::RetryPolicy p;
+    p.enabled = true;
+    p.maxAttempts = 3;
+    // Sized for this bench's service model: a worst-case queued
+    // compile is tens of thousands of cycles, so 60k never fires
+    // spuriously yet keeps the ladder bound well inside the run.
+    p.attemptTimeoutCycles = 60000;
+    p.backoffBaseCycles = 2000;
+    p.backoffCapCycles = 16000;
+    p.hedgeAfterCycles = hedged ? 30000 : 0;
+    return p;
+}
+
+std::string
+fmtU64(uint64_t v)
+{
+    return strformat("%llu", static_cast<unsigned long long>(v));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t servers = 8;
+    double ms = 300.0;
+    double mean_ms = 4.0;
+    bool quick = false;
+    bench::ArgParser parser;
+    parser.addFlag("servers", &servers, "fleet size (default 8)");
+    parser.addFlag("ms", &ms, "simulated run length per config");
+    parser.addFlag("mean-ms", &mean_ms,
+                   "mean request interarrival per server");
+    parser.addSwitch("quick", &quick, "tiny configuration for CI");
+    bench::ObsConfig obs_cfg = parser.parse(argc, argv);
+    if (quick) {
+        servers = 4;
+        ms = 150.0;
+    }
+    uint32_t workers = static_cast<uint32_t>(obs_cfg.parallel);
+
+    bool gate_failed = false;
+
+    fleet::FleetStats benign = runFleet(
+        static_cast<uint32_t>(servers), ms, mean_ms, obs_cfg.seed,
+        faultsAt(0.0), ladder(false), 1, workers, false);
+    uint64_t benign_cycles = benign.totalCompileCycles();
+
+    {
+        TextTable t("Degradation ladder: fault level x replication "
+                    "x retry policy");
+        t.setHeader({"Faults", "R", "Policy", "Hit rate",
+                     "Cycle overhead", "Retries", "Fallbacks",
+                     "Worst flip (cyc)", "Stalled"});
+        std::vector<FaultLevel> levels;
+        levels.push_back({"moderate", faultsAt(1.0)});
+        if (!quick)
+            levels.push_back({"heavy", faultsAt(3.0)});
+        std::vector<PolicyLevel> policies;
+        policies.push_back({"retry", ladder(false)});
+        policies.push_back({"retry+hedge", ladder(true)});
+
+        for (const FaultLevel &lv : levels) {
+            for (uint32_t repl : {1u, 2u}) {
+                for (const PolicyLevel &pol : policies) {
+                    fleet::FleetStats st = runFleet(
+                        static_cast<uint32_t>(servers), ms, mean_ms,
+                        obs_cfg.seed, lv.cfg, pol.policy, repl,
+                        workers, false);
+                    double overhead = benign_cycles == 0 ? 0.0 :
+                        static_cast<double>(
+                            st.totalCompileCycles()) /
+                        static_cast<double>(benign_cycles);
+                    t.addRow({lv.name, strformat("%u", repl),
+                              pol.name,
+                              bench::fmtRatio(
+                                  st.service.hitRateOf()),
+                              bench::fmtRatio(overhead),
+                              fmtU64(st.client.retries),
+                              fmtU64(st.client.localFallbacks),
+                              fmtU64(st.client.maxResolveCycles),
+                              fmtU64(st.stalledRequests)});
+                    if (repl >= 2 && st.stalledRequests > 0)
+                        gate_failed = true;
+                }
+            }
+        }
+        t.print();
+        std::printf("\nevery request resolves via retry, replica or "
+                    "local fallback; stalls gate the build\n");
+    }
+
+    if (!quick) {
+        std::printf("\n");
+        TextTable t("Sweep: drop probability x replication "
+                    "(retry ladder, no hedge)");
+        t.setHeader({"Drop", "R", "Hit rate", "Timeouts", "Retries",
+                     "Fallbacks", "Worst flip (cyc)", "Stalled"});
+        for (double drop : {0.0, 0.02, 0.10}) {
+            for (uint32_t repl : {1u, 2u, 3u}) {
+                faults::FaultConfig f;
+                f.requestDropProb = drop;
+                fleet::FleetStats st = runFleet(
+                    static_cast<uint32_t>(servers), ms / 2.0,
+                    mean_ms, obs_cfg.seed, f, ladder(false), repl,
+                    workers, false);
+                t.addRow({TextTable::fmt(drop, 2),
+                          strformat("%u", repl),
+                          bench::fmtRatio(st.service.hitRateOf()),
+                          fmtU64(st.client.timeouts),
+                          fmtU64(st.client.retries),
+                          fmtU64(st.client.localFallbacks),
+                          fmtU64(st.client.maxResolveCycles),
+                          fmtU64(st.stalledRequests)});
+                if (drop > 0.0 && repl >= 2 &&
+                    st.stalledRequests > 0)
+                    gate_failed = true;
+            }
+        }
+        t.print();
+        std::printf("\ndropped requests cost one timeout; replicas "
+                    "absorb crash losses\n");
+    }
+
+    // The exported configuration: moderate faults, R=2, full ladder.
+    // CI re-runs this twice (serial and --parallel=2) and byte-diffs
+    // the files — fault injection must not break determinism.
+    fleet::FleetStats exported = runFleet(
+        static_cast<uint32_t>(servers), ms, mean_ms, obs_cfg.seed,
+        faultsAt(1.0), ladder(true), 2, workers, true);
+    if (exported.stalledRequests > 0)
+        gate_failed = true;
+    std::printf("\nexported config: %llu crashes, %llu dropped, "
+                "%llu retries, %llu fallbacks, %llu stalled\n",
+                static_cast<unsigned long long>(
+                    exported.service.crashes),
+                static_cast<unsigned long long>(
+                    exported.service.dropped),
+                static_cast<unsigned long long>(
+                    exported.client.retries),
+                static_cast<unsigned long long>(
+                    exported.client.localFallbacks),
+                static_cast<unsigned long long>(
+                    exported.stalledRequests));
+
+    bench::exportObs(obs_cfg);
+    if (gate_failed) {
+        std::fprintf(stderr,
+                     "FAIL: stalled requests under faults with "
+                     "replication >= 2 — the degradation ladder "
+                     "must resolve every request\n");
+        return 1;
+    }
+    return 0;
+}

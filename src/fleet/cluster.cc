@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/logging.h"
 
@@ -42,12 +43,44 @@ Cluster::setParallel(uint32_t workers)
 }
 
 void
+Cluster::setFaultPlan(faults::FaultPlan *plan)
+{
+    plan_ = plan;
+}
+
+void
+Cluster::applyServerPauses()
+{
+    if (!plan_ || !plan_->enabled())
+        return;
+    for (size_t i = 0; i < machines_.size(); ++i) {
+        uint64_t pause = plan_->serverPauseCycles(
+            static_cast<uint32_t>(i), now_);
+        if (pause == 0)
+            continue;
+        ++pauses_;
+        obs::metrics().counter("fleet.faults.server_pauses").inc();
+        obs::tracer().instant(
+            "fleet.faults", "server pause",
+            strformat("\"server\":%zu,\"cycles\":%llu", i,
+                      static_cast<unsigned long long>(pause)));
+        // The whole server loses `pause` cycles of forward progress:
+        // every core's clock advances without retiring work, exactly
+        // like an antagonist or a hypervisor stall.
+        sim::Machine &m = *machines_[i];
+        for (uint32_t c = 0; c < m.numCores(); ++c)
+            m.core(c).stealCycles(pause);
+    }
+}
+
+void
 Cluster::run(uint64_t until_cycle)
 {
     if (until_cycle < now_)
         panic("Cluster: running into the past");
     while (now_ < until_cycle) {
         uint64_t t = std::min(until_cycle, now_ + quantum_);
+        applyServerPauses();
         // Tracing forces serial stepping: the trace log records
         // events in append order, which only the serial schedule
         // reproduces. Metrics are commutative, so they do not.

@@ -57,6 +57,17 @@ class Cluster
     void setParallel(uint32_t workers);
     uint32_t parallel() const { return workers_; }
 
+    /**
+     * Attach a fault plan (nullptr = benign). The cluster consults it
+     * at each quantum start for whole-server pauses — scheduler
+     * stalls, reboots, antagonists — applied by stealing cycles on
+     * every core of the paused machine. The decision is a pure hash
+     * of (server index, quantum start), applied by the coordinator
+     * before machines step, so serial and parallel runs pause
+     * identically.
+     */
+    void setFaultPlan(faults::FaultPlan *plan);
+
     /** Advance everything to an absolute global cycle. */
     void run(uint64_t until_cycle);
 
@@ -65,6 +76,8 @@ class Cluster
 
     uint64_t now() const { return now_; }
     uint64_t quantum() const { return quantum_; }
+    /** Injected whole-server pauses applied so far. */
+    uint64_t pausesApplied() const { return pauses_; }
     size_t numMachines() const { return machines_.size(); }
 
   private:
@@ -74,6 +87,12 @@ class Cluster
     uint64_t quantum_;
     uint32_t workers_ = 1;
     std::unique_ptr<WorkerPool> pool_;
+    faults::FaultPlan *plan_ = nullptr;
+    uint64_t pauses_ = 0;
+
+    /** Apply injected whole-server pauses for the quantum starting
+     *  at now_ (coordinator thread, before machines step). */
+    void applyServerPauses();
 };
 
 } // namespace fleet

@@ -31,6 +31,11 @@ FleetSim::FleetSim(const FleetConfig &cfg)
     if (cfg_.runtimeCore >= cfg_.machine.numCores)
         fatal("FleetSim: runtimeCore %u out of range (%u cores)",
               cfg_.runtimeCore, cfg_.machine.numCores);
+    if (cfg_.faults.anyEnabled()) {
+        plan_ = std::make_unique<faults::FaultPlan>(cfg_.faults);
+        svc_.setFaultPlan(plan_.get());
+        cluster_.setFaultPlan(plan_.get());
+    }
     buildCatalog();
 
     // One seed stream forked per server, in server order, so every
@@ -49,6 +54,8 @@ FleetSim::FleetSim(const FleetConfig &cfg)
             s->backend = std::make_unique<RemoteBackend>(
                 svc_, *s->machine, i, cfg_.runtimeCore,
                 cfg_.installCycles);
+            if (cfg_.retry.enabled)
+                s->backend->setRetryPolicy(cfg_.retry);
             opts.compileBackend = s->backend.get();
         }
         s->rt = std::make_unique<runtime::ProteanRuntime>(
@@ -138,11 +145,39 @@ FleetSim::run(double ms)
     cluster_.runFor(cfg_.machine.msToCycles(ms));
 }
 
+uint64_t
+FleetSim::ladderBoundCycles() const
+{
+    // Each attempt can burn a full timeout plus a (jittered, capped)
+    // backoff; the final rung is the local fallback, which resolves
+    // within one queued compile. Padded with a few quanta of slack so
+    // barrier granularity never produces a false stall.
+    const RetryPolicy &r = cfg_.retry;
+    uint64_t per_attempt =
+        r.attemptTimeoutCycles + 2 * r.backoffCapCycles;
+    uint64_t attempts = r.enabled ? r.maxAttempts : 1;
+    return attempts * per_attempt + 8 * cluster_.quantum() + 100000;
+}
+
+uint64_t
+FleetSim::stalledRequests() const
+{
+    uint64_t stalled = 0;
+    uint64_t bound = ladderBoundCycles();
+    for (const auto &s : servers_) {
+        if (s->backend)
+            stalled += s->backend->stalledCount(cluster_.now(),
+                                                bound);
+    }
+    return stalled;
+}
+
 FleetStats
 FleetSim::stats() const
 {
     FleetStats st;
     st.service = svc_.stats();
+    st.serverPauses = cluster_.pausesApplied();
     for (const auto &s : servers_) {
         st.deployRequests += s->deploys;
         const runtime::RuntimeCompiler &rc = s->rt->compiler();
@@ -150,7 +185,22 @@ FleetSim::stats() const
         st.serverCompileCycles += rc.compileCycles();
         st.remoteHits += rc.remoteHits();
         st.hostBranches += s->machine->core(0).hpm().branches;
+        if (s->backend) {
+            const ClientStats &cs = s->backend->clientStats();
+            st.client.remoteRequests += cs.remoteRequests;
+            st.client.timeouts += cs.timeouts;
+            st.client.retries += cs.retries;
+            st.client.hedges += cs.hedges;
+            st.client.failedResponses += cs.failedResponses;
+            st.client.corruptResponses += cs.corruptResponses;
+            st.client.localFallbacks += cs.localFallbacks;
+            st.client.breakerShortCircuits +=
+                cs.breakerShortCircuits;
+            st.client.maxResolveCycles = std::max(
+                st.client.maxResolveCycles, cs.maxResolveCycles);
+        }
     }
+    st.stalledRequests = stalledRequests();
     return st;
 }
 
@@ -178,6 +228,18 @@ FleetSim::exportObsMetrics() const
     m.gauge("fleet.sim.host_branches").set(
         static_cast<double>(st.hostBranches));
     m.gauge("fleet.sim.dedup_factor").set(st.dedupFactor());
+    m.gauge("fleet.sim.stalled_requests").set(
+        static_cast<double>(st.stalledRequests));
+    m.gauge("fleet.sim.server_pauses").set(
+        static_cast<double>(st.serverPauses));
+    m.gauge("fleet.sim.local_fallbacks").set(
+        static_cast<double>(st.client.localFallbacks));
+    m.gauge("fleet.sim.retries").set(
+        static_cast<double>(st.client.retries));
+    m.gauge("fleet.sim.timeouts").set(
+        static_cast<double>(st.client.timeouts));
+    m.gauge("fleet.sim.max_resolve_cycles").set(
+        static_cast<double>(st.client.maxResolveCycles));
 }
 
 } // namespace fleet

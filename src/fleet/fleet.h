@@ -60,6 +60,13 @@ struct FleetConfig
      *  dedicates a core to compilation, so local compiles steal host
      *  cycles and the service's value shows up as host progress. */
     uint32_t runtimeCore = 0;
+    /** Fault injection (all-zero = benign; see faults::FaultConfig).
+     *  When any rate is non-zero the sim builds a FaultPlan and
+     *  attaches it to the service and the cluster. */
+    faults::FaultConfig faults;
+    /** Client-side degradation ladder (retry.enabled=false keeps the
+     *  pre-fault fire-and-wait client). */
+    RetryPolicy retry;
     sim::MachineConfig machine;
 };
 
@@ -76,7 +83,17 @@ struct FleetStats
     uint64_t remoteHits = 0;
     /** Host progress: retired branches summed over all servers. */
     uint64_t hostBranches = 0;
+    /** Requests pending on some client for longer than the ladder's
+     *  worst-case budget: unresolved by retry, replica, or local
+     *  fallback. Any nonzero value is a host workload stall — the
+     *  thing the degradation ladder forbids. (Recently-sent requests
+     *  still inside their budget don't count.) */
+    uint64_t stalledRequests = 0;
+    /** Whole-server pauses the cluster injected. */
+    uint64_t serverPauses = 0;
     ServiceStats service;
+    /** Degradation-ladder activity summed over all clients. */
+    ClientStats client;
 
     /** Fleet-wide compile cycles: servers + service. */
     uint64_t totalCompileCycles() const
@@ -116,6 +133,17 @@ class FleetSim
     Cluster &cluster() { return cluster_; }
     size_t catalogSize() const { return catalog_.size(); }
 
+    /** The attached fault plan (nullptr when cfg.faults is benign). */
+    faults::FaultPlan *faultPlan() { return plan_.get(); }
+
+    /** Requests pending longer than the degradation ladder's
+     *  worst-case budget (see FleetStats::stalledRequests). */
+    uint64_t stalledRequests() const;
+
+    /** Worst-case cycles the ladder may take to resolve a request
+     *  (timeouts + capped backoffs + the local-fallback compile). */
+    uint64_t ladderBoundCycles() const;
+
     /** Publish fleet gauges + per-shard service gauges. */
     void exportObsMetrics() const;
 
@@ -141,6 +169,8 @@ class FleetSim
     FleetConfig cfg_;
     ir::Module module_;
     isa::Image image_;
+    /** Owned fault schedule; must outlive svc_/cluster_ wiring. */
+    std::unique_ptr<faults::FaultPlan> plan_;
     CompileService svc_;
     Cluster cluster_;
     std::vector<Directive> catalog_;

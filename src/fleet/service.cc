@@ -9,27 +9,19 @@
 namespace protean {
 namespace fleet {
 
-namespace {
-
-/** SplitMix64 finalizer: spreads content keys across shards. */
-uint64_t
-mix64(uint64_t x)
-{
-    x ^= x >> 30;
-    x *= 0xbf58476d1ce4e5b9ULL;
-    x ^= x >> 27;
-    x *= 0x94d049bb133111ebULL;
-    x ^= x >> 31;
-    return x;
-}
-
-} // namespace
-
 CompileService::CompileService(const ServiceConfig &cfg) : cfg_(cfg)
 {
     if (cfg_.numShards == 0)
         fatal("CompileService: numShards must be positive");
+    if (cfg_.replication == 0)
+        fatal("CompileService: replication must be positive");
     shards_.resize(cfg_.numShards);
+}
+
+void
+CompileService::setFaultPlan(faults::FaultPlan *plan)
+{
+    plan_ = plan;
 }
 
 uint32_t
@@ -37,6 +29,26 @@ CompileService::shardOf(uint64_t content_key) const
 {
     return static_cast<uint32_t>(mix64(content_key) %
                                  cfg_.numShards);
+}
+
+std::vector<uint32_t>
+CompileService::replicaSet(uint64_t content_key) const
+{
+    uint32_t r = std::min<uint32_t>(cfg_.replication, cfg_.numShards);
+    uint32_t primary = shardOf(content_key);
+    std::vector<uint32_t> set;
+    set.reserve(r);
+    for (uint32_t i = 0; i < r; ++i)
+        set.push_back((primary + i) % cfg_.numShards);
+    return set;
+}
+
+bool
+CompileService::shardUp(uint32_t shard, uint64_t cycle) const
+{
+    if (shard >= shards_.size())
+        panic("CompileService: bad shard %u", shard);
+    return shards_[shard].downUntil <= cycle;
 }
 
 size_t
@@ -55,25 +67,58 @@ CompileService::shardCompileCycles(uint32_t shard) const
     return shards_[shard].compileCycles;
 }
 
+bool
+CompileService::shardHasKey(uint32_t shard, uint64_t key) const
+{
+    if (shard >= shards_.size())
+        panic("CompileService: bad shard %u", shard);
+    auto it = shards_[shard].index.find(key);
+    return it != shards_[shard].index.end() && !it->second->corrupt;
+}
+
 double
 CompileService::hitRate() const
 {
-    uint64_t classified = stats_.hits + stats_.misses +
-        stats_.coalesced;
-    if (classified == 0)
-        return 0.0;
-    return static_cast<double>(stats_.hits + stats_.coalesced) /
-        static_cast<double>(classified);
+    return stats_.hitRateOf();
+}
+
+void
+CompileService::admit(Request r)
+{
+    ++stats_.requests;
+    obs::metrics().counter("fleet.service.requests").inc();
+    r.seq = seq_++;
+    if (plan_ && plan_->enabled()) {
+        if (plan_->dropRequest(r.seq)) {
+            // Lost in transit: never routed, never answered. The
+            // client's timeout is the only thing that notices.
+            ++stats_.dropped;
+            obs::metrics().counter("fleet.service.dropped").inc();
+            obs::tracer().instant(
+                "fleet.faults", "drop request",
+                strformat("\"server\":%u,\"seq\":%llu", r.server,
+                          static_cast<unsigned long long>(r.seq)));
+            return;
+        }
+        uint64_t delay = plan_->requestDelay(r.seq);
+        if (delay > 0) {
+            r.arrival += delay;
+            obs::metrics().counter("fleet.service.delayed").inc();
+        }
+    }
+    pending_.push_back(std::move(r));
 }
 
 void
 CompileService::submit(uint32_t server,
                        const runtime::CompileJob &job,
-                       uint64_t arrival_cycle, Response done)
+                       uint64_t arrival_cycle, Response done,
+                       uint32_t route_offset)
 {
     Request r;
     r.arrival = arrival_cycle;
     r.server = server;
+    r.routeOffset = route_offset;
     r.job = job;
     r.done = std::move(done);
     if (defer_) {
@@ -83,10 +128,7 @@ CompileService::submit(uint32_t server,
         deferred_[server].push_back(std::move(r));
         return;
     }
-    ++stats_.requests;
-    obs::metrics().counter("fleet.service.requests").inc();
-    r.seq = seq_++;
-    pending_.push_back(std::move(r));
+    admit(std::move(r));
 }
 
 void
@@ -104,13 +146,26 @@ CompileService::flushDeferred()
     std::map<uint32_t, std::vector<Request>> staged;
     staged.swap(deferred_);
     for (auto &entry : staged) {
-        for (Request &r : entry.second) {
-            ++stats_.requests;
-            obs::metrics().counter("fleet.service.requests").inc();
-            r.seq = seq_++;
-            pending_.push_back(std::move(r));
-        }
+        for (Request &r : entry.second)
+            admit(std::move(r));
     }
+}
+
+void
+CompileService::failRequest(Request &r, uint64_t cycle,
+                            const char *reason)
+{
+    runtime::CompileOutcome out;
+    out.startCycle = cycle;
+    out.readyCycle = cycle + cfg_.net.responseLatencyCycles;
+    out.failed = true;
+    ++stats_.failed;
+    obs::metrics().counter("fleet.service.failures").inc();
+    obs::tracer().instant(
+        "fleet.faults", "fail request",
+        strformat("\"server\":%u,\"reason\":\"%s\"", r.server,
+                  reason));
+    r.done(out);
 }
 
 void
@@ -129,11 +184,38 @@ CompileService::advance(uint64_t cycle)
                      });
     std::vector<Request> later;
     for (auto &r : pending_) {
-        if (r.arrival <= cycle)
-            shards_[shardOf(r.job.contentKey)].queue.push_back(
-                std::move(r));
-        else
+        if (r.arrival > cycle) {
             later.push_back(std::move(r));
+            continue;
+        }
+        // Health-based routing: first live member of the key's
+        // replica set, rotated by the request's route offset (hedges
+        // and retries prefer a different shard than attempt zero).
+        // The fault plan's schedule is the health oracle, so routing
+        // does not depend on shard-loop processing order below.
+        std::vector<uint32_t> set = replicaSet(r.job.contentKey);
+        int target = -1;
+        for (size_t i = 0; i < set.size(); ++i) {
+            uint32_t s = set[(r.routeOffset + i) % set.size()];
+            if (!plan_ || !plan_->shardDownAt(s, r.arrival)) {
+                target = static_cast<int>(s);
+                if (i > 0) {
+                    ++stats_.replicaRoutes;
+                    obs::metrics()
+                        .counter("fleet.service.replica_routes")
+                        .inc();
+                }
+                break;
+            }
+        }
+        if (target < 0) {
+            // Whole replica set down: explicit failure, so the
+            // client retries or falls back instead of stalling.
+            failRequest(r, r.arrival, "unavailable");
+            continue;
+        }
+        shards_[static_cast<uint32_t>(target)].queue.push_back(
+            std::move(r));
     }
     pending_ = std::move(later);
 
@@ -145,17 +227,27 @@ void
 CompileService::advanceShard(uint32_t s, uint64_t cycle)
 {
     Shard &sh = shards_[s];
-    // Interleave compile completions and batch closes in cycle order
-    // (completions first on ties, so a just-finished variant is a
-    // cache hit for a batch closing the same cycle).
+    // Interleave compile completions, injected crashes, and batch
+    // closes in cycle order. Ties: completions first (a just-finished
+    // variant both beats the crash out the door and is a cache hit
+    // for a batch closing the same cycle), then crashes (a batch
+    // closing as the shard dies is lost), then closes.
     for (;;) {
         uint64_t next_done = sh.completions.empty() ?
             UINT64_MAX : sh.completions.begin()->first;
+        const faults::ShardOutage *outage =
+            plan_ ? plan_->peekOutage(s, cycle) : nullptr;
+        uint64_t next_crash = outage ? outage->at : UINT64_MAX;
         uint64_t next_close = sh.queue.empty() ?
             UINT64_MAX :
             sh.queue.front().arrival + cfg_.batchWindowCycles;
-        if (next_done <= next_close && next_done <= cycle) {
+        if (next_done <= next_crash && next_done <= next_close &&
+            next_done <= cycle) {
             installCompletions(s, sh, next_done);
+        } else if (next_crash <= next_close &&
+                   next_crash <= cycle) {
+            crashShard(s, sh, *outage);
+            plan_->consumeOutage(s);
         } else if (next_close <= cycle) {
             resolveBatch(s, sh, next_close);
         } else {
@@ -165,26 +257,128 @@ CompileService::advanceShard(uint32_t s, uint64_t cycle)
 }
 
 void
+CompileService::crashShard(uint32_t s, Shard &sh,
+                           const faults::ShardOutage &outage)
+{
+    ++stats_.crashes;
+    obs::metrics().counter("fleet.service.crashes").inc();
+    obs::tracer().complete(
+        "fleet.faults", strformat("shard%u down", s), outage.at,
+        outage.until,
+        strformat("\"lost_entries\":%zu", sh.index.size()));
+
+    stats_.lostEntries += sh.index.size();
+    obs::metrics().counter("fleet.service.lost_entries")
+        .inc(sh.index.size());
+    sh.lru.clear();
+    sh.index.clear();
+
+    // Everything stranded on this shard — queued requests, the
+    // misses that started in-flight compiles, and their coalesced
+    // riders — gets an explicit failure response at the crash cycle,
+    // in deterministic (arrival, seq) order. Queued requests with
+    // arrivals past the restart were routed here *because* the
+    // schedule says the shard will be back; they survive. (Arrivals
+    // inside the outage window are never routed here at all.)
+    std::vector<Request> stranded;
+    std::deque<Request> survivors;
+    for (auto &r : sh.queue) {
+        if (r.arrival >= outage.until)
+            survivors.push_back(std::move(r));
+        else
+            stranded.push_back(std::move(r));
+    }
+    sh.queue = std::move(survivors);
+    for (auto &[key, ws] : sh.waiters) {
+        (void)key;
+        for (Waiter &w : ws)
+            stranded.push_back(std::move(w.req));
+    }
+    sh.waiters.clear();
+    sh.inflight.clear();
+    sh.completions.clear();
+    std::sort(stranded.begin(), stranded.end(),
+              [](const Request &a, const Request &b) {
+                  return a.arrival != b.arrival ?
+                      a.arrival < b.arrival : a.seq < b.seq;
+              });
+    for (Request &r : stranded)
+        failRequest(r, outage.at, "shard crash");
+
+    sh.downUntil = outage.until;
+    sh.backendFree = outage.until;
+}
+
+void
 CompileService::installCompletions(uint32_t s, Shard &sh,
                                    uint64_t cycle)
 {
     while (!sh.completions.empty() &&
            sh.completions.begin()->first <= cycle) {
         auto it = sh.completions.begin();
-        for (uint64_t key : it->second) {
+        uint64_t done = it->first;
+        // The map node must outlive installs (installKey touches
+        // only lru/index, never completions, but keys are answered
+        // after potential eviction churn).
+        std::vector<uint64_t> keys = std::move(it->second);
+        sh.completions.erase(it);
+        for (uint64_t key : keys) {
             auto inflight = sh.inflight.find(key);
             uint64_t bytes = inflight == sh.inflight.end() ?
                 0 : inflight->second.second;
             sh.inflight.erase(key);
-            installKey(s, sh, key, bytes);
+            installKey(s, sh, key, bytes, done);
+
+            // Replication: mirror the fresh variant onto the other
+            // live members of the key's replica set so a
+            // single-shard crash loses no unique work. Skipped when
+            // the target is down at `done` or crashed after the
+            // install would have landed (the copy would have been
+            // wiped anyway — same final state, any processing
+            // order).
+            for (uint32_t t : replicaSet(key)) {
+                if (t == s)
+                    continue;
+                Shard &tsh = shards_[t];
+                if ((plan_ && plan_->shardDownAt(t, done)) ||
+                    tsh.downUntil > done)
+                    continue;
+                if (tsh.index.count(key))
+                    continue;
+                installKey(t, tsh, key, bytes, done);
+                ++stats_.replicaInstalls;
+                obs::metrics()
+                    .counter("fleet.service.replica_installs")
+                    .inc();
+            }
+
+            // Answer everyone waiting on this compile: the miss
+            // that started it, then its coalesced riders, in
+            // arrival order.
+            auto ws = sh.waiters.find(key);
+            if (ws == sh.waiters.end())
+                continue;
+            std::vector<Waiter> waiters = std::move(ws->second);
+            sh.waiters.erase(ws);
+            for (Waiter &w : waiters) {
+                uint64_t ship = w.req.job.codeBytes;
+                uint64_t ready = done +
+                    cfg_.net.responseLatencyCycles +
+                    cfg_.net.transferCycles(ship);
+                runtime::CompileOutcome out;
+                out.startCycle = w.startCycle;
+                out.readyCycle = ready;
+                out.remoteHit = !w.isMiss;
+                respond(w.req, out,
+                        w.isMiss ? "miss" : "coalesced", s);
+            }
         }
-        sh.completions.erase(it);
     }
 }
 
 void
 CompileService::installKey(uint32_t s, Shard &sh, uint64_t key,
-                           uint64_t code_bytes)
+                           uint64_t code_bytes, uint64_t cycle)
 {
     if (cfg_.shardCapacity == 0)
         return; // cache disabled: compile results are not retained
@@ -201,8 +395,40 @@ CompileService::installKey(uint32_t s, Shard &sh, uint64_t key,
             strformat("\"key\":%llu",
                       static_cast<unsigned long long>(victim_key)));
     }
-    sh.lru.push_front(CacheEntry{key, code_bytes});
+    CacheEntry entry{key, code_bytes, false};
+    if (plan_ && plan_->corruptCachedEntry(key, cycle)) {
+        // At-rest corruption: the entry sits in the cache with a bad
+        // checksum until the next hit rejects it.
+        entry.corrupt = true;
+    }
+    sh.lru.push_front(entry);
     sh.index[key] = sh.lru.begin();
+}
+
+void
+CompileService::respond(Request &r, runtime::CompileOutcome out,
+                        const char *verdict, uint32_t shard)
+{
+    const NetworkModel &net = cfg_.net;
+    if (plan_ && plan_->corruptResponse(r.seq)) {
+        out.corrupted = true;
+        ++stats_.corruptResponses;
+        obs::metrics().counter("fleet.service.corrupt_responses")
+            .inc();
+        verdict = "corrupt";
+    }
+    stats_.bytesOut += r.job.codeBytes;
+    uint64_t send = r.arrival >= net.requestLatencyCycles ?
+        r.arrival - net.requestLatencyCycles : 0;
+    obs::metrics().histogram("fleet.service.latency")
+        .observe(static_cast<double>(out.readyCycle - send));
+    obs::tracer().complete(
+        strformat("fleet.shard%u", shard),
+        strformat("request %s", r.job.name.c_str()), r.arrival,
+        out.readyCycle,
+        strformat("\"server\":%u,\"outcome\":\"%s\"", r.server,
+                  verdict));
+    r.done(out);
 }
 
 void
@@ -225,37 +451,50 @@ CompileService::resolveBatch(uint32_t s, Shard &sh, uint64_t close)
     const NetworkModel &net = cfg_.net;
     for (Request &r : batch) {
         uint64_t key = r.job.contentKey;
-        runtime::CompileOutcome out;
-        const char *verdict = nullptr;
 
         auto hit = sh.index.find(key);
+        if (hit != sh.index.end() && hit->second->corrupt) {
+            // Checksum verification: the cached variant is
+            // corrupted at rest. Reject it and recompile instead of
+            // shipping garbage.
+            ++stats_.corruptRejects;
+            obs::metrics().counter("fleet.service.corrupt_rejects")
+                .inc();
+            obs::tracer().instant(
+                lane, "checksum reject",
+                strformat("\"key\":%llu",
+                          static_cast<unsigned long long>(key)));
+            sh.lru.erase(hit->second);
+            sh.index.erase(hit);
+            hit = sh.index.end();
+        }
         auto inflight = sh.inflight.find(key);
         if (hit != sh.index.end()) {
-            // Cache hit: touch LRU, ship the cached variant.
+            // Cache hit: touch LRU, ship the cached variant now.
             sh.lru.splice(sh.lru.begin(), sh.lru, hit->second);
             uint64_t done = close + cfg_.lookupCycles;
+            runtime::CompileOutcome out;
             out.startCycle = close;
             out.readyCycle = done + net.responseLatencyCycles +
                 net.transferCycles(hit->second->codeBytes);
             out.remoteHit = true;
             ++stats_.hits;
-            stats_.bytesOut += hit->second->codeBytes;
             obs::metrics().counter("fleet.service.hits").inc();
-            verdict = "hit";
+            respond(r, out, "hit", s);
         } else if (inflight != sh.inflight.end()) {
             // Another server's miss is already compiling this key:
-            // coalesce onto its completion.
-            uint64_t done = inflight->second.first;
-            out.startCycle = close;
-            out.readyCycle = done + net.responseLatencyCycles +
-                net.transferCycles(r.job.codeBytes);
-            out.remoteHit = true;
+            // coalesce onto its completion (answered when the
+            // compile finishes — or failed if the shard crashes
+            // first).
             ++stats_.coalesced;
-            stats_.bytesOut += r.job.codeBytes;
             obs::metrics().counter("fleet.service.coalesced").inc();
-            verdict = "coalesced";
+            sh.waiters[key].push_back(
+                Waiter{std::move(r), false, close});
         } else {
-            // Miss: compile on this shard's serial backend.
+            // Miss: compile on this shard's serial backend. The
+            // requester waits on the completion like any coalesced
+            // rider, so a crash mid-compile strands it (explicit
+            // failure) rather than pretending the variant shipped.
             uint64_t start = std::max(close + cfg_.lookupCycles,
                                       sh.backendFree);
             uint64_t done = start + r.job.costCycles;
@@ -266,7 +505,6 @@ CompileService::resolveBatch(uint32_t s, Shard &sh, uint64_t close)
             ++stats_.misses;
             ++stats_.compiles;
             stats_.compileCycles += r.job.costCycles;
-            stats_.bytesOut += r.job.codeBytes;
             obs::metrics().counter("fleet.service.misses").inc();
             obs::metrics().counter("fleet.service.compiles").inc();
             obs::metrics().counter("fleet.service.compile_cycles")
@@ -280,23 +518,9 @@ CompileService::resolveBatch(uint32_t s, Shard &sh, uint64_t close)
                 strformat("\"key\":%llu,\"server\":%u",
                           static_cast<unsigned long long>(key),
                           r.server));
-            out.startCycle = start;
-            out.readyCycle = done + net.responseLatencyCycles +
-                net.transferCycles(r.job.codeBytes);
-            out.remoteHit = false;
-            verdict = "miss";
+            sh.waiters[key].push_back(
+                Waiter{std::move(r), true, start});
         }
-
-        uint64_t send = r.arrival >= net.requestLatencyCycles ?
-            r.arrival - net.requestLatencyCycles : 0;
-        obs::metrics().histogram("fleet.service.latency")
-            .observe(static_cast<double>(out.readyCycle - send));
-        obs::tracer().complete(
-            lane, strformat("request %s", r.job.name.c_str()),
-            r.arrival, out.readyCycle,
-            strformat("\"server\":%u,\"outcome\":\"%s\"", r.server,
-                      verdict));
-        r.done(out);
     }
 }
 

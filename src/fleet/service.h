@@ -12,11 +12,23 @@
  * single compile), and a network latency/bandwidth cost model charged
  * through the requesting machine's event queue.
  *
+ * Warehouse scale also means shards die. The service is fault-aware
+ * (DESIGN.md §9): an attached faults::FaultPlan injects seeded shard
+ * crashes, dropped/delayed requests, and payload corruption; the
+ * service tracks shard health, routes requests to the first live
+ * member of each key's replica set (replication factor R), verifies
+ * cached variants by checksum on every hit (reject-and-recompile on
+ * corruption), and answers requests stranded on a crashed shard with
+ * explicit failure responses so clients can retry or fall back —
+ * never silently stall.
+ *
  * Determinism rules (see DESIGN.md §7): the service only mutates
  * state inside advance(), which processes work in strict
  * (cycle, submission order) order; submissions carry explicit arrival
- * cycles; all responses resolve to explicit ready cycles. Two
- * identical runs therefore produce byte-identical metrics and traces.
+ * cycles; all responses resolve to explicit ready cycles. Fault
+ * decisions are pure functions of the plan's seed and the request's
+ * sequence number, so two identical runs — serial or parallel —
+ * produce byte-identical metrics and traces.
  */
 
 #ifndef PROTEAN_FLEET_SERVICE_H
@@ -31,6 +43,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "faults/plan.h"
 #include "runtime/compiler.h"
 
 namespace protean {
@@ -69,6 +82,13 @@ struct ServiceConfig
     uint64_t batchWindowCycles = 200;
     /** Per-batch-member shard work (cache probe, bookkeeping). */
     uint64_t lookupCycles = 20;
+    /**
+     * Replication factor R: each variant installs on its primary
+     * shard plus the next R-1 shards in the ring, so a single-shard
+     * crash loses no unique work. Clamped to numShards; 1 = no
+     * replication (the pre-fault behavior).
+     */
+    uint32_t replication = 1;
     NetworkModel net;
 };
 
@@ -86,6 +106,37 @@ struct ServiceStats
     uint64_t compiles = 0;
     uint64_t compileCycles = 0;
     uint64_t bytesOut = 0;
+    // ----- fault injection and degradation -----
+    /** Requests lost in transit (injected drops; never answered). */
+    uint64_t dropped = 0;
+    /** Failure responses sent (replica set down, crash mid-work). */
+    uint64_t failed = 0;
+    /** Requests routed to a replica because the preferred shard was
+     *  down (health-based rerouting). */
+    uint64_t replicaRoutes = 0;
+    /** Cached-variant installs on non-primary replica shards. */
+    uint64_t replicaInstalls = 0;
+    /** Cached entries that failed checksum verification on a hit
+     *  and were rejected + recompiled. */
+    uint64_t corruptRejects = 0;
+    /** Responses shipped with an injected payload corruption (the
+     *  client's checksum catches these). */
+    uint64_t corruptResponses = 0;
+    /** Shard crashes applied. */
+    uint64_t crashes = 0;
+    /** Cached variants wiped by crashes. */
+    uint64_t lostEntries = 0;
+
+    /** Hit fraction of classified requests (hits + coalesced count
+     *  as served-without-compile). */
+    double hitRateOf() const
+    {
+        uint64_t classified = hits + misses + coalesced;
+        if (classified == 0)
+            return 0.0;
+        return static_cast<double>(hits + coalesced) /
+            static_cast<double>(classified);
+    }
 };
 
 /**
@@ -95,6 +146,12 @@ struct ServiceStats
  * (fleet::Cluster) calls advance(T) at time barriers, which resolves
  * everything arriving or completing at or before T and invokes the
  * response callbacks with the computed ready cycles.
+ *
+ * Responses for cache hits fire at batch close; responses for
+ * misses and coalesced requests fire when the compile *completes* —
+ * so a shard crash can strand them (waiters get failure responses,
+ * or nothing at all if the request itself was dropped in transit),
+ * which is exactly what client-side timeouts exist to catch.
  */
 class CompileService
 {
@@ -107,15 +164,28 @@ class CompileService
     const ServiceConfig &config() const { return cfg_; }
 
     /**
+     * Attach a fault plan (nullptr = benign). The plan must outlive
+     * the service. Outage schedule consumption happens inside
+     * advance(), so one plan must not be shared by two services
+     * (clusters share the plan's pure decisions only).
+     */
+    void setFaultPlan(faults::FaultPlan *plan);
+
+    /**
      * Submit a compile request.
      * @param server Requesting server id (stats, traces).
      * @param job The compile job (content key, cost, size).
      * @param arrival_cycle When the request reaches the service.
      * @param done Invoked (from a later advance()) with the outcome;
      *        outcome.readyCycle is when the client holds the variant.
+     * @param route_offset Rotates the key's replica set before
+     *        health-based selection: 0 prefers the primary, 1 the
+     *        first replica, ... Hedged and retried requests use it to
+     *        land on a different shard than the attempt they back up.
      */
     void submit(uint32_t server, const runtime::CompileJob &job,
-                uint64_t arrival_cycle, Response done);
+                uint64_t arrival_cycle, Response done,
+                uint32_t route_offset = 0);
 
     /**
      * Enter/leave deferred-submission mode (parallel fleet
@@ -142,11 +212,21 @@ class CompileService
     /** Shard a content key routes to (stable across instances). */
     uint32_t shardOf(uint64_t content_key) const;
 
+    /** The key's replica set: primary + next R-1 ring shards. */
+    std::vector<uint32_t> replicaSet(uint64_t content_key) const;
+
+    /** Health view: false while the shard is inside an applied
+     *  outage at `cycle` (crashed, not yet restarted). */
+    bool shardUp(uint32_t shard, uint64_t cycle) const;
+
     /** Cached variants currently resident in one shard. */
     size_t shardOccupancy(uint32_t shard) const;
 
     /** Compile cycles spent by one shard's backend. */
     uint64_t shardCompileCycles(uint32_t shard) const;
+
+    /** True when `key` is resident (uncorrupted) in `shard`. */
+    bool shardHasKey(uint32_t shard, uint64_t key) const;
 
     const ServiceStats &stats() const { return stats_; }
 
@@ -154,7 +234,8 @@ class CompileService
      *  count as served-without-compile). */
     double hitRate() const;
 
-    /** Publish per-shard occupancy/compile gauges (idempotent). */
+    /** Publish per-shard occupancy/compile/health gauges
+     *  (idempotent). */
     void exportObsMetrics() const;
 
   private:
@@ -163,6 +244,7 @@ class CompileService
         uint64_t arrival = 0;
         uint64_t seq = 0;
         uint32_t server = 0;
+        uint32_t routeOffset = 0;
         runtime::CompileJob job;
         Response done;
     };
@@ -171,6 +253,21 @@ class CompileService
     {
         uint64_t key = 0;
         uint64_t codeBytes = 0;
+        /** Injected at-rest corruption; the checksum verification on
+         *  the next hit rejects the entry and recompiles. */
+        bool corrupt = false;
+    };
+
+    /** A request waiting on an in-flight compile (the miss that
+     *  started it, or a coalesced rider). Answered at completion —
+     *  or failed if the shard crashes first. */
+    struct Waiter
+    {
+        Request req;
+        /** Started the compile (false = coalesced rider). */
+        bool isMiss = false;
+        /** Compile start cycle (outcome reporting). */
+        uint64_t startCycle = 0;
     };
 
     struct Shard
@@ -186,9 +283,13 @@ class CompileService
             inflight;
         /** Completion cycle -> keys finishing then (install order). */
         std::map<uint64_t, std::vector<uint64_t>> completions;
+        /** Requests answered when their key's compile completes. */
+        std::unordered_map<uint64_t, std::vector<Waiter>> waiters;
         /** Serial compile backend availability. */
         uint64_t backendFree = 0;
         uint64_t compileCycles = 0;
+        /** Crashed until this cycle (0 = healthy). */
+        uint64_t downUntil = 0;
     };
 
     ServiceConfig cfg_;
@@ -198,17 +299,30 @@ class CompileService
     std::vector<Request> pending_;
     uint64_t seq_ = 0;
     ServiceStats stats_;
+    faults::FaultPlan *plan_ = nullptr;
     /** Deferred-submission staging (parallel quanta). */
     bool defer_ = false;
     std::mutex deferMu_;
     std::map<uint32_t, std::vector<Request>> deferred_;
 
+    /** Seq assignment + fault (drop/delay) application; shared by
+     *  submit() and flushDeferred(). */
+    void admit(Request r);
     void advanceShard(uint32_t s, uint64_t cycle);
-    /** Move keys completing at or before cycle into the cache. */
+    /** Move keys completing at or before cycle into the cache and
+     *  answer their waiters. */
     void installCompletions(uint32_t s, Shard &sh, uint64_t cycle);
     void installKey(uint32_t s, Shard &sh, uint64_t key,
-                    uint64_t code_bytes);
+                    uint64_t code_bytes, uint64_t cycle);
     void resolveBatch(uint32_t s, Shard &sh, uint64_t close);
+    /** Apply one outage: wipe the shard, fail stranded requests. */
+    void crashShard(uint32_t s, Shard &sh,
+                    const faults::ShardOutage &outage);
+    /** Send a failure response at `cycle` (+ response latency). */
+    void failRequest(Request &r, uint64_t cycle, const char *reason);
+    /** Deliver a success response, applying in-transit corruption. */
+    void respond(Request &r, runtime::CompileOutcome out,
+                 const char *verdict, uint32_t shard);
 };
 
 } // namespace fleet

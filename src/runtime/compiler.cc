@@ -171,6 +171,10 @@ RuntimeCompiler::requestVariant(ir::FuncId func, const BitVector &mask,
         job,
         [this, func, mask, key,
          on_ready = std::move(on_ready)](const CompileOutcome &out) {
+            if (out.failed || out.corrupted)
+                panic("RuntimeCompiler: backend surfaced an "
+                      "unresolved fault outcome; backends must "
+                      "retry or fall back before completing");
             ++compiles_;
             compileCycles_ += out.chargedCycles;
             if (out.remoteHit)

@@ -75,6 +75,16 @@ struct CompileOutcome
     uint64_t chargedCycles = 0;
     /** Satisfied from a shared cache (no fresh compile anywhere). */
     bool remoteHit = false;
+    /**
+     * The service could not serve this request (shard down, crash
+     * mid-compile). Only fault-aware layers (fleet::RemoteBackend)
+     * ever see this: they retry, reroute, or fall back to a local
+     * compile, so RuntimeCompiler never observes a failed outcome.
+     */
+    bool failed = false;
+    /** Payload failed its checksum on delivery (in-transit
+     *  corruption); same contract as `failed`. */
+    bool corrupted = false;
 };
 
 /**

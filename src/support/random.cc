@@ -26,6 +26,17 @@ rotl(uint64_t x, int k)
 
 } // namespace
 
+uint64_t
+mix64(uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
 Rng::Rng(uint64_t seed)
 {
     uint64_t x = seed;

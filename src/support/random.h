@@ -15,6 +15,15 @@
 
 namespace protean {
 
+/**
+ * Stateless SplitMix64 finalizer: a high-quality 64-bit mixing
+ * function. Used wherever a *pure* hash of an identity must drive a
+ * deterministic decision with no stream state (fault-injection
+ * per-request coin flips, shard routing) — unlike Rng, two callers
+ * can never perturb each other's values.
+ */
+uint64_t mix64(uint64_t x);
+
 /** Deterministic, seedable random number generator. */
 class Rng
 {
