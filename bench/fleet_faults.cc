@@ -15,11 +15,24 @@
  * CI runs `--quick` twice (serial and --parallel=2) and byte-diffs
  * the exports, so the faulted runs double as determinism fixtures.
  *
+ * The exported configuration also runs with the telemetry plane on:
+ * per-window fleet p99 flip latency (TelemetryHub rollups) is printed
+ * and `--telemetry=<path>` writes the whole plane as JSON —
+ * byte-identical serial vs --parallel, so CI diffs it too.
+ *
+ * `--slo` runs the alerting acceptance harness instead of exiting:
+ * a benign run calibrates the flip-p99 threshold and must stay
+ * silent; then each fault class runs alone and must raise its
+ * matching burn-rate alert within a few windows of the first bad one.
+ *
  * Flags (beyond the common set): --servers=<n>, --ms=<x> (simulated
- * run length), --mean-ms=<x> (request interarrival mean) and --quick.
+ * run length), --mean-ms=<x> (request interarrival mean), --quick,
+ * --telemetry=<path> and --slo.
  */
 
 #include "common.h"
+
+#include <algorithm>
 
 #include "fleet/fleet.h"
 
@@ -102,6 +115,227 @@ fmtU64(uint64_t v)
     return strformat("%llu", static_cast<unsigned long long>(v));
 }
 
+fleet::FleetConfig
+telemetryFleetConfig(uint32_t servers, double mean_ms, uint64_t seed,
+                     const faults::FaultConfig &faults,
+                     const fleet::RetryPolicy &retry,
+                     uint32_t replication, uint32_t workers)
+{
+    fleet::FleetConfig cfg;
+    cfg.numServers = servers;
+    cfg.remoteBackend = true;
+    cfg.meanRequestMs = mean_ms;
+    cfg.seed = seed;
+    cfg.faults = faults;
+    cfg.retry = retry;
+    cfg.service.replication = replication;
+    cfg.parallelWorkers = workers;
+    cfg.telemetry.enabled = true;
+    return cfg;
+}
+
+/** The SLO set every telemetry run carries. Budget 0.10 over a short
+ *  span of 2 and long span of 8: one bad window burns 5x/1.25x the
+ *  budget, so sustained faults page on their first bad window while
+ *  the clearing edge still needs two clean windows. */
+void
+addFleetSlos(fleet::TelemetryHub &hub, double flip_p99_threshold)
+{
+    auto spec = [](const char *name, const char *field,
+                   double threshold) {
+        obs::SloSpec s;
+        s.name = name;
+        s.field = field;
+        s.threshold = threshold;
+        s.budget = 0.10;
+        s.shortWindows = 2;
+        s.longWindows = 8;
+        return s;
+    };
+    hub.addSlo(spec("crash_free", "crashes", 0));
+    hub.addSlo(spec("no_request_loss", "timeouts", 0));
+    hub.addSlo(spec("no_transit_delays", "delayed", 0));
+    hub.addSlo(spec("response_integrity", "corrupt_responses", 0));
+    hub.addSlo(spec("cache_integrity", "corrupt_rejects", 0));
+    hub.addSlo(spec("pause_free", "server_pauses", 0));
+    hub.addSlo(spec("flip_p99", "flip_p99", flip_p99_threshold));
+}
+
+/** Alerts must raise within this many windows of the first bad one. */
+constexpr uint64_t kAlertWindows = 4;
+
+/** One outage class for the acceptance harness: a single fault
+ *  stream and the SLO alert it must page. */
+struct SloCase
+{
+    const char *name;
+    const char *slo;
+    const char *field;
+    faults::FaultConfig cfg;
+};
+
+std::vector<SloCase>
+sloCases()
+{
+    std::vector<SloCase> cases;
+    {
+        faults::FaultConfig f;
+        f.shardCrashMeanCycles = 200000;
+        f.shardRestartCycles = 20000;
+        cases.push_back({"shard crash", "crash_free", "crashes", f});
+    }
+    // Rates are deliberately heavy: the harness checks that a clear
+    // outage pages, not how faint a fault the page can resolve.
+    {
+        faults::FaultConfig f;
+        f.requestDropProb = 0.25;
+        cases.push_back(
+            {"request drop", "no_request_loss", "timeouts", f});
+    }
+    {
+        faults::FaultConfig f;
+        f.requestDelayProb = 0.25;
+        cases.push_back(
+            {"transit delay", "no_transit_delays", "delayed", f});
+    }
+    {
+        faults::FaultConfig f;
+        f.responseCorruptProb = 0.25;
+        cases.push_back({"response corruption", "response_integrity",
+                         "corrupt_responses", f});
+    }
+    {
+        faults::FaultConfig f;
+        f.cacheCorruptProb = 0.50;
+        cases.push_back({"cache corruption", "cache_integrity",
+                         "corrupt_rejects", f});
+    }
+    {
+        faults::FaultConfig f;
+        f.serverPauseProb = 0.02;
+        cases.push_back(
+            {"server pause", "pause_free", "server_pauses", f});
+    }
+    return cases;
+}
+
+/** Max per-window fleet flip p99 of a benign telemetry run; the
+ *  calibration point for the flip_p99 SLO. */
+double
+calibrateFlipP99(uint32_t servers, double ms, double mean_ms,
+                 uint64_t seed, uint32_t workers)
+{
+    fleet::FleetConfig cfg = telemetryFleetConfig(
+        servers, mean_ms, seed, faultsAt(0.0), ladder(true), 2,
+        workers);
+    fleet::FleetSim sim(cfg);
+    sim.run(ms);
+    sim.flushTelemetry();
+    double max_p99 = 0.0;
+    for (const fleet::FleetWindow &w : sim.telemetry()->windows()) {
+        max_p99 = std::max(
+            max_p99, static_cast<double>(w.flip.quantile(0.99)));
+    }
+    return max_p99;
+}
+
+/**
+ * Alerting acceptance: benign run silent, every outage class pages
+ * its matching alert within kAlertWindows of the first bad window.
+ * Returns false (and prints why) on any miss or false alarm.
+ */
+bool
+runSloAcceptance(uint32_t servers, double ms, double mean_ms,
+                 uint64_t seed, uint32_t workers)
+{
+    bool ok = true;
+    // Dense request traffic: rare-event classes (drops, corruptions)
+    // need enough requests per window to show up at --quick scale.
+    mean_ms = std::min(mean_ms, 1.0);
+
+    // Headroom over the worst benign window: benign runs never page
+    // flip_p99, faulted runs that visibly stretch the tail do.
+    double benign_p99 = calibrateFlipP99(servers, ms, mean_ms, seed,
+                                         workers);
+    double flip_threshold = 2.0 * std::max(benign_p99, 1000.0);
+    std::printf("calibration: benign worst-window flip p99 %.0f "
+                "cycles -> flip_p99 SLO threshold %.0f\n\n",
+                benign_p99, flip_threshold);
+
+    TextTable t("SLO alerting acceptance: one fault class at a time");
+    t.setHeader({"Outage class", "SLO", "Bad windows", "First bad",
+                 "Raised", "Verdict"});
+
+    {
+        fleet::FleetConfig cfg = telemetryFleetConfig(
+            servers, mean_ms, seed, faultsAt(0.0), ladder(true), 2,
+            workers);
+        fleet::FleetSim sim(cfg);
+        addFleetSlos(*sim.telemetry(), flip_threshold);
+        sim.run(ms);
+        sim.flushTelemetry();
+        const obs::SloMonitor &slo = sim.telemetry()->slo();
+        bool silent = slo.alerts().empty();
+        if (!silent)
+            ok = false;
+        t.addRow({"(benign)", "all silent", "0", "-", "-",
+                  silent ? "PASS" : "FALSE ALARM"});
+    }
+
+    for (const SloCase &c : sloCases()) {
+        fleet::FleetConfig cfg = telemetryFleetConfig(
+            servers, mean_ms, seed, c.cfg, ladder(true), 2, workers);
+        fleet::FleetSim sim(cfg);
+        addFleetSlos(*sim.telemetry(), flip_threshold);
+        sim.run(ms);
+        sim.flushTelemetry();
+        const fleet::TelemetryHub &hub = *sim.telemetry();
+
+        uint64_t first_bad = UINT64_MAX;
+        uint64_t bad = 0;
+        for (const fleet::FleetWindow &w : hub.windows()) {
+            auto fields = w.fields();
+            if (fields.at(c.field) > 0) {
+                ++bad;
+                first_bad = std::min(first_bad, w.index);
+            }
+        }
+        uint64_t raised = UINT64_MAX;
+        for (const obs::SloAlert &a : hub.slo().alerts()) {
+            if (a.slo == c.slo) {
+                raised = a.raisedWindow;
+                break;
+            }
+        }
+        const char *verdict;
+        if (first_bad == UINT64_MAX) {
+            // The fault stream never produced a bad window at this
+            // run length: the acceptance test has no signal to
+            // detect, which is itself a configuration failure.
+            verdict = "NO FAULT SIGNAL";
+            ok = false;
+        } else if (raised == UINT64_MAX) {
+            verdict = "MISSED";
+            ok = false;
+        } else if (raised > first_bad + kAlertWindows) {
+            verdict = "TOO LATE";
+            ok = false;
+        } else {
+            verdict = "PASS";
+        }
+        t.addRow({c.name, c.slo, fmtU64(bad),
+                  first_bad == UINT64_MAX ? "-" : fmtU64(first_bad),
+                  raised == UINT64_MAX ? "-" : fmtU64(raised),
+                  verdict});
+    }
+    t.print();
+    std::printf("\nevery outage class must page its matching alert "
+                "within %llu windows; benign runs must stay "
+                "silent\n",
+                static_cast<unsigned long long>(kAlertWindows));
+    return ok;
+}
+
 } // namespace
 
 int
@@ -111,18 +345,38 @@ main(int argc, char **argv)
     double ms = 300.0;
     double mean_ms = 4.0;
     bool quick = false;
+    bool slo_mode = false;
+    std::string telemetry_path;
     bench::ArgParser parser;
     parser.addFlag("servers", &servers, "fleet size (default 8)");
     parser.addFlag("ms", &ms, "simulated run length per config");
     parser.addFlag("mean-ms", &mean_ms,
                    "mean request interarrival per server");
     parser.addSwitch("quick", &quick, "tiny configuration for CI");
+    parser.addFlag("telemetry", &telemetry_path,
+                   "write the telemetry plane (windows/SLOs) as JSON");
+    parser.addSwitch("slo", &slo_mode,
+                     "run the SLO alerting acceptance harness");
     bench::ObsConfig obs_cfg = parser.parse(argc, argv);
     if (quick) {
         servers = 4;
         ms = 150.0;
     }
     uint32_t workers = static_cast<uint32_t>(obs_cfg.parallel);
+
+    if (slo_mode) {
+        bool ok = runSloAcceptance(static_cast<uint32_t>(servers), ms,
+                                   mean_ms, obs_cfg.seed, workers);
+        bench::exportObs(obs_cfg);
+        if (!ok) {
+            std::fprintf(stderr,
+                         "FAIL: SLO alerting acceptance — an outage "
+                         "class went unalerted or a benign run "
+                         "paged\n");
+            return 1;
+        }
+        return 0;
+    }
 
     bool gate_failed = false;
 
@@ -207,14 +461,68 @@ main(int argc, char **argv)
                     "absorb crash losses\n");
     }
 
-    // The exported configuration: moderate faults, R=2, full ladder.
-    // CI re-runs this twice (serial and --parallel=2) and byte-diffs
-    // the files — fault injection must not break determinism.
-    fleet::FleetStats exported = runFleet(
-        static_cast<uint32_t>(servers), ms, mean_ms, obs_cfg.seed,
-        faultsAt(1.0), ladder(true), 2, workers, true);
+    // The exported configuration: moderate faults, R=2, full ladder,
+    // telemetry plane on. CI re-runs this twice (serial and
+    // --parallel=2) and byte-diffs the files — fault injection and
+    // the scrape plane must not break determinism.
+    fleet::FleetConfig ecfg = telemetryFleetConfig(
+        static_cast<uint32_t>(servers), mean_ms, obs_cfg.seed,
+        faultsAt(1.0), ladder(true), 2, workers);
+    fleet::FleetSim esim(ecfg);
+    esim.run(ms);
+    esim.flushTelemetry();
+    esim.exportObsMetrics();
+    fleet::FleetStats exported = esim.stats();
     if (exported.stalledRequests > 0)
         gate_failed = true;
+
+    {
+        const fleet::TelemetryHub &hub = *esim.telemetry();
+        std::printf("\n");
+        TextTable t("Fleet rollups under moderate faults (10 ms "
+                    "windows, scrape cost modeled)");
+        t.setHeader({"Win", "End (ms)", "Requests", "Hit rate",
+                     "Flips", "Flip p50", "Flip p99", "Stranded",
+                     "Scrape B"});
+        for (const fleet::FleetWindow &w : hub.windows()) {
+            t.addRow({fmtU64(w.index),
+                      TextTable::fmt(
+                          static_cast<double>(w.endCycle) /
+                              static_cast<double>(
+                                  ecfg.machine.msToCycles(1.0)),
+                          1),
+                      fmtU64(w.requests),
+                      bench::fmtRatio(w.hitRate),
+                      fmtU64(w.flip.total()),
+                      fmtU64(w.flip.quantile(0.50)),
+                      fmtU64(w.flip.quantile(0.99)),
+                      fmtU64(w.stranded), fmtU64(w.scrapeBytes)});
+        }
+        t.print();
+        obs::HdrHistogram all = hub.fleetFlip();
+        std::printf("\nwhole-run fleet flip latency: p50 %llu  "
+                    "p95 %llu  p99 %llu  p999 %llu cycles "
+                    "(%llu flips)\n",
+                    static_cast<unsigned long long>(
+                        all.quantile(0.50)),
+                    static_cast<unsigned long long>(
+                        all.quantile(0.95)),
+                    static_cast<unsigned long long>(
+                        all.quantile(0.99)),
+                    static_cast<unsigned long long>(
+                        all.quantile(0.999)),
+                    static_cast<unsigned long long>(all.total()));
+        std::printf("telemetry plane cost: %llu bytes shipped, "
+                    "%llu network cycles, %llu server cpu cycles\n",
+                    static_cast<unsigned long long>(
+                        hub.scrapeBytesTotal()),
+                    static_cast<unsigned long long>(
+                        hub.scrapeNetworkCyclesTotal()),
+                    static_cast<unsigned long long>(
+                        hub.scrapeCpuCyclesTotal()));
+        if (!telemetry_path.empty())
+            hub.writeJson(telemetry_path);
+    }
     std::printf("\nexported config: %llu crashes, %llu dropped, "
                 "%llu retries, %llu fallbacks, %llu stalled\n",
                 static_cast<unsigned long long>(

@@ -17,6 +17,13 @@
  * speedup that changed observable behavior fails the bench instead
  * of reporting a number.
  *
+ * Also bounds the observability off-path cost: with the tracer
+ * disabled every instrumentation site reduces to one branch on
+ * tracer().enabled(), so the bench times that guard directly, counts
+ * how many times a traced run of the fleet takes it, asserts an
+ * obs-off run records zero events, and fails if the implied overhead
+ * reaches 1% of the run's wall time.
+ *
  * Emits machine-readable results as JSON (--out, default
  * BENCH_engine.json). `--min-speedup=<x>` exits nonzero when the
  * single-proc ALU batch/step ratio falls below x, which is how CI
@@ -168,6 +175,28 @@ fmtIps(double ips)
     return strformat("%.2fM", ips / 1e6);
 }
 
+/** Seconds per tracer().enabled() check, measured with the load and
+ *  test pinned in the loop (the optimizer would otherwise hoist the
+ *  whole thing and report zero). */
+double
+guardCheckSeconds()
+{
+    obs::Tracer &tr = obs::tracer();
+    constexpr uint64_t kIters = 50000000;
+    uint64_t hits = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < kIters; ++i) {
+        bool e = tr.enabled();
+        asm volatile("" : "+r"(e)::"memory");
+        if (e)
+            ++hits;
+    }
+    double sec = elapsedSec(t0);
+    if (hits != 0)
+        fatal("guard microbench: tracer was enabled mid-loop");
+    return sec / static_cast<double>(kIters);
+}
+
 } // namespace
 
 /** One (workload, proc-count) comparison. */
@@ -303,6 +332,51 @@ main(int argc, char **argv)
                         hw ? hw : 1, hw == 1 ? "" : "s");
     }
 
+    // ---- observability off-path overhead ----
+    double guard_sec = 0.0;
+    uint64_t traced_events = 0;
+    double obs_overhead = 0.0;
+    bool obs_gate_failed = false;
+    if (obs::tracer().enabled()) {
+        // --trace was given: the whole bench is a traced run, so the
+        // "obs off" premise does not hold; skip the gate.
+        std::printf("\nobs off-path overhead: skipped under "
+                    "--trace\n");
+    } else {
+        guard_sec = guardCheckSeconds();
+
+        // How often would the off-path branch be taken? Count the
+        // events an identical traced run records: every one of them
+        // is a guard that passed, so it bounds the guard takes of
+        // the untraced run from above within rounding.
+        obs::tracer().setEnabled(true);
+        runFleetTimed(static_cast<uint32_t>(servers), 1, fleet_ms,
+                      obs_cfg.seed);
+        traced_events = obs::tracer().eventCount();
+        obs::tracer().clear();
+        obs::tracer().setEnabled(false);
+
+        FleetResult off = runFleetTimed(
+            static_cast<uint32_t>(servers), 1, fleet_ms,
+            obs_cfg.seed);
+        if (obs::tracer().eventCount() != 0)
+            fatal("obs-off run recorded %zu trace events; gating is "
+                  "broken",
+                  obs::tracer().eventCount());
+
+        obs_overhead = off.wallSec <= 0.0 ? 0.0 :
+            static_cast<double>(traced_events) * guard_sec /
+                off.wallSec;
+        std::printf("\nobs off-path overhead: %.2f ns/check x %llu "
+                    "guarded sites hit = %.4f%% of the %.3f s fleet "
+                    "run (0 events recorded)\n",
+                    guard_sec * 1e9,
+                    static_cast<unsigned long long>(traced_events),
+                    obs_overhead * 100.0, off.wallSec);
+        if (obs_overhead >= 0.01)
+            obs_gate_failed = true;
+    }
+
     double alu_speedup = cases.front().speedup();
     std::printf("\nbatch engine: %sx on the ALU kernel (1 proc), "
                 "%sx on soplex; exports byte-identical across all "
@@ -357,7 +431,14 @@ main(int argc, char **argv)
                     fleet_runs.front().wallSec / r.wallSec,
                 i + 1 < fleet_runs.size() ? "," : "");
         }
-        std::fprintf(f, "    ]\n  }\n}\n");
+        std::fprintf(f, "    ]\n  },\n");
+        std::fprintf(f,
+                     "  \"obs_off\": {\"guard_ns\": %.3f, "
+                     "\"traced_events\": %llu, "
+                     "\"overhead_fraction\": %.6f}\n}\n",
+                     guard_sec * 1e9,
+                     static_cast<unsigned long long>(traced_events),
+                     obs_overhead);
         std::fclose(f);
         std::printf("wrote %s\n", out.c_str());
     }
@@ -369,6 +450,13 @@ main(int argc, char **argv)
                      "FAIL: ALU batch/step speedup %.3f below "
                      "required %.3f\n",
                      alu_speedup, min_speedup);
+        return 1;
+    }
+    if (obs_gate_failed) {
+        std::fprintf(stderr,
+                     "FAIL: obs off-path overhead %.4f%% reaches the "
+                     "1%% budget\n",
+                     obs_overhead * 100.0);
         return 1;
     }
     return 0;

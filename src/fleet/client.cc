@@ -82,6 +82,24 @@ RemoteBackend::RemoteBackend(CompileService &svc,
 {
 }
 
+void
+RemoteBackend::drainFlipWindow(obs::HdrHistogram &into)
+{
+    into.merge(flipWindow_);
+    flipWindow_.clear();
+}
+
+void
+RemoteBackend::recordResolve(uint64_t send_cycle,
+                             uint64_t ready_cycle)
+{
+    uint64_t resolve =
+        ready_cycle > send_cycle ? ready_cycle - send_cycle : 0;
+    cstats_.maxResolveCycles =
+        std::max(cstats_.maxResolveCycles, resolve);
+    flipWindow_.record(resolve);
+}
+
 size_t
 RemoteBackend::stalledCount(uint64_t now, uint64_t age_bound) const
 {
@@ -113,23 +131,51 @@ RemoteBackend::compile(const runtime::CompileJob &job,
     ++requests_;
     obs::metrics().counter("fleet.client.requests").inc();
 
+    // Every request gets a distributed trace id at its origin; it
+    // rides the job to the service and comes back in the outcome, so
+    // the whole cross-server life of the request shares one id.
+    runtime::CompileJob traced = job;
+    traced.traceId = nextTraceId();
+
     if (!policy_.enabled) {
         // Fire-and-wait path: no timeouts, no fallback — the
         // pre-fault behavior, kept for direct-service tests and
         // calibration runs.
+        uint64_t send = machine_.now();
         uint64_t arrival =
-            machine_.now() + svc_.config().net.requestLatencyCycles;
+            send + svc_.config().net.requestLatencyCycles;
+        if (obs::tracer().enabled()) {
+            obs::tracer().complete(
+                "fleet.client", "request hop", send, arrival,
+                strformat("\"server\":%u,\"trace\":%llu", serverId_,
+                          static_cast<unsigned long long>(
+                              traced.traceId)));
+        }
         svc_.submit(
-            serverId_, job, arrival,
-            [this, done = std::move(done)](
+            serverId_, traced, arrival,
+            [this, send, done = std::move(done)](
                 const runtime::CompileOutcome &out) {
                 machine_.core(installCore_)
                     .stealCycles(installCycles_);
-                obs::tracer().instant(
-                    "fleet.client",
-                    out.remoteHit ? "install cached variant" :
-                                    "install compiled variant",
-                    strformat("\"server\":%u", serverId_));
+                recordResolve(send, out.readyCycle);
+                if (obs::tracer().enabled()) {
+                    obs::tracer().instant(
+                        "fleet.client",
+                        out.remoteHit ? "install cached variant" :
+                                        "install compiled variant",
+                        strformat("\"server\":%u,\"trace\":%llu",
+                                  serverId_,
+                                  static_cast<unsigned long long>(
+                                      out.traceId)));
+                    obs::tracer().complete(
+                        "fleet.client", "flip", send, out.readyCycle,
+                        strformat("\"server\":%u,\"trace\":%llu,"
+                                  "\"outcome\":\"%s\"",
+                                  serverId_,
+                                  static_cast<unsigned long long>(
+                                      out.traceId),
+                                  out.remoteHit ? "hit" : "miss"));
+                }
                 runtime::CompileOutcome charged = out;
                 charged.chargedCycles = installCycles_;
                 done(charged);
@@ -139,7 +185,7 @@ RemoteBackend::compile(const runtime::CompileJob &job,
 
     auto p = std::make_shared<PendingReq>();
     p->id = nextId_++;
-    p->job = job;
+    p->job = std::move(traced);
     p->done = std::move(done);
     p->sendCycle = machine_.now();
     pending_[p->id] = p;
@@ -168,6 +214,14 @@ RemoteBackend::startAttempt(const PendingPtr &p)
 
     uint64_t now = machine_.now();
     uint64_t arrival = now + svc_.config().net.requestLatencyCycles;
+    if (obs::tracer().enabled()) {
+        obs::tracer().complete(
+            "fleet.client", "request hop", now, arrival,
+            strformat("\"server\":%u,\"trace\":%llu,\"attempt\":%u",
+                      serverId_,
+                      static_cast<unsigned long long>(p->job.traceId),
+                      attempt));
+    }
     // Rotate each attempt to a different member of the key's replica
     // set: if the primary shard is sick, the retry/hedge lands
     // elsewhere instead of queueing behind the same failure.
@@ -215,9 +269,14 @@ RemoteBackend::startAttempt(const PendingPtr &p)
             p->hedged = true;
             ++cstats_.hedges;
             obs::metrics().counter("fleet.client.hedges").inc();
-            obs::tracer().instant(
-                "fleet.client", "hedge request",
-                strformat("\"server\":%u", serverId_));
+            if (obs::tracer().enabled()) {
+                obs::tracer().instant(
+                    "fleet.client", "hedge request",
+                    strformat("\"server\":%u,\"trace\":%llu",
+                              serverId_,
+                              static_cast<unsigned long long>(
+                                  p->job.traceId)));
+            }
             startAttempt(p);
         });
     }
@@ -232,10 +291,15 @@ RemoteBackend::closeAttempt(const PendingPtr &p, uint32_t attempt,
     p->closed[attempt] = 1;
     --p->outstanding;
     breaker_.onFailure(machine_.now());
-    obs::tracer().instant(
-        "fleet.client", "attempt failed",
-        strformat("\"server\":%u,\"reason\":\"%s\"", serverId_,
-                  reason));
+    if (obs::tracer().enabled()) {
+        obs::tracer().instant(
+            "fleet.client", "attempt failed",
+            strformat("\"server\":%u,\"reason\":\"%s\","
+                      "\"trace\":%llu,\"attempt\":%u",
+                      serverId_, reason,
+                      static_cast<unsigned long long>(p->job.traceId),
+                      attempt));
+    }
     if (p->outstanding > 0)
         return; // a sibling (hedge) is still in flight
     escalate(p);
@@ -283,17 +347,27 @@ RemoteBackend::resolveSuccess(const PendingPtr &p,
     p->resolved = true;
     pending_.erase(p->id);
     breaker_.onSuccess(machine_.now());
-    uint64_t resolve = out.readyCycle > p->sendCycle ?
-        out.readyCycle - p->sendCycle : 0;
-    cstats_.maxResolveCycles =
-        std::max(cstats_.maxResolveCycles, resolve);
+    recordResolve(p->sendCycle, out.readyCycle);
 
     machine_.core(installCore_).stealCycles(installCycles_);
-    obs::tracer().instant(
-        "fleet.client",
-        out.remoteHit ? "install cached variant" :
-                        "install compiled variant",
-        strformat("\"server\":%u", serverId_));
+    if (obs::tracer().enabled()) {
+        obs::tracer().instant(
+            "fleet.client",
+            out.remoteHit ? "install cached variant" :
+                            "install compiled variant",
+            strformat("\"server\":%u,\"trace\":%llu", serverId_,
+                      static_cast<unsigned long long>(out.traceId)));
+        // The whole-request span: compile() call to variant-ready,
+        // however many ladder rungs it took.
+        obs::tracer().complete(
+            "fleet.client", "flip", p->sendCycle, out.readyCycle,
+            strformat("\"server\":%u,\"trace\":%llu,"
+                      "\"attempts\":%u,\"outcome\":\"%s\"",
+                      serverId_,
+                      static_cast<unsigned long long>(out.traceId),
+                      p->attempts,
+                      out.remoteHit ? "hit" : "miss"));
+    }
     runtime::CompileOutcome charged = out;
     charged.chargedCycles = installCycles_;
     p->done(charged);
@@ -306,19 +380,33 @@ RemoteBackend::localFallback(const PendingPtr &p, const char *reason)
     pending_.erase(p->id);
     ++cstats_.localFallbacks;
     obs::metrics().counter("fleet.client.local_fallbacks").inc();
-    obs::tracer().instant(
-        "fleet.client", "local fallback",
-        strformat("\"server\":%u,\"reason\":\"%s\"", serverId_,
-                  reason));
+    if (obs::tracer().enabled()) {
+        obs::tracer().instant(
+            "fleet.client", "local fallback",
+            strformat("\"server\":%u,\"reason\":\"%s\","
+                      "\"trace\":%llu",
+                      serverId_, reason,
+                      static_cast<unsigned long long>(
+                          p->job.traceId)));
+    }
     // The bottom of the ladder: compile on this server, stealing
     // host cycles like the single-server model. Always resolves.
     local_.compile(p->job,
                    [this, p](const runtime::CompileOutcome &out) {
-                       uint64_t resolve =
-                           out.readyCycle > p->sendCycle ?
-                           out.readyCycle - p->sendCycle : 0;
-                       cstats_.maxResolveCycles = std::max(
-                           cstats_.maxResolveCycles, resolve);
+                       recordResolve(p->sendCycle, out.readyCycle);
+                       if (obs::tracer().enabled()) {
+                           obs::tracer().complete(
+                               "fleet.client", "flip", p->sendCycle,
+                               out.readyCycle,
+                               strformat(
+                                   "\"server\":%u,\"trace\":%llu,"
+                                   "\"attempts\":%u,"
+                                   "\"outcome\":\"local\"",
+                                   serverId_,
+                                   static_cast<unsigned long long>(
+                                       out.traceId),
+                                   p->attempts));
+                       }
                        p->done(out);
                    });
 }

@@ -39,6 +39,7 @@
 #include <unordered_map>
 
 #include "fleet/service.h"
+#include "obs/hdr.h"
 #include "sim/machine.h"
 #include "support/random.h"
 
@@ -186,6 +187,15 @@ class RemoteBackend : public runtime::CompileBackend
     const ClientStats &clientStats() const { return cstats_; }
     const CircuitBreaker &breaker() const { return breaker_; }
 
+    /**
+     * Merge this server's flip-latency histogram for the current
+     * rollup window into `into`, then reset it. Called by the
+     * telemetry hub at cluster barriers (coordinator thread);
+     * resolve latencies are recorded by this machine's own callbacks
+     * during quanta, so the two never race.
+     */
+    void drainFlipWindow(obs::HdrHistogram &into);
+
     /** Requests neither resolved nor handed to the local fallback —
      *  a host workload stall if nonzero once the sim has drained. */
     size_t pendingCount() const { return pending_.size(); }
@@ -230,8 +240,21 @@ class RemoteBackend : public runtime::CompileBackend
     Rng jitterRng_;
     runtime::LocalCompileBackend local_;
     ClientStats cstats_;
+    /** Request -> variant-ready latencies since the last window
+     *  drain (fleet p99 flip latency source). */
+    obs::HdrHistogram flipWindow_;
     uint64_t nextId_ = 0;
     std::unordered_map<uint64_t, PendingPtr> pending_;
+
+    /** Record a resolved request's flip latency (stats + window). */
+    void recordResolve(uint64_t send_cycle, uint64_t ready_cycle);
+    /** Distributed trace id for the next request (unique fleet-wide:
+     *  server id in the high bits, request counter in the low). */
+    uint64_t nextTraceId() const
+    {
+        return (static_cast<uint64_t>(serverId_) + 1) << 32 |
+            requests_;
+    }
 
     void startAttempt(const PendingPtr &p);
     void closeAttempt(const PendingPtr &p, uint32_t attempt,

@@ -60,10 +60,12 @@ Cluster::applyServerPauses()
             continue;
         ++pauses_;
         obs::metrics().counter("fleet.faults.server_pauses").inc();
-        obs::tracer().instant(
-            "fleet.faults", "server pause",
-            strformat("\"server\":%zu,\"cycles\":%llu", i,
-                      static_cast<unsigned long long>(pause)));
+        if (obs::tracer().enabled()) {
+            obs::tracer().instant(
+                "fleet.faults", "server pause",
+                strformat("\"server\":%zu,\"cycles\":%llu", i,
+                          static_cast<unsigned long long>(pause)));
+        }
         // The whole server loses `pause` cycles of forward progress:
         // every core's clock advances without retiring work, exactly
         // like an antagonist or a hypervisor stall.
@@ -110,6 +112,8 @@ Cluster::run(uint64_t until_cycle)
         }
         svc_.advance(t);
         now_ = t;
+        if (barrierHook_)
+            barrierHook_(t);
     }
 }
 

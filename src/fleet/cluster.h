@@ -25,6 +25,7 @@
 #ifndef PROTEAN_FLEET_CLUSTER_H
 #define PROTEAN_FLEET_CLUSTER_H
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -68,6 +69,18 @@ class Cluster
      */
     void setFaultPlan(faults::FaultPlan *plan);
 
+    /**
+     * Install a callback invoked on the coordinator thread at every
+     * barrier, after the service has resolved the quantum, with the
+     * new global cycle. Machines are quiescent at that point, so the
+     * hook may read any of their state (the telemetry hub scrapes
+     * here). One hook; set to nullptr to remove.
+     */
+    void setBarrierHook(std::function<void(uint64_t)> hook)
+    {
+        barrierHook_ = std::move(hook);
+    }
+
     /** Advance everything to an absolute global cycle. */
     void run(uint64_t until_cycle);
 
@@ -89,6 +102,7 @@ class Cluster
     std::unique_ptr<WorkerPool> pool_;
     faults::FaultPlan *plan_ = nullptr;
     uint64_t pauses_ = 0;
+    std::function<void(uint64_t)> barrierHook_;
 
     /** Apply injected whole-server pauses for the quantum starting
      *  at now_ (coordinator thread, before machines step). */

@@ -66,6 +66,22 @@ FleetSim::FleetSim(const FleetConfig &cfg)
     for (auto &s : servers_)
         scheduleNextRequest(*s);
     cluster_.setParallel(cfg_.parallelWorkers);
+
+    if (cfg_.telemetry.enabled) {
+        if (cfg_.telemetry.scrapeCore >= cfg_.machine.numCores)
+            fatal("FleetSim: telemetry scrapeCore %u out of range "
+                  "(%u cores)",
+                  cfg_.telemetry.scrapeCore, cfg_.machine.numCores);
+        hub_ = std::make_unique<TelemetryHub>(cfg_.telemetry, svc_,
+                                              cluster_);
+        // Server registration order matches server ids, so per-window
+        // scrape order is the serial stepping order.
+        for (auto &s : servers_)
+            hub_->addServer(s->backend.get(), s->machine.get());
+        hub_->setStallBound(ladderBoundCycles());
+        cluster_.setBarrierHook(
+            [this](uint64_t cycle) { hub_->onBarrier(cycle); });
+    }
 }
 
 FleetSim::~FleetSim() = default;
@@ -143,6 +159,13 @@ void
 FleetSim::run(double ms)
 {
     cluster_.runFor(cfg_.machine.msToCycles(ms));
+}
+
+void
+FleetSim::flushTelemetry()
+{
+    if (hub_)
+        hub_->flush(cluster_.now());
 }
 
 uint64_t
@@ -240,6 +263,8 @@ FleetSim::exportObsMetrics() const
         static_cast<double>(st.client.timeouts));
     m.gauge("fleet.sim.max_resolve_cycles").set(
         static_cast<double>(st.client.maxResolveCycles));
+    if (hub_)
+        hub_->exportObsMetrics();
 }
 
 } // namespace fleet

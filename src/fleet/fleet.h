@@ -26,6 +26,7 @@
 #include "fleet/client.h"
 #include "fleet/cluster.h"
 #include "fleet/service.h"
+#include "fleet/telemetry.h"
 #include "ir/module.h"
 #include "isa/image.h"
 #include "runtime/runtime.h"
@@ -67,6 +68,8 @@ struct FleetConfig
     /** Client-side degradation ladder (retry.enabled=false keeps the
      *  pre-fault fire-and-wait client). */
     RetryPolicy retry;
+    /** Telemetry plane (enabled=false: no hub, no scrape cost). */
+    TelemetryConfig telemetry;
     sim::MachineConfig machine;
 };
 
@@ -136,6 +139,17 @@ class FleetSim
     /** The attached fault plan (nullptr when cfg.faults is benign). */
     faults::FaultPlan *faultPlan() { return plan_.get(); }
 
+    /** The telemetry hub (nullptr when cfg.telemetry.enabled is
+     *  false). Non-const so callers can addSlo() before run() and
+     *  flush()/export after. */
+    TelemetryHub *telemetry() { return hub_.get(); }
+    const TelemetryHub *telemetry() const { return hub_.get(); }
+
+    /** Close the hub's current partial window at the present cluster
+     *  cycle (no-op without telemetry). Call once after the last
+     *  run() so the tail of the run is rolled up too. */
+    void flushTelemetry();
+
     /** Requests pending longer than the degradation ladder's
      *  worst-case budget (see FleetStats::stalledRequests). */
     uint64_t stalledRequests() const;
@@ -173,6 +187,7 @@ class FleetSim
     std::unique_ptr<faults::FaultPlan> plan_;
     CompileService svc_;
     Cluster cluster_;
+    std::unique_ptr<TelemetryHub> hub_;
     std::vector<Directive> catalog_;
     std::vector<std::unique_ptr<Server>> servers_;
 

@@ -94,15 +94,22 @@ CompileService::admit(Request r)
             // client's timeout is the only thing that notices.
             ++stats_.dropped;
             obs::metrics().counter("fleet.service.dropped").inc();
-            obs::tracer().instant(
-                "fleet.faults", "drop request",
-                strformat("\"server\":%u,\"seq\":%llu", r.server,
-                          static_cast<unsigned long long>(r.seq)));
+            if (obs::tracer().enabled()) {
+                obs::tracer().instant(
+                    "fleet.faults", "drop request",
+                    strformat("\"server\":%u,\"seq\":%llu,"
+                              "\"trace\":%llu",
+                              r.server,
+                              static_cast<unsigned long long>(r.seq),
+                              static_cast<unsigned long long>(
+                                  r.job.traceId)));
+            }
             return;
         }
         uint64_t delay = plan_->requestDelay(r.seq);
         if (delay > 0) {
             r.arrival += delay;
+            ++stats_.delayed;
             obs::metrics().counter("fleet.service.delayed").inc();
         }
     }
@@ -159,12 +166,23 @@ CompileService::failRequest(Request &r, uint64_t cycle,
     out.startCycle = cycle;
     out.readyCycle = cycle + cfg_.net.responseLatencyCycles;
     out.failed = true;
+    out.traceId = r.job.traceId;
     ++stats_.failed;
     obs::metrics().counter("fleet.service.failures").inc();
-    obs::tracer().instant(
-        "fleet.faults", "fail request",
-        strformat("\"server\":%u,\"reason\":\"%s\"", r.server,
-                  reason));
+    if (obs::tracer().enabled()) {
+        obs::tracer().instant(
+            "fleet.faults", "fail request",
+            strformat("\"server\":%u,\"reason\":\"%s\","
+                      "\"trace\":%llu",
+                      r.server, reason,
+                      static_cast<unsigned long long>(
+                          r.job.traceId)));
+        obs::tracer().complete(
+            "fleet.faults", "response hop", cycle, out.readyCycle,
+            strformat("\"server\":%u,\"trace\":%llu", r.server,
+                      static_cast<unsigned long long>(
+                          r.job.traceId)));
+    }
     r.done(out);
 }
 
@@ -262,10 +280,12 @@ CompileService::crashShard(uint32_t s, Shard &sh,
 {
     ++stats_.crashes;
     obs::metrics().counter("fleet.service.crashes").inc();
-    obs::tracer().complete(
-        "fleet.faults", strformat("shard%u down", s), outage.at,
-        outage.until,
-        strformat("\"lost_entries\":%zu", sh.index.size()));
+    if (obs::tracer().enabled()) {
+        obs::tracer().complete(
+            "fleet.faults", strformat("shard%u down", s), outage.at,
+            outage.until,
+            strformat("\"lost_entries\":%zu", sh.index.size()));
+    }
 
     stats_.lostEntries += sh.index.size();
     obs::metrics().counter("fleet.service.lost_entries")
@@ -390,10 +410,13 @@ CompileService::installKey(uint32_t s, Shard &sh, uint64_t key,
         sh.lru.pop_back();
         ++stats_.evictions;
         obs::metrics().counter("fleet.service.evictions").inc();
-        obs::tracer().instant(
-            strformat("fleet.shard%u", s), "evict",
-            strformat("\"key\":%llu",
-                      static_cast<unsigned long long>(victim_key)));
+        if (obs::tracer().enabled()) {
+            obs::tracer().instant(
+                strformat("fleet.shard%u", s), "evict",
+                strformat("\"key\":%llu",
+                          static_cast<unsigned long long>(
+                              victim_key)));
+        }
     }
     CacheEntry entry{key, code_bytes, false};
     if (plan_ && plan_->corruptCachedEntry(key, cycle)) {
@@ -418,16 +441,36 @@ CompileService::respond(Request &r, runtime::CompileOutcome out,
         verdict = "corrupt";
     }
     stats_.bytesOut += r.job.codeBytes;
+    out.traceId = r.job.traceId;
     uint64_t send = r.arrival >= net.requestLatencyCycles ?
         r.arrival - net.requestLatencyCycles : 0;
     obs::metrics().histogram("fleet.service.latency")
         .observe(static_cast<double>(out.readyCycle - send));
-    obs::tracer().complete(
-        strformat("fleet.shard%u", shard),
-        strformat("request %s", r.job.name.c_str()), r.arrival,
-        out.readyCycle,
-        strformat("\"server\":%u,\"outcome\":\"%s\"", r.server,
-                  verdict));
+    if (obs::tracer().enabled()) {
+        std::string lane = strformat("fleet.shard%u", shard);
+        obs::tracer().complete(
+            lane, strformat("request %s", r.job.name.c_str()),
+            r.arrival, out.readyCycle,
+            strformat("\"server\":%u,\"outcome\":\"%s\","
+                      "\"trace\":%llu",
+                      r.server, verdict,
+                      static_cast<unsigned long long>(
+                          r.job.traceId)));
+        // The service -> client network hop (latency + payload
+        // transfer) as its own span, so a slow flip visibly
+        // decomposes into queue/compile/network time.
+        uint64_t hop = net.responseLatencyCycles +
+            net.transferCycles(r.job.codeBytes);
+        uint64_t hop_start =
+            out.readyCycle >= hop ? out.readyCycle - hop : 0;
+        obs::tracer().complete(
+            lane, "response hop", hop_start, out.readyCycle,
+            strformat("\"server\":%u,\"trace\":%llu,\"bytes\":%llu",
+                      r.server,
+                      static_cast<unsigned long long>(r.job.traceId),
+                      static_cast<unsigned long long>(
+                          r.job.codeBytes)));
+    }
     r.done(out);
 }
 
@@ -441,16 +484,30 @@ CompileService::resolveBatch(uint32_t s, Shard &sh, uint64_t close)
     }
     ++stats_.batches;
     obs::metrics().counter("fleet.service.batches").inc();
-    obs::metrics().histogram("fleet.service.batch_size",
-                             {1, 2, 4, 8, 16, 32, 64, 128})
+    obs::metrics().histogram("fleet.service.batch_size")
         .observe(static_cast<double>(batch.size()));
-    std::string lane = strformat("fleet.shard%u", s);
-    obs::tracer().instant(lane, "batch_close",
-                          strformat("\"size\":%zu", batch.size()));
+    const bool traced = obs::tracer().enabled();
+    std::string lane;
+    if (traced) {
+        lane = strformat("fleet.shard%u", s);
+        obs::tracer().instant(
+            lane, "batch_close",
+            strformat("\"size\":%zu", batch.size()));
+    }
 
     const NetworkModel &net = cfg_.net;
     for (Request &r : batch) {
         uint64_t key = r.job.contentKey;
+        if (traced && close > r.arrival) {
+            // Time spent queued at the shard before its batch
+            // closed: the first cross-server segment of the
+            // request's trace.
+            obs::tracer().complete(
+                lane, "queue wait", r.arrival, close,
+                strformat("\"server\":%u,\"trace\":%llu", r.server,
+                          static_cast<unsigned long long>(
+                              r.job.traceId)));
+        }
 
         auto hit = sh.index.find(key);
         if (hit != sh.index.end() && hit->second->corrupt) {
@@ -460,10 +517,14 @@ CompileService::resolveBatch(uint32_t s, Shard &sh, uint64_t close)
             ++stats_.corruptRejects;
             obs::metrics().counter("fleet.service.corrupt_rejects")
                 .inc();
-            obs::tracer().instant(
-                lane, "checksum reject",
-                strformat("\"key\":%llu",
-                          static_cast<unsigned long long>(key)));
+            if (traced) {
+                obs::tracer().instant(
+                    lane, "checksum reject",
+                    strformat("\"key\":%llu,\"trace\":%llu",
+                              static_cast<unsigned long long>(key),
+                              static_cast<unsigned long long>(
+                                  r.job.traceId)));
+            }
             sh.lru.erase(hit->second);
             sh.index.erase(hit);
             hit = sh.index.end();
@@ -512,12 +573,18 @@ CompileService::resolveBatch(uint32_t s, Shard &sh, uint64_t close)
             obs::metrics()
                 .histogram("fleet.service.compile_cycles_hist")
                 .observe(static_cast<double>(r.job.costCycles));
-            obs::tracer().complete(
-                lane, strformat("compile %s", r.job.name.c_str()),
-                start, done,
-                strformat("\"key\":%llu,\"server\":%u",
-                          static_cast<unsigned long long>(key),
-                          r.server));
+            if (traced) {
+                obs::tracer().complete(
+                    lane,
+                    strformat("compile %s", r.job.name.c_str()),
+                    start, done,
+                    strformat("\"key\":%llu,\"server\":%u,"
+                              "\"trace\":%llu",
+                              static_cast<unsigned long long>(key),
+                              r.server,
+                              static_cast<unsigned long long>(
+                                  r.job.traceId)));
+            }
             sh.waiters[key].push_back(
                 Waiter{std::move(r), true, start});
         }

@@ -109,6 +109,8 @@ struct ServiceStats
     // ----- fault injection and degradation -----
     /** Requests lost in transit (injected drops; never answered). */
     uint64_t dropped = 0;
+    /** Requests hit by an injected in-transit delay. */
+    uint64_t delayed = 0;
     /** Failure responses sent (replica set down, crash mid-work). */
     uint64_t failed = 0;
     /** Requests routed to a replica because the preferred shard was

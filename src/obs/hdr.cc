@@ -1,0 +1,151 @@
+#include "obs/hdr.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace protean {
+namespace obs {
+
+namespace {
+
+/** Position of the most significant set bit (value must be > 0). */
+inline uint32_t
+msbPosition(uint64_t v)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return 63u - static_cast<uint32_t>(__builtin_clzll(v));
+#else
+    uint32_t p = 0;
+    while (v >>= 1)
+        ++p;
+    return p;
+#endif
+}
+
+} // namespace
+
+uint32_t
+HdrHistogram::indexFor(uint64_t value)
+{
+    if (value < kSubCount)
+        return static_cast<uint32_t>(value);
+    uint32_t msb = msbPosition(value);
+    // Octave group g >= 1 holds [kHalf << g, kSubCount << g) with
+    // kHalf sub-buckets of width 2^g each.
+    uint32_t g = msb - kSubBits + 1;
+    uint64_t sub = value >> g; // in [kHalf, kSubCount)
+    return static_cast<uint32_t>(kSubCount + (g - 1) * kHalf +
+                                 (sub - kHalf));
+}
+
+uint64_t
+HdrHistogram::lowerEdge(uint32_t index)
+{
+    if (index < kSubCount)
+        return index;
+    uint32_t g = (index - kSubCount) / kHalf + 1;
+    uint64_t sub = kHalf + (index - kSubCount) % kHalf;
+    return sub << g;
+}
+
+uint64_t
+HdrHistogram::upperEdge(uint32_t index)
+{
+    if (index < kSubCount)
+        return index;
+    uint32_t g = (index - kSubCount) / kHalf + 1;
+    uint64_t sub = kHalf + (index - kSubCount) % kHalf;
+    // ((sub + 1) << g) - 1; the very top bucket saturates.
+    uint64_t next = (sub + 1) << g;
+    return next == 0 ? UINT64_MAX : next - 1;
+}
+
+void
+HdrHistogram::record(uint64_t value, uint64_t count)
+{
+    if (count == 0)
+        return;
+    if (counts_.empty())
+        counts_.assign(kNumBuckets, 0);
+    counts_[indexFor(value)] += count;
+    total_ += count;
+    sum_ += value * count;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+void
+HdrHistogram::observe(double x)
+{
+    uint64_t v;
+    if (!(x > 0.0)) // negatives and NaN clamp to zero
+        v = 0;
+    else if (x >= 18446744073709549568.0) // largest double < 2^64
+        v = UINT64_MAX;
+    else
+        v = static_cast<uint64_t>(x + 0.5);
+    record(v);
+}
+
+void
+HdrHistogram::merge(const HdrHistogram &other)
+{
+    if (other.total_ == 0)
+        return;
+    if (counts_.empty())
+        counts_.assign(kNumBuckets, 0);
+    for (uint32_t i = 0; i < kNumBuckets; ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+HdrHistogram::clear()
+{
+    if (!counts_.empty())
+        std::fill(counts_.begin(), counts_.end(), 0);
+    total_ = 0;
+    sum_ = 0;
+    min_ = UINT64_MAX;
+    max_ = 0;
+}
+
+uint64_t
+HdrHistogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return 0;
+    q = std::min(1.0, std::max(0.0, q));
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(total_)));
+    rank = std::min(total_, std::max<uint64_t>(1, rank));
+    uint64_t cum = 0;
+    for (uint32_t i = 0; i < counts_.size(); ++i) {
+        cum += counts_[i];
+        if (cum >= rank) {
+            // Clamp the bucket's upper edge to the exact max: the
+            // top non-empty bucket must never report past the
+            // largest recorded value.
+            return std::min(upperEdge(i), max_);
+        }
+    }
+    return max_;
+}
+
+std::vector<HdrHistogram::Bucket>
+HdrHistogram::nonZeroBuckets() const
+{
+    std::vector<Bucket> out;
+    for (uint32_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] != 0)
+            out.push_back(Bucket{lowerEdge(i), upperEdge(i),
+                                 counts_[i]});
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace protean

@@ -46,29 +46,81 @@ jsonEscape(const std::string &s)
     return out;
 }
 
-} // namespace detail
-
-Histogram::Histogram(std::vector<double> bounds)
-    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0)
+std::string
+hdrJson(const HdrHistogram &h)
 {
-    if (bounds_.empty())
-        panic("Histogram: needs at least one bucket bound");
-    for (size_t i = 1; i < bounds_.size(); ++i) {
-        if (bounds_[i] <= bounds_[i - 1])
-            panic("Histogram: bounds must be ascending");
+    std::string buckets;
+    for (const HdrHistogram::Bucket &b : h.nonZeroBuckets()) {
+        buckets += strformat(
+            "%s[%llu,%llu,%llu]", buckets.empty() ? "" : ",",
+            static_cast<unsigned long long>(b.lower),
+            static_cast<unsigned long long>(b.upper),
+            static_cast<unsigned long long>(b.count));
     }
+    return strformat(
+        "{\"buckets\": [%s], \"max\": %llu, \"min\": %llu, "
+        "\"p50\": %llu, \"p95\": %llu, \"p99\": %llu, "
+        "\"p999\": %llu, \"sum\": %llu, \"total\": %llu}",
+        buckets.c_str(),
+        static_cast<unsigned long long>(h.maxValue()),
+        static_cast<unsigned long long>(h.minValue()),
+        static_cast<unsigned long long>(h.quantile(0.50)),
+        static_cast<unsigned long long>(h.quantile(0.95)),
+        static_cast<unsigned long long>(h.quantile(0.99)),
+        static_cast<unsigned long long>(h.quantile(0.999)),
+        static_cast<unsigned long long>(h.sum()),
+        static_cast<unsigned long long>(h.total()));
 }
+
+} // namespace detail
 
 void
 Histogram::observe(double x)
 {
-    size_t b = 0;
-    while (b < bounds_.size() && x > bounds_[b])
-        ++b;
     std::lock_guard<std::mutex> lock(mu_);
-    ++counts_[b];
-    ++total_;
-    sum_ += x;
+    hdr_.observe(x);
+}
+
+uint64_t
+Histogram::total() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hdr_.total();
+}
+
+double
+Histogram::sum() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<double>(hdr_.sum());
+}
+
+uint64_t
+Histogram::quantile(double q) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hdr_.quantile(q);
+}
+
+uint64_t
+Histogram::minValue() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hdr_.minValue();
+}
+
+uint64_t
+Histogram::maxValue() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hdr_.maxValue();
+}
+
+HdrHistogram
+Histogram::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hdr_;
 }
 
 Counter &
@@ -92,18 +144,12 @@ MetricsRegistry::gauge(const std::string &name)
 }
 
 Histogram &
-MetricsRegistry::histogram(const std::string &name,
-                           std::vector<double> bounds)
+MetricsRegistry::histogram(const std::string &name)
 {
     std::lock_guard<std::mutex> lock(mu_);
     auto &slot = histograms_[name];
-    if (!slot) {
-        if (bounds.empty()) {
-            for (double b = 1.0; b <= 16'777'216.0; b *= 4.0)
-                bounds.push_back(b);
-        }
-        slot = std::make_unique<Histogram>(std::move(bounds));
-    }
+    if (!slot)
+        slot = std::make_unique<Histogram>();
     return *slot;
 }
 
@@ -137,22 +183,9 @@ MetricsRegistry::toJson() const
     out += "  \"histograms\": {";
     first = true;
     for (const auto &[name, h] : histograms_) {
-        std::string bounds, counts;
-        for (size_t i = 0; i < h->bounds().size(); ++i) {
-            bounds += (i ? "," : "") + jsonNumber(h->bounds()[i]);
-        }
-        for (size_t i = 0; i < h->counts().size(); ++i) {
-            counts += strformat(
-                "%s%llu", i ? "," : "",
-                static_cast<unsigned long long>(h->counts()[i]));
-        }
-        out += strformat(
-            "%s\n    \"%s\": {\"bounds\": [%s], \"counts\": [%s], "
-            "\"total\": %llu, \"sum\": %s}",
-            first ? "" : ",", jsonEscape(name).c_str(),
-            bounds.c_str(), counts.c_str(),
-            static_cast<unsigned long long>(h->total()),
-            jsonNumber(h->sum()).c_str());
+        out += strformat("%s\n    \"%s\": %s", first ? "" : ",",
+                         jsonEscape(name).c_str(),
+                         detail::hdrJson(h->snapshot()).c_str());
         first = false;
     }
     out += first ? "}\n" : "\n  }\n";

@@ -1,6 +1,6 @@
 /**
  * @file
- * Metrics registry: named counters, gauges, and fixed-bucket
+ * Metrics registry: named counters, gauges, and HDR log-bucketed
  * histograms with hierarchical dotted names (`runtime.compile.cycles`,
  * `sim.l3.misses`, `pc3d.search.steps`).
  *
@@ -8,7 +8,9 @@
  * for the registry's lifetime, so hot paths can look a metric up once
  * and update it directly. Snapshots export to JSON with sorted,
  * stable keys: two identical (deterministic) runs produce
- * byte-identical files.
+ * byte-identical files. Histogram exports carry deterministic
+ * quantile summaries (p50/p95/p99/p999) computed from the bucket
+ * layout — see obs/hdr.h.
  */
 
 #ifndef PROTEAN_OBS_METRICS_H
@@ -21,6 +23,8 @@
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "obs/hdr.h"
 
 namespace protean {
 namespace obs {
@@ -63,32 +67,34 @@ class Gauge
     std::atomic<double> value_{0.0};
 };
 
-/** Fixed-bucket histogram: bounds are inclusive upper edges, plus an
- *  implicit overflow bucket. observe() is internally locked; bucket
- *  counts and integer-valued sums are order-independent, so parallel
- *  observation keeps exports deterministic. */
+/** HDR log-bucketed histogram (obs/hdr.h) behind a lock: values
+ *  below 64 record exactly, larger ones with <=1/32 relative error,
+ *  across the full 64-bit range with no per-metric bucket
+ *  configuration. observe() is internally locked; bucket counts and
+ *  integer sums are order-independent, so parallel observation keeps
+ *  exports deterministic. */
 class Histogram
 {
   public:
-    /** @param bounds Ascending bucket upper edges (must not be
-     *         empty). */
-    explicit Histogram(std::vector<double> bounds);
+    Histogram() = default;
 
     void observe(double x);
 
-    const std::vector<double> &bounds() const { return bounds_; }
-    /** bounds().size() + 1 entries; the last is the overflow.
-     *  Read only from quiesced phases (exports, tests). */
-    const std::vector<uint64_t> &counts() const { return counts_; }
-    uint64_t total() const { return total_; }
-    double sum() const { return sum_; }
+    uint64_t total() const;
+    /** Sum of recorded (rounded-to-integer) observations. */
+    double sum() const;
+    /** Deterministic quantile: upper bucket edge at rank
+     *  ceil(q * total); 0 when empty (see HdrHistogram::quantile). */
+    uint64_t quantile(double q) const;
+    uint64_t minValue() const;
+    uint64_t maxValue() const;
+
+    /** Copy of the underlying state (merging, deltas, exports). */
+    HdrHistogram snapshot() const;
 
   private:
-    std::vector<double> bounds_;
-    std::vector<uint64_t> counts_;
-    uint64_t total_ = 0;
-    double sum_ = 0.0;
-    std::mutex mu_;
+    HdrHistogram hdr_;
+    mutable std::mutex mu_;
 };
 
 /** Named metrics, hierarchically dotted, exported with stable keys.
@@ -101,12 +107,8 @@ class MetricsRegistry
     Counter &counter(const std::string &name);
     Gauge &gauge(const std::string &name);
 
-    /**
-     * Find-or-create; bounds apply only on creation.
-     * Defaults to power-of-4 cycle-ish buckets (1 .. 4^12).
-     */
-    Histogram &histogram(const std::string &name,
-                         std::vector<double> bounds = {});
+    /** Find-or-create; HDR layout needs no per-metric bounds. */
+    Histogram &histogram(const std::string &name);
 
     /** Snapshot as a JSON object with sorted keys. */
     std::string toJson() const;
@@ -140,6 +142,10 @@ namespace detail {
 std::string jsonNumber(double v);
 /** JSON string escaping. */
 std::string jsonEscape(const std::string &s);
+/** HDR histogram as a JSON object with fixed key order:
+ *  {"buckets": [[lo,hi,count],...], "max", "min", "p50", "p95",
+ *   "p99", "p999", "sum", "total"}. Byte-stable for a given state. */
+std::string hdrJson(const HdrHistogram &h);
 } // namespace detail
 
 } // namespace obs

@@ -1,0 +1,152 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "support/logging.h"
+
+namespace protean {
+namespace obs {
+
+void
+SloMonitor::addSpec(SloSpec spec)
+{
+    if (spec.name.empty() || spec.field.empty())
+        panic("SloMonitor: spec needs a name and a field");
+    if (spec.shortWindows == 0 ||
+        spec.shortWindows > spec.longWindows)
+        panic("SloMonitor: need 0 < shortWindows <= longWindows");
+    if (spec.budget <= 0.0)
+        panic("SloMonitor: budget must be positive");
+    State st;
+    st.spec = specs_.size();
+    specs_.push_back(std::move(spec));
+    states_.push_back(std::move(st));
+}
+
+double
+SloMonitor::burnRate(const State &st, uint32_t span, double budget)
+{
+    if (st.history.empty())
+        return 0.0;
+    uint32_t n = std::min<uint32_t>(
+        span, static_cast<uint32_t>(st.history.size()));
+    uint64_t bad = 0;
+    for (uint32_t i = 0; i < n; ++i)
+        bad += st.history[st.history.size() - 1 - i];
+    // Burn relative to the *full* span: a single bad window early in
+    // a run must not read as a 100% burn.
+    return (static_cast<double>(bad) / span) / budget;
+}
+
+std::vector<std::string>
+SloMonitor::observeWindow(uint64_t windowIndex,
+                          const std::map<std::string, double> &fields)
+{
+    std::vector<std::string> raised;
+    for (State &st : states_) {
+        const SloSpec &spec = specs_[st.spec];
+        auto it = fields.find(spec.field);
+        bool bad = it != fields.end() && it->second > spec.threshold;
+        st.history.push_back(bad ? 1 : 0);
+        if (st.history.size() > spec.longWindows)
+            st.history.pop_front();
+        st.badTotal += bad ? 1 : 0;
+
+        double shortBurn =
+            burnRate(st, spec.shortWindows, spec.budget);
+        double longBurn = burnRate(st, spec.longWindows, spec.budget);
+        bool over = shortBurn >= spec.burnThreshold &&
+                    longBurn >= spec.burnThreshold;
+        if (over && !st.firing) {
+            st.firing = true;
+            st.activeAlert = alerts_.size();
+            alerts_.push_back(SloAlert{spec.name, windowIndex,
+                                       UINT64_MAX, shortBurn,
+                                       longBurn});
+            raised.push_back(spec.name);
+        } else if (st.firing &&
+                   shortBurn < spec.burnThreshold) {
+            st.firing = false;
+            alerts_[st.activeAlert].clearedWindow = windowIndex;
+        }
+    }
+    return raised;
+}
+
+bool
+SloMonitor::firing(const std::string &slo) const
+{
+    for (const State &st : states_) {
+        if (specs_[st.spec].name == slo)
+            return st.firing;
+    }
+    return false;
+}
+
+bool
+SloMonitor::everFired(const std::string &slo) const
+{
+    for (const SloAlert &a : alerts_) {
+        if (a.slo == slo)
+            return true;
+    }
+    return false;
+}
+
+uint64_t
+SloMonitor::badWindows(const std::string &slo) const
+{
+    for (const State &st : states_) {
+        if (specs_[st.spec].name == slo)
+            return st.badTotal;
+    }
+    return 0;
+}
+
+std::string
+SloMonitor::toJson() const
+{
+    using detail::jsonEscape;
+    using detail::jsonNumber;
+
+    std::string out = "{\"alerts\": [";
+    for (size_t i = 0; i < alerts_.size(); ++i) {
+        const SloAlert &a = alerts_[i];
+        std::string cleared =
+            a.clearedWindow == UINT64_MAX ?
+                "null" :
+                strformat("%llu", static_cast<unsigned long long>(
+                                      a.clearedWindow));
+        out += strformat(
+            "%s{\"cleared_window\": %s, \"long_burn\": %s, "
+            "\"raised_window\": %llu, \"short_burn\": %s, "
+            "\"slo\": \"%s\"}",
+            i ? "," : "", cleared.c_str(),
+            jsonNumber(a.longBurn).c_str(),
+            static_cast<unsigned long long>(a.raisedWindow),
+            jsonNumber(a.shortBurn).c_str(),
+            jsonEscape(a.slo).c_str());
+    }
+    out += "], \"specs\": [";
+    for (size_t i = 0; i < specs_.size(); ++i) {
+        const SloSpec &s = specs_[i];
+        out += strformat(
+            "%s{\"bad_windows\": %llu, \"budget\": %s, "
+            "\"burn_threshold\": %s, \"field\": \"%s\", "
+            "\"long_windows\": %u, \"name\": \"%s\", "
+            "\"short_windows\": %u, \"threshold\": %s}",
+            i ? "," : "",
+            static_cast<unsigned long long>(states_[i].badTotal),
+            jsonNumber(s.budget).c_str(),
+            jsonNumber(s.burnThreshold).c_str(),
+            jsonEscape(s.field).c_str(), s.longWindows,
+            jsonEscape(s.name).c_str(), s.shortWindows,
+            jsonNumber(s.threshold).c_str());
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace obs
+} // namespace protean

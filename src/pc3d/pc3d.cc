@@ -115,10 +115,12 @@ Pc3dEngine::startSearch(runtime::ProteanRuntime &rt)
 
     searchStartCycle_ = rt.machine().now();
     obs::metrics().counter("pc3d.search.count").inc();
-    obs::tracer().instant(
-        "pc3d", "search_start",
-        strformat("\"hot_functions\":%zu,\"space_loads\":%zu",
-                  hot.size(), space_.loads.size()));
+    if (obs::tracer().enabled()) {
+        obs::tracer().instant(
+            "pc3d", "search_start",
+            strformat("\"hot_functions\":%zu,\"space_loads\":%zu",
+                      hot.size(), space_.loads.size()));
+    }
 
     SearchConfig scfg;
     scfg.qosTarget = opts_.qosTarget;
@@ -202,14 +204,18 @@ Pc3dEngine::windowSearch(runtime::ProteanRuntime &rt)
 
     if (search_->done()) {
         BitVector mask = spaceToModuleMask(search_->bestMask());
-        obs::tracer().complete(
-            "pc3d", "search", searchStartCycle_, rt.machine().now(),
-            strformat("\"windows\":%zu,\"variants\":%zu,"
-                      "\"best_nap\":%.3f,\"best_bps\":%.6f,"
-                      "\"best_mask_bits\":%zu",
-                      search_->windowsUsed(),
-                      search_->variantsTried(), search_->bestNap(),
-                      search_->bestBps(), mask.count()));
+        if (obs::tracer().enabled()) {
+            obs::tracer().complete(
+                "pc3d", "search", searchStartCycle_,
+                rt.machine().now(),
+                strformat("\"windows\":%zu,\"variants\":%zu,"
+                          "\"best_nap\":%.3f,\"best_bps\":%.6f,"
+                          "\"best_mask_bits\":%zu",
+                          search_->windowsUsed(),
+                          search_->variantsTried(),
+                          search_->bestNap(), search_->bestBps(),
+                          mask.count()));
+        }
         if (!(mask == dispatchedMask_))
             applyMask(rt, mask);
         setNap(rt, search_->bestNap());
@@ -270,11 +276,13 @@ Pc3dEngine::windowSettled(runtime::ProteanRuntime &rt)
             .counter(co_changed ? "pc3d.research.co_phase"
                                 : "pc3d.research.host_phase")
             .inc();
-        obs::tracer().instant(
-            "pc3d", "research",
-            strformat("\"reason\":\"%s\"",
-                      co_changed ? "co_phase_change"
-                                 : "host_phase_change"));
+        if (obs::tracer().enabled()) {
+            obs::tracer().instant(
+                "pc3d", "research",
+                strformat("\"reason\":\"%s\"",
+                          co_changed ? "co_phase_change"
+                                     : "host_phase_change"));
+        }
         if (co_changed)
             qos_.reprime();
         applyMask(rt, BitVector(dispatchedMask_.size()));
@@ -290,10 +298,13 @@ Pc3dEngine::windowSettled(runtime::ProteanRuntime &rt)
         if (nap_ > settledBestNap_ + 0.25) {
             obs::metrics().counter("pc3d.research.qos_excursion")
                 .inc();
-            obs::tracer().instant(
-                "pc3d", "research",
-                strformat("\"reason\":\"qos_excursion\","
-                          "\"qos\":%.4f", min_qos));
+            if (obs::tracer().enabled()) {
+                obs::tracer().instant(
+                    "pc3d", "research",
+                    strformat("\"reason\":\"qos_excursion\","
+                              "\"qos\":%.4f",
+                              min_qos));
+            }
             startSearch(rt);
         }
     } else if (min_qos > opts_.qosTarget + 2 * opts_.qosSlack &&

@@ -119,14 +119,18 @@ VariantSearch::evalFinished(double nap, double bps)
             .counter(accept ? "pc3d.search.accepted"
                             : "pc3d.search.rejected")
             .inc();
-        obs::tracer().instant(
-            "pc3d.search", accept ? "flip_accept" : "flip_reject",
-            strformat("\"load_index\":%zu,\"candidate_bps\":%.6f,"
-                      "\"best_bps\":%.6f,\"nap\":%.3f,"
-                      "\"reason\":\"%s\"",
-                      flipIndex_, bps, bestBps_, nap,
-                      accept ? "host_bps_improved"
-                             : "no_bps_improvement"));
+        if (obs::tracer().enabled()) {
+            obs::tracer().instant(
+                "pc3d.search",
+                accept ? "flip_accept" : "flip_reject",
+                strformat("\"load_index\":%zu,"
+                          "\"candidate_bps\":%.6f,"
+                          "\"best_bps\":%.6f,\"nap\":%.3f,"
+                          "\"reason\":\"%s\"",
+                          flipIndex_, bps, bestBps_, nap,
+                          accept ? "host_bps_improved"
+                                 : "no_bps_improvement"));
+        }
         if (accept) {
             // Keep the revoked hint.
             bestMask_ = m_;
@@ -172,9 +176,12 @@ VariantSearch::finish()
         bestMask_.clearAll();
         bestBps_ = bps0_;
         bestNap_ = nap0_;
-        obs::tracer().instant(
-            "pc3d.search", "variant0_wins",
-            strformat("\"bps0\":%.6f,\"nap0\":%.3f", bps0_, nap0_));
+        if (obs::tracer().enabled()) {
+            obs::tracer().instant(
+                "pc3d.search", "variant0_wins",
+                strformat("\"bps0\":%.6f,\"nap0\":%.3f", bps0_,
+                          nap0_));
+        }
     }
     phase_ = Phase::Done;
 }

@@ -23,6 +23,7 @@ LocalCompileBackend::compile(const CompileJob &job,
     out.startCycle = start;
     out.readyCycle = start + job.costCycles;
     out.chargedCycles = job.costCycles;
+    out.traceId = job.traceId;
     backendFree_ = out.readyCycle;
     done(out);
 }
@@ -188,17 +189,21 @@ RuntimeCompiler::requestVariant(ir::FuncId func, const BitVector &mask,
             // backend resolves, so the span can be recorded
             // immediately (compile_start == backend pickup, not
             // request arrival).
-            obs::tracer().complete(
-                "runtime.compiler",
-                strformat("compile %s",
-                          module_.function(func).name().c_str()),
-                out.startCycle, out.readyCycle,
-                strformat("\"func\":%u,\"cycles\":%llu,"
-                          "\"backend\":\"%s\"",
-                          func,
-                          static_cast<unsigned long long>(
-                              out.chargedCycles),
-                          backend_->backendName()));
+            if (obs::tracer().enabled()) {
+                obs::tracer().complete(
+                    "runtime.compiler",
+                    strformat("compile %s",
+                              module_.function(func).name().c_str()),
+                    out.startCycle, out.readyCycle,
+                    strformat("\"func\":%u,\"cycles\":%llu,"
+                              "\"backend\":\"%s\",\"trace\":%llu",
+                              func,
+                              static_cast<unsigned long long>(
+                                  out.chargedCycles),
+                              backend_->backendName(),
+                              static_cast<unsigned long long>(
+                                  out.traceId)));
+            }
 
             isa::CodeAddr entry = compileNow(func, mask, key);
             uint64_t at = std::max(out.readyCycle, machine_.now());

@@ -60,6 +60,14 @@ struct CompileJob
     uint64_t costCycles = 0;
     /** Estimated variant code size (network transfer modeling). */
     uint64_t codeBytes = 0;
+    /**
+     * Distributed trace id (0 = untraced). Assigned by the
+     * requesting client, carried through every hop — shard queue,
+     * replica, compile, response — and echoed in the outcome, so all
+     * spans of one request's cross-server life share an id in the
+     * exported trace.
+     */
+    uint64_t traceId = 0;
     /** Function name (spans and debugging). */
     std::string name;
 };
@@ -85,6 +93,8 @@ struct CompileOutcome
     /** Payload failed its checksum on delivery (in-transit
      *  corruption); same contract as `failed`. */
     bool corrupted = false;
+    /** The request's distributed trace id, echoed back (0 = none). */
+    uint64_t traceId = 0;
 };
 
 /**

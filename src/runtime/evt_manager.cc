@@ -31,10 +31,12 @@ EvtManager::retarget(ir::FuncId f, isa::CodeAddr entry)
     proc_.writeWord(slotAddr(f), entry);
     ++retargets_;
     obs::metrics().counter("runtime.evt.retargets").inc();
-    obs::tracer().instant(
-        "runtime", "evt_retarget",
-        strformat("\"func\":%u,\"target\":%llu", f,
-                  static_cast<unsigned long long>(entry)));
+    if (obs::tracer().enabled()) {
+        obs::tracer().instant(
+            "runtime", "evt_retarget",
+            strformat("\"func\":%u,\"target\":%llu", f,
+                      static_cast<unsigned long long>(entry)));
+    }
 }
 
 isa::CodeAddr

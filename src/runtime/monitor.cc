@@ -158,14 +158,17 @@ PhaseDetector::update(double ipc, const std::vector<ir::FuncId> &hot)
     bool hot_shift = hotSetChanged(anchorHot_, hot);
     if (rate_shift || hot_shift) {
         obs::metrics().counter("runtime.phase.changes").inc();
-        obs::tracer().instant(
-            "monitor", "phase_change",
-            strformat("\"anchor_ipc_before\":%.6f,"
-                      "\"anchor_ipc_after\":%.6f,\"cause\":\"%s\"",
-                      anchorIpc_, smooth,
-                      rate_shift ? (hot_shift ? "rate+hotset"
-                                              : "rate")
-                                 : "hotset"));
+        if (obs::tracer().enabled()) {
+            obs::tracer().instant(
+                "monitor", "phase_change",
+                strformat("\"anchor_ipc_before\":%.6f,"
+                          "\"anchor_ipc_after\":%.6f,"
+                          "\"cause\":\"%s\"",
+                          anchorIpc_, smooth,
+                          rate_shift ? (hot_shift ? "rate+hotset"
+                                                  : "rate")
+                                     : "hotset"));
+        }
         anchorIpc_ = smooth;
         anchorHot_ = hot;
         quiet_ = cooldown_;

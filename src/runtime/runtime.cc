@@ -29,12 +29,15 @@ ProteanRuntime::ProteanRuntime(sim::Machine &machine,
                                               host_.coreId());
     attachCycle_ = machine_.now();
     obs::metrics().counter("runtime.attach.count").inc();
-    obs::tracer().instant(
-        "runtime", "attach",
-        strformat("\"host\":\"%s\",\"functions\":%u,\"slots\":%zu",
-                  host.name().c_str(),
-                  static_cast<uint32_t>(att_.module->numFunctions()),
-                  att_.slots.size()));
+    if (obs::tracer().enabled()) {
+        obs::tracer().instant(
+            "runtime", "attach",
+            strformat(
+                "\"host\":\"%s\",\"functions\":%u,\"slots\":%zu",
+                host.name().c_str(),
+                static_cast<uint32_t>(att_.module->numFunctions()),
+                att_.slots.size()));
+    }
 }
 
 ProteanRuntime::~ProteanRuntime()
@@ -86,10 +89,12 @@ ProteanRuntime::deployVariant(ir::FuncId func, const BitVector &mask,
                               std::function<void()> on_dispatched)
 {
     obs::metrics().counter("runtime.deploy.requests").inc();
-    obs::tracer().instant(
-        "runtime", "compile_enqueue",
-        strformat("\"func\":%u,\"mask_bits\":%zu", func,
-                  mask.count()));
+    if (obs::tracer().enabled()) {
+        obs::tracer().instant(
+            "runtime", "compile_enqueue",
+            strformat("\"func\":%u,\"mask_bits\":%zu", func,
+                      mask.count()));
+    }
     uint64_t before = compiler_->compileCycles();
     compiler_->requestVariant(
         func, mask,
@@ -97,8 +102,11 @@ ProteanRuntime::deployVariant(ir::FuncId func, const BitVector &mask,
          on_dispatched = std::move(on_dispatched)](isa::CodeAddr e) {
             if (!*alive)
                 return;
-            obs::tracer().instant("runtime", "variant_dispatch",
-                                  strformat("\"func\":%u", func));
+            if (obs::tracer().enabled()) {
+                obs::tracer().instant(
+                    "runtime", "variant_dispatch",
+                    strformat("\"func\":%u", func));
+            }
             // Teach the PC sampler the new range, then dispatch by
             // retargeting the EVT slot.
             for (const auto &v : compiler_->variants()) {
