@@ -15,10 +15,15 @@
  * CI runs `--quick` twice (serial and --parallel=2) and byte-diffs
  * the exports, so the faulted runs double as determinism fixtures.
  *
- * The exported configuration also runs with the telemetry plane on:
- * per-window fleet p99 flip latency (TelemetryHub rollups) is printed
- * and `--telemetry=<path>` writes the whole plane as JSON —
- * byte-identical serial vs --parallel, so CI diffs it too.
+ * The exported configuration also runs with the telemetry plane on,
+ * continuous profiling included: per-window fleet p99 flip latency
+ * (TelemetryHub rollups) is printed, the variant scoreboard's
+ * winning-mask table follows, and `--telemetry=<path>` writes the
+ * whole plane as JSON while the common `--profile=<path>` /
+ * `--flamegraph=<path>` flags export the fleet-merged profile — all
+ * byte-identical serial vs --parallel, so CI diffs them too.
+ * `--bench-out=<path>` appends a git-stamped run of the exported
+ * config's key ratios to a trajectory file (see bench/trajectory).
  *
  * `--slo` runs the alerting acceptance harness instead of exiting:
  * a benign run calibrates the flip-p99 threshold and must stay
@@ -31,6 +36,7 @@
  */
 
 #include "common.h"
+#include "profile_report.h"
 
 #include <algorithm>
 
@@ -347,6 +353,7 @@ main(int argc, char **argv)
     bool quick = false;
     bool slo_mode = false;
     std::string telemetry_path;
+    std::string bench_out;
     bench::ArgParser parser;
     parser.addFlag("servers", &servers, "fleet size (default 8)");
     parser.addFlag("ms", &ms, "simulated run length per config");
@@ -355,6 +362,8 @@ main(int argc, char **argv)
     parser.addSwitch("quick", &quick, "tiny configuration for CI");
     parser.addFlag("telemetry", &telemetry_path,
                    "write the telemetry plane (windows/SLOs) as JSON");
+    parser.addFlag("bench-out", &bench_out,
+                   "append a git-stamped trajectory run");
     parser.addSwitch("slo", &slo_mode,
                      "run the SLO alerting acceptance harness");
     bench::ObsConfig obs_cfg = parser.parse(argc, argv);
@@ -468,6 +477,7 @@ main(int argc, char **argv)
     fleet::FleetConfig ecfg = telemetryFleetConfig(
         static_cast<uint32_t>(servers), mean_ms, obs_cfg.seed,
         faultsAt(1.0), ladder(true), 2, workers);
+    ecfg.telemetry.profiling = true;
     fleet::FleetSim esim(ecfg);
     esim.run(ms);
     esim.flushTelemetry();
@@ -522,6 +532,33 @@ main(int argc, char **argv)
                         hub.scrapeCpuCyclesTotal()));
         if (!telemetry_path.empty())
             hub.writeJson(telemetry_path);
+
+        bench::printWinningMasks(hub);
+        bench::exportFleetProfile(hub, obs_cfg);
+
+        if (!bench_out.empty()) {
+            obs::HdrHistogram flips = hub.fleetFlip();
+            std::map<std::string, double> metrics;
+            metrics["hit_rate"] = exported.service.hitRateOf();
+            metrics["flip_p99_cycles"] =
+                static_cast<double>(flips.quantile(0.99));
+            metrics["profile_samples"] = static_cast<double>(
+                hub.fleetProfile().totalSamples());
+            metrics["flip_records"] = static_cast<double>(
+                hub.scoreboard().totalFlips());
+            uint64_t run = bench::appendTrajectoryRun(
+                bench_out, "fleet_faults",
+                quick ? "quick" : "full", metrics,
+                strformat(
+                    "{\"servers\": %llu, \"sim_ms\": %g, "
+                    "\"stalled\": %llu}",
+                    static_cast<unsigned long long>(servers), ms,
+                    static_cast<unsigned long long>(
+                        exported.stalledRequests)));
+            std::printf("appended run %llu to %s\n",
+                        static_cast<unsigned long long>(run),
+                        bench_out.c_str());
+        }
     }
     std::printf("\nexported config: %llu crashes, %llu dropped, "
                 "%llu retries, %llu fallbacks, %llu stalled\n",

@@ -11,12 +11,19 @@
  * Part 2 sweeps fleet size x shard count x cache capacity to show
  * where the hit rate and coalescing come from.
  *
+ * When the common `--profile=<path>` / `--flamegraph=<path>` flags
+ * are given, the shared-service configuration re-runs with the
+ * telemetry plane and continuous profiler on: the fleet-merged
+ * profile is exported (byte-identical serial vs --parallel) and the
+ * variant scoreboard's winning-mask table is printed.
+ *
  * Flags (beyond the common set): --servers=<n>, --ms=<x> (simulated
  * run length), --mean-ms=<x> (per-server request interarrival mean)
  * and --quick (tiny CI configuration).
  */
 
 #include "common.h"
+#include "profile_report.h"
 
 #include "fleet/fleet.h"
 
@@ -150,6 +157,26 @@ main(int argc, char **argv)
         t.print();
         std::printf("\npaper shape: one compile serves the whole "
                     "fleet; tiny caches evict and recompile\n");
+    }
+
+    // Continuous-profiling export: the shared-service configuration
+    // again, telemetry plane + profiler on.
+    if (!obs_cfg.profilePath.empty() ||
+        !obs_cfg.flamegraphPath.empty()) {
+        fleet::FleetConfig cfg;
+        cfg.numServers = static_cast<uint32_t>(servers);
+        cfg.remoteBackend = true;
+        cfg.meanRequestMs = mean_ms;
+        cfg.seed = obs_cfg.seed;
+        cfg.service = svc;
+        cfg.parallelWorkers = static_cast<uint32_t>(obs_cfg.parallel);
+        cfg.telemetry.enabled = true;
+        cfg.telemetry.profiling = true;
+        fleet::FleetSim sim(cfg);
+        sim.run(ms);
+        sim.flushTelemetry();
+        bench::printWinningMasks(*sim.telemetry());
+        bench::exportFleetProfile(*sim.telemetry(), obs_cfg);
     }
 
     bench::exportObs(obs_cfg);

@@ -22,12 +22,18 @@
  * tracer().enabled(), so the bench times that guard directly, counts
  * how many times a traced run of the fleet takes it, asserts an
  * obs-off run records zero events, and fails if the implied overhead
- * reaches 1% of the run's wall time.
+ * reaches 1% of the run's wall time. The continuous profiler gets
+ * the same treatment: disabled it is one null-pointer test per
+ * monitoring tick (in PcSampler::sample and ProteanRuntime::tick),
+ * so the bench times that test, counts the ticks the off run took,
+ * and fails at 1% as well.
  *
- * Emits machine-readable results as JSON (--out, default
- * BENCH_engine.json). `--min-speedup=<x>` exits nonzero when the
- * single-proc ALU batch/step ratio falls below x, which is how CI
- * keeps the fast path honest.
+ * Results append to a git-stamped trajectory (--out, default
+ * BENCH_engine.json; schema-1 `{"schema","benchmark","runs":[...]}`)
+ * rather than overwriting, so the file accumulates a perf history
+ * that bench/trajectory gates on. `--min-speedup=<x>` still exits
+ * nonzero when the single-proc ALU batch/step ratio falls below x,
+ * which is how CI keeps the fast path honest.
  *
  * Flags (beyond the common set): --ms=<x> (simulated run length,
  * single machine), --fleet-ms=<x>, --servers=<n>, --out=<path>,
@@ -197,6 +203,29 @@ guardCheckSeconds()
     return sec / static_cast<double>(kIters);
 }
 
+/** Seconds per profiler null-pointer test — the whole off-path cost
+ *  of disabled continuous profiling (`if (profiler_)` in the sample
+ *  and tick paths). Same hoisting defenses as guardCheckSeconds. */
+double
+nullCheckSeconds()
+{
+    runtime::VariantProfiler *p = nullptr;
+    asm volatile("" : "+r"(p));
+    constexpr uint64_t kIters = 50000000;
+    uint64_t hits = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < kIters; ++i) {
+        bool e = p != nullptr;
+        asm volatile("" : "+r"(e)::"memory");
+        if (e)
+            ++hits;
+    }
+    double sec = elapsedSec(t0);
+    if (hits != 0)
+        fatal("profiler microbench: pointer became non-null");
+    return sec / static_cast<double>(kIters);
+}
+
 } // namespace
 
 /** One (workload, proc-count) comparison. */
@@ -332,14 +361,18 @@ main(int argc, char **argv)
                         hw ? hw : 1, hw == 1 ? "" : "s");
     }
 
-    // ---- observability off-path overhead ----
+    // ---- observability + profiler off-path overhead ----
     double guard_sec = 0.0;
     uint64_t traced_events = 0;
     double obs_overhead = 0.0;
+    double null_sec = 0.0;
+    uint64_t profiler_checks = 0;
+    double profiler_overhead = 0.0;
     bool obs_gate_failed = false;
+    bool profiler_gate_failed = false;
     if (obs::tracer().enabled()) {
         // --trace was given: the whole bench is a traced run, so the
-        // "obs off" premise does not hold; skip the gate.
+        // "obs off" premise does not hold; skip the gates.
         std::printf("\nobs off-path overhead: skipped under "
                     "--trace\n");
     } else {
@@ -356,6 +389,10 @@ main(int argc, char **argv)
         obs::tracer().clear();
         obs::tracer().setEnabled(false);
 
+        uint64_t ticks_before =
+            obs::metrics().counter("runtime.ticks").value();
+        uint64_t prof_before =
+            obs::metrics().counter("runtime.profiler.enabled").value();
         FleetResult off = runFleetTimed(
             static_cast<uint32_t>(servers), 1, fleet_ms,
             obs_cfg.seed);
@@ -363,6 +400,10 @@ main(int argc, char **argv)
             fatal("obs-off run recorded %zu trace events; gating is "
                   "broken",
                   obs::tracer().eventCount());
+        if (obs::metrics().counter("runtime.profiler.enabled").value()
+            != prof_before)
+            fatal("profiler-off run enabled a profiler; gating is "
+                  "broken");
 
         obs_overhead = off.wallSec <= 0.0 ? 0.0 :
             static_cast<double>(traced_events) * guard_sec /
@@ -375,6 +416,25 @@ main(int argc, char **argv)
                     obs_overhead * 100.0, off.wallSec);
         if (obs_overhead >= 0.01)
             obs_gate_failed = true;
+
+        // Disabled continuous profiling costs one null test in
+        // sample() and one in tick(), per monitoring tick.
+        null_sec = nullCheckSeconds();
+        uint64_t ticks =
+            obs::metrics().counter("runtime.ticks").value() -
+            ticks_before;
+        profiler_checks = 2 * ticks;
+        profiler_overhead = off.wallSec <= 0.0 ? 0.0 :
+            static_cast<double>(profiler_checks) * null_sec /
+                off.wallSec;
+        std::printf("profiler-disabled overhead: %.2f ns/check x "
+                    "%llu checks = %.4f%% of the %.3f s fleet run "
+                    "(no profiler built)\n",
+                    null_sec * 1e9,
+                    static_cast<unsigned long long>(profiler_checks),
+                    profiler_overhead * 100.0, off.wallSec);
+        if (profiler_overhead >= 0.01)
+            profiler_gate_failed = true;
     }
 
     double alu_speedup = cases.front().speedup();
@@ -385,62 +445,66 @@ main(int argc, char **argv)
                 bench::fmtRatio(cases[2].speedup()).c_str());
 
     if (!out.empty()) {
-        FILE *f = std::fopen(out.c_str(), "w");
-        if (!f)
-            fatal("cannot write %s", out.c_str());
-        std::fprintf(f,
-                     "{\n  \"single\": {\n    \"sim_ms\": %g,\n"
-                     "    \"cases\": [\n",
-                     ms);
+        // Comparable ratio series (host-speed independent); wall
+        // times and counts ride in `detail`, outside the
+        // trajectory-checker comparison.
+        std::map<std::string, double> metrics;
+        for (const CaseResult &c : cases)
+            metrics[strformat("%s_speedup_%uproc",
+                              c.workload.c_str(), c.procs)] =
+                c.speedup();
+        for (size_t i = 1; i < fleet_runs.size(); ++i) {
+            metrics[strformat("fleet_parallel%u_speedup",
+                              worker_counts[i])] =
+                fleet_runs[i].wallSec <= 0.0 ? 0.0 :
+                fleet_runs.front().wallSec / fleet_runs[i].wallSec;
+        }
+        metrics["obs_off_overhead_fraction"] = obs_overhead;
+        metrics["profiler_off_overhead_fraction"] =
+            profiler_overhead;
+
+        std::string detail = strformat(
+            "{\"sim_ms\": %g, \"fleet_ms\": %g, \"servers\": %llu, "
+            "\"hw_threads\": %u, \"cases\": [",
+            ms, fleet_ms, static_cast<unsigned long long>(servers),
+            std::thread::hardware_concurrency());
         for (size_t i = 0; i < cases.size(); ++i) {
             const CaseResult &c = cases[i];
-            auto one = [&](const SingleResult &r) {
-                return strformat(
-                    "{\"wall_sec\": %.6f, \"instructions\": %llu, "
-                    "\"ips\": %.1f}",
-                    r.wallSec,
-                    static_cast<unsigned long long>(r.instructions),
-                    r.ips());
-            };
-            std::fprintf(
-                f,
-                "      {\"workload\": \"%s\", \"procs\": %u,\n"
-                "       \"step\": %s,\n       \"batch\": %s,\n"
-                "       \"speedup\": %.3f}%s\n",
-                c.workload.c_str(), c.procs, one(c.step).c_str(),
-                one(c.batch).c_str(), c.speedup(),
-                i + 1 < cases.size() ? "," : "");
+            detail += strformat(
+                "%s{\"workload\": \"%s\", \"procs\": %u, "
+                "\"step_wall_sec\": %.6f, \"batch_wall_sec\": %.6f, "
+                "\"instructions\": %llu}",
+                i ? ", " : "", c.workload.c_str(), c.procs,
+                c.step.wallSec, c.batch.wallSec,
+                static_cast<unsigned long long>(
+                    c.step.instructions));
         }
-        std::fprintf(f, "    ]\n  },\n");
-        std::fprintf(f,
-                     "  \"fleet\": {\n    \"servers\": %llu,\n"
-                     "    \"sim_ms\": %g,\n    \"hw_threads\": %u,\n"
-                     "    \"runs\": [\n",
-                     static_cast<unsigned long long>(servers),
-                     fleet_ms,
-                     std::thread::hardware_concurrency());
+        detail += "], \"fleet_runs\": [";
         for (size_t i = 0; i < fleet_runs.size(); ++i) {
-            const FleetResult &r = fleet_runs[i];
-            std::fprintf(
-                f,
-                "      {\"parallel\": %u, \"wall_sec\": %.6f, "
-                "\"host_branches\": %llu, \"speedup\": %.3f}%s\n",
-                worker_counts[i], r.wallSec,
-                static_cast<unsigned long long>(r.stats.hostBranches),
-                r.wallSec <= 0.0 ? 0.0 :
-                    fleet_runs.front().wallSec / r.wallSec,
-                i + 1 < fleet_runs.size() ? "," : "");
+            detail += strformat(
+                "%s{\"parallel\": %u, \"wall_sec\": %.6f, "
+                "\"host_branches\": %llu}",
+                i ? ", " : "", worker_counts[i],
+                fleet_runs[i].wallSec,
+                static_cast<unsigned long long>(
+                    fleet_runs[i].stats.hostBranches));
         }
-        std::fprintf(f, "    ]\n  },\n");
-        std::fprintf(f,
-                     "  \"obs_off\": {\"guard_ns\": %.3f, "
-                     "\"traced_events\": %llu, "
-                     "\"overhead_fraction\": %.6f}\n}\n",
-                     guard_sec * 1e9,
-                     static_cast<unsigned long long>(traced_events),
-                     obs_overhead);
-        std::fclose(f);
-        std::printf("wrote %s\n", out.c_str());
+        detail += strformat(
+            "], \"obs_off\": {\"guard_ns\": %.3f, "
+            "\"traced_events\": %llu}, "
+            "\"profiler_off\": {\"check_ns\": %.3f, "
+            "\"checks\": %llu}}",
+            guard_sec * 1e9,
+            static_cast<unsigned long long>(traced_events),
+            null_sec * 1e9,
+            static_cast<unsigned long long>(profiler_checks));
+
+        uint64_t run = bench::appendTrajectoryRun(
+            out, "perf_engine", quick ? "quick" : "full", metrics,
+            detail);
+        std::printf("appended run %llu to %s\n",
+                    static_cast<unsigned long long>(run),
+                    out.c_str());
     }
 
     bench::exportObs(obs_cfg);
@@ -457,6 +521,13 @@ main(int argc, char **argv)
                      "FAIL: obs off-path overhead %.4f%% reaches the "
                      "1%% budget\n",
                      obs_overhead * 100.0);
+        return 1;
+    }
+    if (profiler_gate_failed) {
+        std::fprintf(stderr,
+                     "FAIL: profiler-disabled overhead %.4f%% "
+                     "reaches the 1%% budget\n",
+                     profiler_overhead * 100.0);
         return 1;
     }
     return 0;

@@ -76,8 +76,18 @@ FleetSim::FleetSim(const FleetConfig &cfg)
                                               cluster_);
         // Server registration order matches server ids, so per-window
         // scrape order is the serial stepping order.
-        for (auto &s : servers_)
-            hub_->addServer(s->backend.get(), s->machine.get());
+        for (auto &s : servers_) {
+            if (cfg_.telemetry.profiling) {
+                // Continuous profiling rides the monitoring tick, so
+                // profiled fleets run the tick loop; its modeled cost
+                // (sampling + analysis cycles) is charged like any
+                // other runtime work.
+                s->rt->enableProfiling();
+                s->rt->start();
+            }
+            hub_->addServer(s->backend.get(), s->machine.get(),
+                            s->rt->profiler());
+        }
         hub_->setStallBound(ladderBoundCycles());
         cluster_.setBarrierHook(
             [this](uint64_t cycle) { hub_->onBarrier(cycle); });

@@ -1,0 +1,101 @@
+#include "fleet/scoreboard.h"
+
+#include <set>
+
+#include "support/logging.h"
+
+namespace protean {
+namespace fleet {
+
+void
+VariantScoreboard::recordFlip(const runtime::FlipRecord &record)
+{
+    obs::ProfileKey key;
+    key.funcHash = record.funcHash;
+    key.mask = record.mask;
+    key.phase = record.phase;
+    VariantOutcome &o = outcomes_[key];
+    ++o.flips;
+    if (record.ipcAfter > record.ipcBefore)
+        ++o.wins;
+    o.ipcDeltaSum += record.ipcAfter - record.ipcBefore;
+    ++totalFlips_;
+}
+
+const VariantOutcome *
+VariantScoreboard::outcome(uint64_t func_hash,
+                           const std::string &mask,
+                           uint32_t phase) const
+{
+    obs::ProfileKey key;
+    key.funcHash = func_hash;
+    key.mask = mask;
+    key.phase = phase;
+    auto it = outcomes_.find(key);
+    return it == outcomes_.end() ? nullptr : &it->second;
+}
+
+std::string
+VariantScoreboard::recommendMask(uint64_t func_hash,
+                                 uint32_t phase) const
+{
+    // The map is ordered by (hash, mask, phase): buckets of this
+    // function appear consecutively, smaller masks first, so strict
+    // '>' keeps the smaller mask on score ties.
+    std::string best;
+    double bestScore = 0.0;
+    bool found = false;
+    for (const auto &[key, o] : outcomes_) {
+        if (key.funcHash != func_hash || key.phase != phase)
+            continue;
+        double s = o.score();
+        if (!found || s > bestScore) {
+            found = true;
+            best = key.mask;
+            bestScore = s;
+        }
+    }
+    return best;
+}
+
+std::string
+VariantScoreboard::toJson() const
+{
+    std::string out = "{\n\"outcomes\": [";
+    bool first = true;
+    for (const auto &[key, o] : outcomes_) {
+        out += first ? "\n  " : ",\n  ";
+        first = false;
+        out += strformat(
+            "{\"hash\": \"%llx\", \"mask\": \"%s\", \"phase\": %u, "
+            "\"flips\": %llu, \"wins\": %llu, "
+            "\"mean_ipc_delta\": %.6f}",
+            static_cast<unsigned long long>(key.funcHash),
+            key.mask.c_str(), key.phase,
+            static_cast<unsigned long long>(o.flips),
+            static_cast<unsigned long long>(o.wins), o.score());
+    }
+    out += first ? "],\n" : "\n],\n";
+
+    // One advisory line per (function, phase) ever flipped.
+    std::set<std::pair<uint64_t, uint32_t>> pairs;
+    for (const auto &[key, o] : outcomes_)
+        pairs.emplace(key.funcHash, key.phase);
+    out += "\"recommendations\": [";
+    first = true;
+    for (const auto &[hash, phase] : pairs) {
+        out += first ? "\n  " : ",\n  ";
+        first = false;
+        out += strformat(
+            "{\"hash\": \"%llx\", \"phase\": %u, \"mask\": \"%s\"}",
+            static_cast<unsigned long long>(hash), phase,
+            recommendMask(hash, phase).c_str());
+    }
+    out += first ? "],\n" : "\n],\n";
+    out += strformat("\"total_flips\": %llu\n}\n",
+                     static_cast<unsigned long long>(totalFlips_));
+    return out;
+}
+
+} // namespace fleet
+} // namespace protean

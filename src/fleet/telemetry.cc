@@ -35,7 +35,9 @@ FleetWindow::fields() const
     f["hit_rate"] = hitRate;
     f["hits"] = static_cast<double>(hits);
     f["local_fallbacks"] = static_cast<double>(localFallbacks);
+    f["flip_records"] = static_cast<double>(flipRecords);
     f["misses"] = static_cast<double>(misses);
+    f["profile_samples"] = static_cast<double>(profileSamples);
     f["replica_routes"] = static_cast<double>(replicaRoutes);
     f["requests"] = static_cast<double>(requests);
     f["retries"] = static_cast<double>(retries);
@@ -55,11 +57,13 @@ TelemetryHub::TelemetryHub(const TelemetryConfig &cfg,
 }
 
 void
-TelemetryHub::addServer(RemoteBackend *backend, sim::Machine *machine)
+TelemetryHub::addServer(RemoteBackend *backend, sim::Machine *machine,
+                        runtime::VariantProfiler *profiler)
 {
     ServerSlot slot;
     slot.backend = backend;
     slot.machine = machine;
+    slot.profiler = profiler;
     servers_.push_back(std::move(slot));
 }
 
@@ -149,6 +153,23 @@ TelemetryHub::closeWindow(uint64_t cycle)
                 server_flip.nonZeroBuckets().size();
             w.flip.merge(server_flip);
         }
+        if (cfg_.profiling && slot.profiler) {
+            // Drain the server's continuous profile and flip
+            // ledger; both are payload like any other scrape data.
+            obs::Profile server_profile;
+            slot.profiler->drainProfile(server_profile);
+            payload += cfg_.scrapeProfileEntryBytes *
+                server_profile.entries().size();
+            w.profileSamples += server_profile.totalSamples();
+            profile_.merge(server_profile);
+
+            std::vector<runtime::FlipRecord> records =
+                slot.profiler->drainLedger();
+            payload += cfg_.scrapeFlipBytes * records.size();
+            w.flipRecords += records.size();
+            for (const runtime::FlipRecord &r : records)
+                scoreboard_.recordFlip(r);
+        }
         // The delta rides the modeled network; serialization steals
         // real cycles from the server like any other runtime agent.
         w.scrapeBytes += payload;
@@ -208,19 +229,29 @@ TelemetryHub::toJson() const
     using obs::detail::jsonNumber;
 
     std::string out = strformat(
-        "{\n\"config\": {\"scrape_base_bytes\": %llu, "
+        "{\n\"config\": {\"profiling\": %s, "
+        "\"scrape_base_bytes\": %llu, "
         "\"scrape_bucket_bytes\": %llu, \"scrape_cpu_cycles\": %llu, "
+        "\"scrape_flip_bytes\": %llu, "
+        "\"scrape_profile_entry_bytes\": %llu, "
         "\"servers\": %zu, \"window_cycles\": %llu},\n",
+        cfg_.profiling ? "true" : "false",
         static_cast<unsigned long long>(cfg_.scrapeBaseBytes),
         static_cast<unsigned long long>(cfg_.scrapeBucketBytes),
         static_cast<unsigned long long>(cfg_.scrapeCpuCycles),
+        static_cast<unsigned long long>(cfg_.scrapeFlipBytes),
+        static_cast<unsigned long long>(cfg_.scrapeProfileEntryBytes),
         servers_.size(),
         static_cast<unsigned long long>(cfg_.windowCycles));
+    out += strformat("\"fleet_flip\": %s,\n",
+                     hdrJson(fleetFlip()).c_str());
+    if (cfg_.profiling) {
+        out += "\"profile\": " + profile_.toJson() + ",\n";
+        out += "\"scoreboard\": " + scoreboard_.toJson() + ",\n";
+    }
     out += strformat(
-        "\"fleet_flip\": %s,\n"
         "\"scrape\": {\"bytes\": %llu, \"cpu_cycles\": %llu, "
         "\"network_cycles\": %llu},\n",
-        hdrJson(fleetFlip()).c_str(),
         static_cast<unsigned long long>(scrapeBytes_),
         static_cast<unsigned long long>(scrapeCpu_),
         static_cast<unsigned long long>(scrapeNetCycles_));
@@ -287,6 +318,14 @@ TelemetryHub::exportObsMetrics() const
         .set(static_cast<double>(scrapeCpu_));
     m.gauge("fleet.telemetry.slo_alerts")
         .set(static_cast<double>(slo_.alerts().size()));
+    if (cfg_.profiling) {
+        m.gauge("fleet.telemetry.profile_samples")
+            .set(static_cast<double>(profile_.totalSamples()));
+        m.gauge("fleet.telemetry.profile_buckets")
+            .set(static_cast<double>(profile_.entries().size()));
+        m.gauge("fleet.telemetry.flip_records")
+            .set(static_cast<double>(scoreboard_.totalFlips()));
+    }
 }
 
 } // namespace fleet

@@ -35,9 +35,12 @@
 #include <vector>
 
 #include "fleet/client.h"
+#include "fleet/scoreboard.h"
 #include "fleet/service.h"
 #include "obs/hdr.h"
+#include "obs/profile.h"
 #include "obs/slo.h"
+#include "runtime/profiler.h"
 
 namespace protean {
 namespace fleet {
@@ -63,6 +66,14 @@ struct TelemetryConfig
     uint64_t scrapeCpuCycles = 150;
     /** Core charged with scrape serialization. */
     uint32_t scrapeCore = 0;
+    /** Scrape continuous profiles and flip ledgers too (requires
+     *  per-server VariantProfilers; FleetSim enables them when this
+     *  is set). */
+    bool profiling = false;
+    /** Additional payload per profile bucket shipped. */
+    uint64_t scrapeProfileEntryBytes = 48;
+    /** Additional payload per flip-ledger record shipped. */
+    uint64_t scrapeFlipBytes = 32;
 };
 
 /** One closed rollup window of fleet-wide deltas. */
@@ -110,6 +121,12 @@ struct FleetWindow
     /** Fleet-merged flip latencies recorded this window. */
     obs::HdrHistogram flip;
 
+    // ----- continuous-profiling deltas (0 when profiling off) -----
+    /** PC samples scraped from server profilers this window. */
+    uint64_t profileSamples = 0;
+    /** Flip-experiment records scraped this window. */
+    uint64_t flipRecords = 0;
+
     // ----- the scrape's own cost -----
     uint64_t scrapeBytes = 0;
     uint64_t scrapeNetworkCycles = 0;
@@ -131,8 +148,10 @@ class TelemetryHub
                  Cluster &cluster);
 
     /** Register a server in id order. `backend` may be null (local
-     *  compile config: only service-side series then). */
-    void addServer(RemoteBackend *backend, sim::Machine *machine);
+     *  compile config: only service-side series then); `profiler`
+     *  may be null (no continuous profiling on that server). */
+    void addServer(RemoteBackend *backend, sim::Machine *machine,
+                   runtime::VariantProfiler *profiler = nullptr);
 
     /** Age bound for the stranded-request count (the degradation
      *  ladder's worst-case budget). */
@@ -159,6 +178,17 @@ class TelemetryHub
     /** All windows' flip latencies merged (whole-run fleet tail). */
     obs::HdrHistogram fleetFlip() const;
 
+    /** Fleet-merged continuous profile (all servers, all windows).
+     *  Empty when profiling is off. */
+    const obs::Profile &fleetProfile() const { return profile_; }
+
+    /** Fleet-merged variant scoreboard (flip outcomes by function,
+     *  mask and phase). Empty when profiling is off. */
+    const VariantScoreboard &scoreboard() const
+    {
+        return scoreboard_;
+    }
+
     /** Total scrape cost paid so far. */
     uint64_t scrapeBytesTotal() const { return scrapeBytes_; }
     uint64_t scrapeNetworkCyclesTotal() const
@@ -183,6 +213,7 @@ class TelemetryHub
     {
         RemoteBackend *backend = nullptr;
         sim::Machine *machine = nullptr;
+        runtime::VariantProfiler *profiler = nullptr;
         ClientStats prev;
         uint64_t prevOpens = 0;
     };
@@ -194,6 +225,8 @@ class TelemetryHub
     Cluster &cluster_;
     std::vector<ServerSlot> servers_;
     std::vector<FleetWindow> windows_;
+    obs::Profile profile_;
+    VariantScoreboard scoreboard_;
     obs::SloMonitor slo_;
     ServiceStats prevService_;
     uint64_t prevPauses_ = 0;

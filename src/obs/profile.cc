@@ -1,0 +1,162 @@
+#include "obs/profile.h"
+
+#include <cstdio>
+
+#include "support/logging.h"
+
+namespace protean {
+namespace obs {
+
+void
+Profile::record(const ProfileKey &key, const ProfileCounts &counts)
+{
+    entries_[key].add(counts);
+    totalSamples_ += counts.samples;
+}
+
+void
+Profile::setName(uint64_t func_hash, const std::string &name)
+{
+    names_.emplace(func_hash, name);
+}
+
+void
+Profile::merge(const Profile &other)
+{
+    for (const auto &[key, counts] : other.entries_)
+        entries_[key].add(counts);
+    for (const auto &[hash, name] : other.names_)
+        names_.emplace(hash, name);
+    totalSamples_ += other.totalSamples_;
+}
+
+void
+Profile::drainInto(Profile &into)
+{
+    into.merge(*this);
+    clear();
+}
+
+void
+Profile::clear()
+{
+    entries_.clear();
+    names_.clear();
+    totalSamples_ = 0;
+}
+
+std::string
+Profile::nameOf(uint64_t func_hash) const
+{
+    if (func_hash == 0)
+        return "[unattributed]";
+    auto it = names_.find(func_hash);
+    if (it != names_.end())
+        return it->second;
+    return strformat("f%llx",
+                     static_cast<unsigned long long>(func_hash));
+}
+
+uint64_t
+Profile::hottestFunction() const
+{
+    // Per-function sums in hash order; strict '>' keeps the first
+    // (smallest) hash on ties.
+    std::map<uint64_t, uint64_t> byFunc;
+    for (const auto &[key, counts] : entries_)
+        byFunc[key.funcHash] += counts.samples;
+    uint64_t best = 0, bestSamples = 0;
+    for (const auto &[hash, samples] : byFunc) {
+        if (samples > bestSamples) {
+            best = hash;
+            bestSamples = samples;
+        }
+    }
+    return best;
+}
+
+uint64_t
+Profile::samplesOf(uint64_t func_hash) const
+{
+    uint64_t n = 0;
+    for (const auto &[key, counts] : entries_) {
+        if (key.funcHash == func_hash)
+            n += counts.samples;
+    }
+    return n;
+}
+
+std::string
+Profile::toJson() const
+{
+    std::string out = "{\n\"entries\": [";
+    bool first = true;
+    for (const auto &[key, counts] : entries_) {
+        out += first ? "\n  " : ",\n  ";
+        first = false;
+        out += strformat(
+            "{\"func\": \"%s\", \"hash\": \"%llx\", "
+            "\"mask\": \"%s\", \"phase\": %u, \"samples\": %llu, "
+            "\"cycles\": %llu, \"instructions\": %llu}",
+            nameOf(key.funcHash).c_str(),
+            static_cast<unsigned long long>(key.funcHash),
+            key.mask.c_str(), key.phase,
+            static_cast<unsigned long long>(counts.samples),
+            static_cast<unsigned long long>(counts.cycles),
+            static_cast<unsigned long long>(counts.instructions));
+    }
+    out += first ? "],\n" : "\n],\n";
+    out += strformat("\"total_samples\": %llu\n}\n",
+                     static_cast<unsigned long long>(totalSamples_));
+    return out;
+}
+
+std::string
+Profile::folded() const
+{
+    std::string out;
+    for (const auto &[key, counts] : entries_) {
+        out += strformat(
+            "phase_%u;%s;%s %llu\n", key.phase,
+            nameOf(key.funcHash).c_str(),
+            key.mask.empty() ? "original" :
+                               ("mask_" + key.mask).c_str(),
+            static_cast<unsigned long long>(counts.samples));
+    }
+    return out;
+}
+
+namespace {
+
+void
+writeFile(const std::string &path, const std::string &data,
+          const char *what)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("profile: cannot open %s for writing (%s)",
+              path.c_str(), what);
+    std::fwrite(data.data(), 1, data.size(), f);
+    std::fclose(f);
+}
+
+} // namespace
+
+void
+Profile::writeFolded(const std::string &path) const
+{
+    writeFile(path, folded(), "folded stacks");
+    debug("profile: wrote %zu folded buckets to %s", entries_.size(),
+          path.c_str());
+}
+
+void
+Profile::writeJson(const std::string &path) const
+{
+    writeFile(path, toJson(), "json");
+    debug("profile: wrote %zu buckets to %s", entries_.size(),
+          path.c_str());
+}
+
+} // namespace obs
+} // namespace protean

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * GWP-style continuous profile: mergeable sample counts keyed by
+ * (function content hash, variant NT-mask, phase id).
+ *
+ * The fleet's whole-system profiler (paper Section III-B3 scaled to
+ * a warehouse) needs one data structure: a map from "what code was
+ * running, in which variant, during which workload phase" to "how
+ * many PC samples landed there and what they cost". Every server
+ * records into its own Profile during its own quanta; the telemetry
+ * hub drains and merges them at cluster barriers. Merging is plain
+ * count addition — associative, commutative, quantile-free — so a
+ * fleet-merged profile equals the profile one observer recording
+ * every sample would have produced, regardless of merge order or
+ * worker count.
+ *
+ * Exports are byte-stable: entries live in a std::map ordered by
+ * (hash, mask, phase); JSON emits that order; the folded-stack
+ * export (`phase;function;variant count` lines) is consumable by
+ * flamegraph.pl and speedscope as collapsed stacks.
+ */
+
+#ifndef PROTEAN_OBS_PROFILE_H
+#define PROTEAN_OBS_PROFILE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+
+namespace protean {
+namespace obs {
+
+/** Attribution key of one profile bucket. */
+struct ProfileKey
+{
+    /** ir::functionHash content address (0 = unattributed). */
+    uint64_t funcHash = 0;
+    /** Restricted NT-mask key of the running variant ("" = the
+     *  original static code). */
+    std::string mask;
+    /** Workload phase id at sample time (monotonic per server). */
+    uint32_t phase = 0;
+
+    bool operator<(const ProfileKey &o) const
+    {
+        return std::tie(funcHash, mask, phase) <
+            std::tie(o.funcHash, o.mask, o.phase);
+    }
+    bool operator==(const ProfileKey &o) const
+    {
+        return funcHash == o.funcHash && mask == o.mask &&
+            phase == o.phase;
+    }
+};
+
+/** What accumulated under one key. */
+struct ProfileCounts
+{
+    uint64_t samples = 0;
+    /** Host-core cycle delta attributed to these samples. */
+    uint64_t cycles = 0;
+    /** Host-core instruction delta attributed to these samples. */
+    uint64_t instructions = 0;
+
+    void add(const ProfileCounts &o)
+    {
+        samples += o.samples;
+        cycles += o.cycles;
+        instructions += o.instructions;
+    }
+};
+
+/** Deterministic, mergeable continuous profile. */
+class Profile
+{
+  public:
+    /** Fold counts into the bucket for `key`. */
+    void record(const ProfileKey &key, const ProfileCounts &counts);
+
+    /** Attach a human-readable name to a function hash (idempotent;
+     *  first writer wins — identical binaries agree anyway). */
+    void setName(uint64_t func_hash, const std::string &name);
+
+    /** Add another profile's buckets and names into this one. */
+    void merge(const Profile &other);
+
+    /** Move this profile's contents into `into`, leaving this one
+     *  empty (window drains). */
+    void drainInto(Profile &into);
+
+    void clear();
+
+    bool empty() const { return entries_.empty(); }
+    uint64_t totalSamples() const { return totalSamples_; }
+
+    const std::map<ProfileKey, ProfileCounts> &entries() const
+    {
+        return entries_;
+    }
+    const std::map<uint64_t, std::string> &names() const
+    {
+        return names_;
+    }
+
+    /** Name for a hash; "f<hex>" when never named, "[unattributed]"
+     *  for hash 0. */
+    std::string nameOf(uint64_t func_hash) const;
+
+    /** Hash of the function with the most samples summed over all
+     *  its (mask, phase) buckets; 0 when empty. Ties break toward
+     *  the smaller hash, so the answer is deterministic. */
+    uint64_t hottestFunction() const;
+
+    /** Samples of one function summed over masks and phases. */
+    uint64_t samplesOf(uint64_t func_hash) const;
+
+    /**
+     * Whole profile as one JSON object with stable key order:
+     * {"entries": [{"func","hash","mask","phase","samples","cycles",
+     * "instructions"}...], "total_samples"}. Byte-identical for
+     * identical contents.
+     */
+    std::string toJson() const;
+
+    /**
+     * Folded-stack export: one `phase_P;func;variant count` line per
+     * bucket, ordered by key — pipe into flamegraph.pl or import
+     * into speedscope. The variant frame is `mask_<key>` or
+     * `original`.
+     */
+    std::string folded() const;
+
+    /** Write folded() / toJson(); fatal on I/O failure. */
+    void writeFolded(const std::string &path) const;
+    void writeJson(const std::string &path) const;
+
+  private:
+    std::map<ProfileKey, ProfileCounts> entries_;
+    std::map<uint64_t, std::string> names_;
+    uint64_t totalSamples_ = 0;
+};
+
+} // namespace obs
+} // namespace protean
+
+#endif // PROTEAN_OBS_PROFILE_H

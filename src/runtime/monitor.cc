@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/profiler.h"
 #include "support/logging.h"
 
 namespace protean {
@@ -19,14 +20,18 @@ PcSampler::PcSampler(sim::Machine &machine, sim::Process &proc,
 }
 
 ir::FuncId
-PcSampler::attribute(isa::CodeAddr pc) const
+PcSampler::attribute(isa::CodeAddr pc,
+                     const VariantRange **range) const
 {
+    *range = nullptr;
     const isa::FunctionInfo *fi = proc_.image().functionAt(pc);
     if (fi)
         return fi->irFunc;
     for (const auto &vr : variantRanges_) {
-        if (pc >= vr.entry && pc < vr.end)
+        if (pc >= vr.entry && pc < vr.end) {
+            *range = &vr;
             return vr.func;
+        }
     }
     return ir::kInvalidId;
 }
@@ -37,20 +42,26 @@ PcSampler::sample()
     if (proc_.state() != sim::ProcState::Running)
         return;
     isa::CodeAddr pc = machine_.core(hostCore_).pc();
-    ir::FuncId f = attribute(pc);
+    const VariantRange *vr = nullptr;
+    ir::FuncId f = attribute(pc, &vr);
     if (f != ir::kInvalidId)
         hot_[f] += 1.0;
     else
         unattributedCtr_->inc();
     ++samples_;
     samplesCtr_->inc();
+    if (profiler_) {
+        static const std::string kNoMask;
+        profiler_->recordSample(f, vr ? vr->mask : kNoMask);
+    }
 }
 
 void
 PcSampler::registerVariantRange(isa::CodeAddr entry, isa::CodeAddr end,
-                                ir::FuncId func)
+                                ir::FuncId func,
+                                const std::string &mask)
 {
-    variantRanges_.push_back(VariantRange{entry, end, func});
+    variantRanges_.push_back(VariantRange{entry, end, func, mask});
 }
 
 std::vector<ir::FuncId>

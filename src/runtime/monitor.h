@@ -18,6 +18,7 @@
 #ifndef PROTEAN_RUNTIME_MONITOR_H
 #define PROTEAN_RUNTIME_MONITOR_H
 
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -29,6 +30,8 @@
 namespace protean {
 namespace runtime {
 
+class VariantProfiler;
+
 /** Program-counter sampler with decayed per-function hotness. */
 class PcSampler
 {
@@ -39,9 +42,24 @@ class PcSampler
     /** Take one PC sample and attribute it. */
     void sample();
 
-    /** Teach the sampler a runtime variant's code range. */
+    /**
+     * Teach the sampler a runtime variant's code range. `mask` is
+     * the variant's restricted NT-mask key; samples landing in the
+     * range are tagged with it for the profiler ("" tags original
+     * code).
+     */
     void registerVariantRange(isa::CodeAddr entry, isa::CodeAddr end,
-                              ir::FuncId func);
+                              ir::FuncId func,
+                              const std::string &mask = "");
+
+    /**
+     * Feed attributed samples to a continuous profiler (nullptr
+     * detaches). Off path this is a single null check per sample.
+     */
+    void setProfiler(VariantProfiler *profiler)
+    {
+        profiler_ = profiler;
+    }
 
     /** Add hotness weight directly (offline attribution, tests). */
     void addWeight(ir::FuncId f, double w) { hot_[f] += w; }
@@ -71,6 +89,8 @@ class PcSampler
         isa::CodeAddr entry;
         isa::CodeAddr end;
         ir::FuncId func;
+        /** Restricted NT-mask key of the installed variant. */
+        std::string mask;
     };
 
     sim::Machine &machine_;
@@ -79,11 +99,15 @@ class PcSampler
     std::unordered_map<ir::FuncId, double> hot_;
     std::vector<VariantRange> variantRanges_;
     uint64_t samples_ = 0;
+    VariantProfiler *profiler_ = nullptr;
     /** Cached registry handles (sample() is the hot path). */
     obs::Counter *samplesCtr_;
     obs::Counter *unattributedCtr_;
 
-    ir::FuncId attribute(isa::CodeAddr pc) const;
+    /** Attribute a PC; `*range` is set to the variant range it
+     *  landed in, nullptr for original code or a miss. */
+    ir::FuncId attribute(isa::CodeAddr pc,
+                         const VariantRange **range) const;
 };
 
 /** Per-core HPM delta windows. */

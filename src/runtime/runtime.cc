@@ -74,6 +74,8 @@ ProteanRuntime::tick()
     ++ticks_;
     obs::metrics().counter("runtime.ticks").inc();
     sampler_->sample();
+    if (profiler_)
+        profiler_->onTick();
     chargeWork(opts_.tickCostCycles);
     if (engine_)
         engine_->onTick(*this);
@@ -112,7 +114,9 @@ ProteanRuntime::deployVariant(ir::FuncId func, const BitVector &mask,
             for (const auto &v : compiler_->variants()) {
                 if (v.entry == e) {
                     sampler_->registerVariantRange(v.entry, v.end,
-                                                   v.func);
+                                                   v.func, v.key);
+                    if (profiler_)
+                        profiler_->onFlipDispatched(v.func, v.key);
                     break;
                 }
             }
@@ -125,6 +129,17 @@ ProteanRuntime::deployVariant(ir::FuncId func, const BitVector &mask,
                 on_dispatched();
         });
     runtimeCycles_ += compiler_->compileCycles() - before;
+}
+
+void
+ProteanRuntime::enableProfiling(const ProfilerOptions &opts)
+{
+    if (profiler_)
+        return;
+    profiler_ = std::make_unique<VariantProfiler>(
+        machine_, host_.coreId(), *att_.module, opts);
+    sampler_->setProfiler(profiler_.get());
+    obs::metrics().counter("runtime.profiler.enabled").inc();
 }
 
 void

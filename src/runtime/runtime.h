@@ -19,6 +19,7 @@
 #include "runtime/compiler.h"
 #include "runtime/evt_manager.h"
 #include "runtime/monitor.h"
+#include "runtime/profiler.h"
 #include "runtime/qos.h"
 
 namespace protean {
@@ -94,6 +95,19 @@ class ProteanRuntime
     NapGovernor &napGovernor() { return *governor_; }
 
     /**
+     * Attach a continuous profiler (idempotent). Samples are
+     * attributed by variant and phase from then on; flips dispatched
+     * through deployVariant open flip experiments. Profiling is
+     * strictly opt-in: without this call the only added cost on the
+     * monitoring path is one null check per sample.
+     */
+    void enableProfiling(const ProfilerOptions &opts
+                         = ProfilerOptions{});
+
+    /** The attached profiler, or nullptr when profiling is off. */
+    VariantProfiler *profiler() { return profiler_.get(); }
+
+    /**
      * Compile (or fetch) a variant and dispatch it through the EVT
      * once ready. No-op callback variant of the common pattern.
      */
@@ -125,6 +139,7 @@ class ProteanRuntime
     std::unique_ptr<PcSampler> sampler_;
     std::unique_ptr<HpmMonitor> hpm_;
     std::unique_ptr<NapGovernor> governor_;
+    std::unique_ptr<VariantProfiler> profiler_;
     DecisionEngine *engine_ = nullptr;
     bool running_ = false;
     bool destroyed_ = false;

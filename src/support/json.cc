@@ -1,0 +1,382 @@
+#include "support/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "support/logging.h"
+
+namespace protean {
+
+/** Recursive-descent parser over a borrowed text buffer. */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string *err)
+        : text_(text), err_(err)
+    {
+    }
+
+    JsonValue run()
+    {
+        JsonValue v = parseValue();
+        if (failed_)
+            return JsonValue();
+        skipWs();
+        if (pos_ != text_.size()) {
+            fail("trailing content after document");
+            return JsonValue();
+        }
+        return v;
+    }
+
+  private:
+    const std::string &text_;
+    std::string *err_;
+    size_t pos_ = 0;
+    bool failed_ = false;
+
+    void fail(const std::string &what)
+    {
+        if (!failed_ && err_)
+            *err_ = what + " at byte " + std::to_string(pos_);
+        failed_ = true;
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool literal(const char *word)
+    {
+        size_t n = 0;
+        while (word[n] != '\0')
+            ++n;
+        if (text_.compare(pos_, n, word) != 0) {
+            fail(std::string("expected '") + word + "'");
+            return false;
+        }
+        pos_ += n;
+        return true;
+    }
+
+    JsonValue parseValue()
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return JsonValue();
+        }
+        char c = text_[pos_];
+        switch (c) {
+        case '{':
+            return parseObject();
+        case '[':
+            return parseArray();
+        case '"':
+            return parseString();
+        case 't': {
+            JsonValue v;
+            if (literal("true")) {
+                v.type_ = JsonValue::Type::Bool;
+                v.bool_ = true;
+            }
+            return v;
+        }
+        case 'f': {
+            JsonValue v;
+            if (literal("false")) {
+                v.type_ = JsonValue::Type::Bool;
+                v.bool_ = false;
+            }
+            return v;
+        }
+        case 'n': {
+            JsonValue v;
+            literal("null");
+            return v;
+        }
+        default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue parseObject()
+    {
+        JsonValue v;
+        v.type_ = JsonValue::Type::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (consume('}'))
+            return v;
+        while (!failed_) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                fail("expected object key string");
+                return v;
+            }
+            JsonValue key = parseString();
+            if (failed_)
+                return v;
+            skipWs();
+            if (!consume(':')) {
+                fail("expected ':' after object key");
+                return v;
+            }
+            JsonValue val = parseValue();
+            if (failed_)
+                return v;
+            v.obj_.emplace_back(key.str_, std::move(val));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return v;
+            fail("expected ',' or '}' in object");
+        }
+        return v;
+    }
+
+    JsonValue parseArray()
+    {
+        JsonValue v;
+        v.type_ = JsonValue::Type::Array;
+        ++pos_; // '['
+        skipWs();
+        if (consume(']'))
+            return v;
+        while (!failed_) {
+            JsonValue item = parseValue();
+            if (failed_)
+                return v;
+            v.arr_.push_back(std::move(item));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return v;
+            fail("expected ',' or ']' in array");
+        }
+        return v;
+    }
+
+    JsonValue parseString()
+    {
+        JsonValue v;
+        v.type_ = JsonValue::Type::String;
+        ++pos_; // opening quote
+        std::string out;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                v.str_ = std::move(out);
+                return v;
+            }
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    break;
+                char e = text_[pos_++];
+                switch (e) {
+                case '"':
+                    out += '"';
+                    break;
+                case '\\':
+                    out += '\\';
+                    break;
+                case '/':
+                    out += '/';
+                    break;
+                case 'b':
+                    out += '\b';
+                    break;
+                case 'f':
+                    out += '\f';
+                    break;
+                case 'n':
+                    out += '\n';
+                    break;
+                case 'r':
+                    out += '\r';
+                    break;
+                case 't':
+                    out += '\t';
+                    break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) {
+                        fail("truncated \\u escape");
+                        return v;
+                    }
+                    uint32_t cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = text_[pos_++];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9')
+                            cp |= static_cast<uint32_t>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= static_cast<uint32_t>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= static_cast<uint32_t>(h - 'A' + 10);
+                        else {
+                            fail("bad hex digit in \\u escape");
+                            return v;
+                        }
+                    }
+                    // UTF-8 encode the BMP code point (surrogate
+                    // pairs are passed through as two 3-byte
+                    // sequences; the repo's own exports are ASCII).
+                    if (cp < 0x80) {
+                        out += static_cast<char>(cp);
+                    } else if (cp < 0x800) {
+                        out += static_cast<char>(0xC0 | (cp >> 6));
+                        out +=
+                            static_cast<char>(0x80 | (cp & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (cp >> 12));
+                        out += static_cast<char>(
+                            0x80 | ((cp >> 6) & 0x3F));
+                        out +=
+                            static_cast<char>(0x80 | (cp & 0x3F));
+                    }
+                    break;
+                }
+                default:
+                    fail("unknown escape character");
+                    return v;
+                }
+                continue;
+            }
+            out += c;
+            ++pos_;
+        }
+        fail("unterminated string");
+        return v;
+    }
+
+    JsonValue parseNumber()
+    {
+        size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(
+                    text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        JsonValue v;
+        if (pos_ == start) {
+            fail("expected a value");
+            return v;
+        }
+        std::string tok = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        double d = std::strtod(tok.c_str(), &end);
+        if (end == tok.c_str() || *end != '\0' || !std::isfinite(d)) {
+            pos_ = start;
+            fail("malformed number");
+            return v;
+        }
+        v.type_ = JsonValue::Type::Number;
+        v.num_ = d;
+        return v;
+    }
+};
+
+JsonValue
+JsonValue::parse(const std::string &text, std::string *err)
+{
+    if (err)
+        err->clear();
+    return JsonParser(text, err).run();
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (type_ != Type::Bool)
+        fatal("JsonValue: asBool() on non-bool");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (type_ != Type::Number)
+        fatal("JsonValue: asNumber() on non-number");
+    return num_;
+}
+
+int64_t
+JsonValue::asInt() const
+{
+    return static_cast<int64_t>(asNumber());
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (type_ != Type::String)
+        fatal("JsonValue: asString() on non-string");
+    return str_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    if (type_ != Type::Array)
+        fatal("JsonValue: items() on non-array");
+    return arr_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    if (type_ != Type::Object)
+        fatal("JsonValue: members() on non-object");
+    return obj_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+double
+JsonValue::numberOr(const std::string &key, double fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isNumber() ? v->num_ : fallback;
+}
+
+std::string
+JsonValue::stringOr(const std::string &key,
+                    const std::string &fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isString() ? v->str_ : fallback;
+}
+
+} // namespace protean

@@ -13,6 +13,7 @@
 #include "support/bitvector.h"
 #include "support/bytebuffer.h"
 #include "support/compression.h"
+#include "support/json.h"
 #include "support/logging.h"
 #include "support/random.h"
 #include "support/stats.h"
@@ -442,6 +443,73 @@ TEST(Ewma, Reset)
     e.reset();
     EXPECT_FALSE(e.primed());
     EXPECT_EQ(e.value(), 0.0);
+}
+
+TEST(Json, ParsesScalarsAndStructure)
+{
+    std::string err;
+    JsonValue v = JsonValue::parse(
+        "{\"n\": -12.5, \"s\": \"hi\\nthere\", \"b\": true, "
+        "\"z\": null, \"a\": [1, 2, 3]}",
+        &err);
+    ASSERT_TRUE(v.isObject()) << err;
+    EXPECT_DOUBLE_EQ(v.find("n")->asNumber(), -12.5);
+    EXPECT_EQ(v.find("n")->asInt(), -12);
+    EXPECT_EQ(v.find("s")->asString(), "hi\nthere");
+    EXPECT_TRUE(v.find("b")->asBool());
+    EXPECT_TRUE(v.find("z")->isNull());
+    ASSERT_TRUE(v.find("a")->isArray());
+    ASSERT_EQ(v.find("a")->items().size(), 3u);
+    EXPECT_DOUBLE_EQ(v.find("a")->items()[2].asNumber(), 3.0);
+    EXPECT_EQ(v.find("missing"), nullptr);
+    EXPECT_DOUBLE_EQ(v.numberOr("n", 0.0), -12.5);
+    EXPECT_DOUBLE_EQ(v.numberOr("missing", 9.0), 9.0);
+    EXPECT_EQ(v.stringOr("s", ""), "hi\nthere");
+    EXPECT_EQ(v.stringOr("missing", "dflt"), "dflt");
+}
+
+TEST(Json, PreservesObjectMemberOrder)
+{
+    JsonValue v = JsonValue::parse("{\"z\": 1, \"a\": 2, \"m\": 3}");
+    ASSERT_TRUE(v.isObject());
+    ASSERT_EQ(v.members().size(), 3u);
+    EXPECT_EQ(v.members()[0].first, "z");
+    EXPECT_EQ(v.members()[1].first, "a");
+    EXPECT_EQ(v.members()[2].first, "m");
+}
+
+TEST(Json, ReportsErrorsWithOffsets)
+{
+    for (const char *bad :
+         {"", "{", "[1,]", "{\"a\" 1}", "tru", "\"unterminated",
+          "1 2", "{\"a\": 1e}"}) {
+        std::string err;
+        JsonValue v = JsonValue::parse(bad, &err);
+        EXPECT_TRUE(v.isNull()) << "accepted: " << bad;
+        EXPECT_FALSE(err.empty()) << "no message for: " << bad;
+        EXPECT_NE(err.find("at byte"), std::string::npos)
+            << "no byte offset in: " << err;
+    }
+}
+
+TEST(Json, RoundTripsTheRepoOwnExports)
+{
+    // The shape appendTrajectoryRun writes and bench/trajectory
+    // reads back.
+    std::string doc =
+        "{\n\"schema\": 1,\n\"benchmark\": \"perf_engine\",\n"
+        "\"runs\": [\n{\"run\": 0, \"git\": \"abc123def\", "
+        "\"label\": \"full\", \"metrics\": "
+        "{\"alu_speedup_1proc\": 3.155}, \"detail\": {}}\n]\n}\n";
+    std::string err;
+    JsonValue v = JsonValue::parse(doc, &err);
+    ASSERT_TRUE(v.isObject()) << err;
+    EXPECT_EQ(v.find("schema")->asInt(), 1);
+    const JsonValue &run = v.find("runs")->items().front();
+    EXPECT_EQ(run.stringOr("git", ""), "abc123def");
+    EXPECT_DOUBLE_EQ(
+        run.find("metrics")->numberOr("alu_speedup_1proc", 0.0),
+        3.155);
 }
 
 } // namespace
