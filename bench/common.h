@@ -50,6 +50,11 @@ struct ObsConfig
     /** Host-side worker threads for fleet-stepping benches
      *  (--parallel; results stay byte-identical to serial). */
     uint64_t parallel = 1;
+    /** Translation-validation install-gate mode for fleet benches
+     *  (--validate=off|ir|diff|paranoid; empty keeps each bench's
+     *  default). Kept as a string so common.h stays independent of
+     *  src/validate; benches parse it with validate::parseMode. */
+    std::string validateMode;
 };
 
 /**
@@ -139,6 +144,9 @@ class ArgParser
                 markSeen("parallel", seen);
                 cfg.parallel = std::strtoull(a.substr(11).c_str(),
                                              nullptr, 0);
+            } else if (a.rfind("--validate=", 0) == 0) {
+                markSeen("validate", seen);
+                cfg.validateMode = a.substr(11);
             } else if (a == "-v") {
                 setLogLevel(LogLevel::Debug);
             } else if (!parseExtra(a, seen)) {
@@ -162,6 +170,8 @@ class ArgParser
             "  --flamegraph=<path> write folded stacks for "
             "flamegraph.pl\n"
             "  --seed=<n>        root seed for stochastic models\n"
+            "  --validate=<mode> install-gate mode for fleet benches "
+            "(off|ir|diff|paranoid)\n"
             "  -v                debug logging";
         for (const Flag &f : flags_) {
             std::string spec = "--" + f.name +

@@ -30,9 +30,20 @@
  * silent; then each fault class runs alone and must raise its
  * matching burn-rate alert within a few windows of the first bad one.
  *
+ * The translation-validation section (DESIGN.md §12) runs the
+ * install gate against a miscompiling compiler: a clean run must
+ * show zero false rejects with tier-1 overhead under 5% of compile
+ * cycles, and every injected miscompile (dropped store, flipped NT
+ * bit, swapped operand) must be rejected before any shard or replica
+ * installs it — both conditions gate the exit code.
+ * `--validate-out=<path>` writes the per-mode summary as stable-key
+ * JSON (byte-identical serial vs --parallel, so CI diffs it), and
+ * the common `--validate=<mode>` flag picks the exported
+ * configuration's gate mode.
+ *
  * Flags (beyond the common set): --servers=<n>, --ms=<x> (simulated
  * run length), --mean-ms=<x> (request interarrival mean), --quick,
- * --telemetry=<path> and --slo.
+ * --telemetry=<path>, --validate-out=<path> and --slo.
  */
 
 #include "common.h"
@@ -165,6 +176,174 @@ addFleetSlos(fleet::TelemetryHub &hub, double flip_p99_threshold)
     hub.addSlo(spec("cache_integrity", "corrupt_rejects", 0));
     hub.addSlo(spec("pause_free", "server_pauses", 0));
     hub.addSlo(spec("flip_p99", "flip_p99", flip_p99_threshold));
+}
+
+// ------------------------------------------------------------------ //
+//            Translation-validation gate (DESIGN.md §12)             //
+// ------------------------------------------------------------------ //
+
+/** One run of the install-gate study: `inject` turns on the
+ *  miscompile stream (probability high enough that several of the
+ *  handful of distinct content keys draw one; the draw is a pure
+ *  hash, so the outcome is deterministic). */
+fleet::FleetStats
+runGate(uint32_t servers, double ms, double mean_ms, uint64_t seed,
+        validate::Mode mode, bool inject, uint32_t workers)
+{
+    fleet::FleetConfig cfg;
+    cfg.numServers = servers;
+    cfg.remoteBackend = true;
+    cfg.meanRequestMs = mean_ms;
+    cfg.seed = seed;
+    // The ladder is armed because a key whose every compile attempt
+    // miscompiles is failed by the gate and must degrade to a local
+    // compile rather than stall its waiters.
+    cfg.retry = ladder(true);
+    cfg.service.replication = 2;
+    cfg.validate.mode = mode;
+    if (inject)
+        cfg.faults.miscompileProb = 0.9;
+    cfg.parallelWorkers = workers;
+    fleet::FleetSim sim(cfg);
+    sim.run(ms);
+    return sim.stats();
+}
+
+/** Stats row for the gate table / JSON export. */
+struct GateRow
+{
+    std::string config;
+    validate::Mode mode;
+    fleet::ServiceStats st;
+    bool pass = true;
+};
+
+double
+validateOverhead(const fleet::ServiceStats &st)
+{
+    return st.compileCycles == 0 ? 0.0 :
+        static_cast<double>(st.validateCycles) /
+        static_cast<double>(st.compileCycles);
+}
+
+/** The §12 acceptance: zero false rejects on clean runs, tier-1
+ *  overhead under 5%, and every injected miscompile rejected at
+ *  install time — zero bad installs across the fleet. Returns false
+ *  if any gate condition fails. */
+bool
+runValidationGate(uint32_t servers, double ms, double mean_ms,
+                  uint64_t seed, uint32_t workers,
+                  const std::string &out_path,
+                  double *efficiency_out)
+{
+    bool ok = true;
+    std::vector<GateRow> rows;
+
+    // Clean traffic first: the gate must be invisible except for its
+    // (bounded) cycle cost.
+    {
+        GateRow r;
+        r.config = "clean";
+        r.mode = validate::Mode::Ir;
+        r.st = runGate(servers, ms, mean_ms, seed, r.mode, false,
+                       workers)
+                   .service;
+        if (r.st.validateFails != 0 || r.st.compiles == 0 ||
+            validateOverhead(r.st) >= 0.05)
+            r.pass = ok = false;
+        rows.push_back(r);
+    }
+
+    // Then a hostile compiler: every mode with the gate on must
+    // reject 100% of injected miscompiles before any install.
+    for (validate::Mode mode :
+         {validate::Mode::Off, validate::Mode::Ir,
+          validate::Mode::Diff, validate::Mode::Paranoid}) {
+        GateRow r;
+        r.config = "miscompiling";
+        r.mode = mode;
+        r.st = runGate(servers, ms, mean_ms, seed, mode, true,
+                       workers)
+                   .service;
+        if (mode != validate::Mode::Off &&
+            (r.st.miscompilesInjected == 0 ||
+             r.st.miscompilesInstalled != 0))
+            r.pass = ok = false;
+        rows.push_back(r);
+    }
+
+    TextTable t("Translation-validation install gate (DESIGN.md "
+                "§12): R=2, ladder armed");
+    t.setHeader({"Config", "Mode", "Compiles", "Injected", "Rejected",
+                 "Recompiles", "Escalated", "Bad installs",
+                 "Validate/compile", "Verdict"});
+    for (const GateRow &r : rows) {
+        bool off = r.mode == validate::Mode::Off;
+        t.addRow({r.config, validate::modeName(r.mode),
+                  fmtU64(r.st.compiles),
+                  off ? "?" : fmtU64(r.st.miscompilesInjected),
+                  off ? "-" : fmtU64(r.st.validateFails),
+                  off ? "-" : fmtU64(r.st.validateRecompiles),
+                  off ? "-" : fmtU64(r.st.validateEscalations),
+                  off ? "?" : fmtU64(r.st.miscompilesInstalled),
+                  off ? "-" :
+                        bench::fmtRatio(validateOverhead(r.st)),
+                  off ? "blind" : r.pass ? "PASS" : "FAIL"});
+    }
+    t.print();
+    std::printf("\nwith the gate off the service cannot even count "
+                "the bad builds it installs; any gated mode must "
+                "show zero bad installs and the clean run zero "
+                "false rejects (tier-1 overhead < 5%%)\n");
+
+    if (efficiency_out) {
+        // Host-independent trajectory ratio: useful compile cycles
+        // over total backend (compile + validation) cycles of the
+        // clean tier-1 run. 1.0 = a free gate.
+        const fleet::ServiceStats &clean = rows.front().st;
+        uint64_t total = clean.compileCycles + clean.validateCycles;
+        *efficiency_out = total == 0 ? 1.0 :
+            static_cast<double>(clean.compileCycles) /
+            static_cast<double>(total);
+    }
+
+    if (!out_path.empty()) {
+        // Stable-key JSON for the CI determinism byte-diff: rows in
+        // fixed order, keys alphabetical, no git stamp or host data.
+        std::string json = "{\n\"schema\": 1,\n\"rows\": [\n";
+        for (size_t i = 0; i < rows.size(); ++i) {
+            const GateRow &r = rows[i];
+            json += strformat(
+                "  {\"bad_installs\": %llu, \"compiles\": %llu, "
+                "\"config\": \"%s\", \"escalations\": %llu, "
+                "\"injected\": %llu, \"mode\": \"%s\", "
+                "\"recompiles\": %llu, \"rejected\": %llu, "
+                "\"validate_cycles\": %llu}%s\n",
+                static_cast<unsigned long long>(
+                    r.st.miscompilesInstalled),
+                static_cast<unsigned long long>(r.st.compiles),
+                r.config.c_str(),
+                static_cast<unsigned long long>(
+                    r.st.validateEscalations),
+                static_cast<unsigned long long>(
+                    r.st.miscompilesInjected),
+                validate::modeName(r.mode),
+                static_cast<unsigned long long>(
+                    r.st.validateRecompiles),
+                static_cast<unsigned long long>(r.st.validateFails),
+                static_cast<unsigned long long>(r.st.validateCycles),
+                i + 1 < rows.size() ? "," : "");
+        }
+        json += "]\n}\n";
+        std::FILE *f = std::fopen(out_path.c_str(), "w");
+        if (!f)
+            fatal("cannot open %s for writing", out_path.c_str());
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("wrote validation summary to %s\n",
+                    out_path.c_str());
+    }
+    return ok;
 }
 
 /** Alerts must raise within this many windows of the first bad one. */
@@ -354,6 +533,7 @@ main(int argc, char **argv)
     bool slo_mode = false;
     std::string telemetry_path;
     std::string bench_out;
+    std::string validate_out;
     bench::ArgParser parser;
     parser.addFlag("servers", &servers, "fleet size (default 8)");
     parser.addFlag("ms", &ms, "simulated run length per config");
@@ -364,6 +544,8 @@ main(int argc, char **argv)
                    "write the telemetry plane (windows/SLOs) as JSON");
     parser.addFlag("bench-out", &bench_out,
                    "append a git-stamped trajectory run");
+    parser.addFlag("validate-out", &validate_out,
+                   "write the validation-gate summary as stable JSON");
     parser.addSwitch("slo", &slo_mode,
                      "run the SLO alerting acceptance harness");
     bench::ObsConfig obs_cfg = parser.parse(argc, argv);
@@ -372,6 +554,11 @@ main(int argc, char **argv)
         ms = 150.0;
     }
     uint32_t workers = static_cast<uint32_t>(obs_cfg.parallel);
+    // Parsed up front so a typo fails before any simulation runs;
+    // picks the exported telemetry configuration's gate mode.
+    validate::Mode export_mode = fleet::FleetConfig{}.validate.mode;
+    if (!obs_cfg.validateMode.empty())
+        export_mode = validate::parseMode(obs_cfg.validateMode);
 
     if (slo_mode) {
         bool ok = runSloAcceptance(static_cast<uint32_t>(servers), ms,
@@ -470,13 +657,25 @@ main(int argc, char **argv)
                     "absorb crash losses\n");
     }
 
+    // Translation-validation gate study: clean traffic must sail
+    // through (zero false rejects, <5% tier-1 overhead), injected
+    // miscompiles must all be rejected before any install.
+    std::printf("\n");
+    double validate_efficiency = 1.0;
+    if (!runValidationGate(static_cast<uint32_t>(servers), ms,
+                           mean_ms, obs_cfg.seed, workers,
+                           validate_out, &validate_efficiency))
+        gate_failed = true;
+
     // The exported configuration: moderate faults, R=2, full ladder,
     // telemetry plane on. CI re-runs this twice (serial and
     // --parallel=2) and byte-diffs the files — fault injection and
-    // the scrape plane must not break determinism.
+    // the scrape plane must not break determinism. The common
+    // --validate flag picks its install-gate mode (default tier 1).
     fleet::FleetConfig ecfg = telemetryFleetConfig(
         static_cast<uint32_t>(servers), mean_ms, obs_cfg.seed,
         faultsAt(1.0), ladder(true), 2, workers);
+    ecfg.validate.mode = export_mode;
     ecfg.telemetry.profiling = true;
     fleet::FleetSim esim(ecfg);
     esim.run(ms);
@@ -546,6 +745,10 @@ main(int argc, char **argv)
                 hub.fleetProfile().totalSamples());
             metrics["flip_records"] = static_cast<double>(
                 hub.scoreboard().totalFlips());
+            // Useful-compile fraction of the clean gated run (see
+            // runValidationGate); host-independent like every other
+            // trajectory ratio.
+            metrics["validate_efficiency"] = validate_efficiency;
             uint64_t run = bench::appendTrajectoryRun(
                 bench_out, "fleet_faults",
                 quick ? "quick" : "full", metrics,

@@ -19,7 +19,10 @@
  *
  * Flags (beyond the common set): --servers=<n>, --ms=<x> (simulated
  * run length), --mean-ms=<x> (per-server request interarrival mean)
- * and --quick (tiny CI configuration).
+ * and --quick (tiny CI configuration). The common `--validate=<mode>`
+ * flag selects the install-gate tier every fleet run pays (default:
+ * the FleetConfig default, tier-1 structural); a gate summary line
+ * follows the part-1 table when the gate is on.
  */
 
 #include "common.h"
@@ -30,6 +33,10 @@
 using namespace protean;
 
 namespace {
+
+/** Install-gate mode every fleet run in this bench uses (set once
+ *  from --validate; the FleetConfig default otherwise). */
+validate::Mode g_validate = fleet::FleetConfig{}.validate.mode;
 
 fleet::FleetStats
 runFleet(uint32_t servers, bool remote, double ms, double mean_ms,
@@ -43,6 +50,7 @@ runFleet(uint32_t servers, bool remote, double ms, double mean_ms,
     cfg.seed = seed;
     cfg.service = svc;
     cfg.parallelWorkers = workers;
+    cfg.validate.mode = g_validate;
     fleet::FleetSim sim(cfg);
     sim.run(ms);
     if (export_obs)
@@ -70,6 +78,8 @@ main(int argc, char **argv)
         servers = 4;
         ms = 120.0;
     }
+    if (!obs_cfg.validateMode.empty())
+        g_validate = validate::parseMode(obs_cfg.validateMode);
 
     fleet::ServiceConfig svc;
 
@@ -119,6 +129,22 @@ main(int argc, char **argv)
                         remote.service.requests),
                     static_cast<unsigned long long>(
                         remote.service.coalesced));
+        if (g_validate != validate::Mode::Off) {
+            double ovh = remote.service.compileCycles == 0 ? 0.0 :
+                static_cast<double>(remote.service.validateCycles) /
+                static_cast<double>(remote.service.compileCycles);
+            std::printf("install gate (%s): %llu validated, %llu "
+                        "rejected, %llu escalated, overhead %.2f%% "
+                        "of compile cycles\n",
+                        validate::modeName(g_validate),
+                        static_cast<unsigned long long>(
+                            remote.service.validatePasses),
+                        static_cast<unsigned long long>(
+                            remote.service.validateFails),
+                        static_cast<unsigned long long>(
+                            remote.service.validateEscalations),
+                        ovh * 100.0);
+        }
     }
 
     if (!quick) {
@@ -170,6 +196,7 @@ main(int argc, char **argv)
         cfg.seed = obs_cfg.seed;
         cfg.service = svc;
         cfg.parallelWorkers = static_cast<uint32_t>(obs_cfg.parallel);
+        cfg.validate.mode = g_validate;
         cfg.telemetry.enabled = true;
         cfg.telemetry.profiling = true;
         fleet::FleetSim sim(cfg);

@@ -462,6 +462,18 @@ main(int argc, char **argv)
         metrics["obs_off_overhead_fraction"] = obs_overhead;
         metrics["profiler_off_overhead_fraction"] =
             profiler_overhead;
+        // Install-gate cost of the serial fleet run, as a ratio of
+        // simulated cycles: host-speed independent, so the
+        // trajectory checker can flag a validator that gets
+        // expensive relative to the compiles it guards.
+        if (!fleet_runs.empty()) {
+            const fleet::ServiceStats &fsvc =
+                fleet_runs.front().stats.service;
+            metrics["validate_overhead_fraction"] =
+                fsvc.compileCycles == 0 ? 0.0 :
+                static_cast<double>(fsvc.validateCycles) /
+                static_cast<double>(fsvc.compileCycles);
+        }
 
         std::string detail = strformat(
             "{\"sim_ms\": %g, \"fleet_ms\": %g, \"servers\": %llu, "

@@ -16,21 +16,40 @@ constexpr uint64_t kTagRespCorrupt = 0xc027;
 constexpr uint64_t kTagCacheCorrupt = 0xcac4;
 constexpr uint64_t kTagPause = 0x9a05;
 constexpr uint64_t kTagShardStream = 0x54a2;
+constexpr uint64_t kTagMiscompile = 0xbadc;
+constexpr uint64_t kTagMiscompileShape = 0x5a9e;
 
 } // namespace
+
+const char *
+miscompileKindName(MiscompileKind k)
+{
+    switch (k) {
+      case MiscompileKind::DroppedStore: return "dropped-store";
+      case MiscompileKind::FlippedNtBit: return "flipped-nt-bit";
+      case MiscompileKind::SwappedOperand: return "swapped-operand";
+    }
+    return "?";
+}
 
 FaultPlan::FaultPlan(const FaultConfig &cfg)
     : cfg_(cfg), enabled_(cfg.anyEnabled())
 {
 }
 
-double
-FaultPlan::hash01(uint64_t tag, uint64_t a, uint64_t b) const
+uint64_t
+FaultPlan::hashBits(uint64_t tag, uint64_t a, uint64_t b) const
 {
     uint64_t h = mix64(cfg_.seed ^ mix64(tag));
     h = mix64(h ^ mix64(a));
-    h = mix64(h ^ mix64(b));
-    return static_cast<double>(h >> 11) * 0x1.0p-53;
+    return mix64(h ^ mix64(b));
+}
+
+double
+FaultPlan::hash01(uint64_t tag, uint64_t a, uint64_t b) const
+{
+    return static_cast<double>(hashBits(tag, a, b) >> 11) *
+        0x1.0p-53;
 }
 
 FaultPlan::ShardSchedule &
@@ -142,6 +161,36 @@ FaultPlan::corruptCachedEntry(uint64_t key, uint64_t cycle) const
 {
     return cfg_.cacheCorruptProb > 0.0 &&
         hash01(kTagCacheCorrupt, key, cycle) < cfg_.cacheCorruptProb;
+}
+
+void
+FaultPlan::addMiscompile(uint64_t key, uint32_t attempt,
+                         const MiscompileSpec &spec)
+{
+    scriptedMiscompiles_[{key, attempt}] = spec;
+    enabled_ = true;
+}
+
+bool
+FaultPlan::miscompile(uint64_t key, uint32_t attempt,
+                      MiscompileSpec *out) const
+{
+    auto it = scriptedMiscompiles_.find({key, attempt});
+    if (it != scriptedMiscompiles_.end()) {
+        if (out)
+            *out = it->second;
+        return true;
+    }
+    if (cfg_.miscompileProb <= 0.0 ||
+        hash01(kTagMiscompile, key, attempt) >= cfg_.miscompileProb)
+        return false;
+    if (out) {
+        uint64_t shape = hashBits(kTagMiscompileShape, key, attempt);
+        out->kind = static_cast<MiscompileKind>(
+            shape % kNumMiscompileKinds);
+        out->siteSeed = shape >> 8;
+    }
+    return true;
 }
 
 uint64_t

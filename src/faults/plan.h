@@ -31,6 +31,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "support/random.h"
@@ -74,12 +75,20 @@ struct FaultConfig
     /** ...for this many cycles. */
     uint64_t serverPauseCycles = 10000;
 
+    /** Probability a service-side compile emerges *miscompiled*
+     *  (a seeded semantic mutation of the variant's instruction
+     *  stream — see validate::applyMiscompile). Checksums cannot
+     *  catch these; only the translation-validation install gate
+     *  does (DESIGN.md §12). */
+    double miscompileProb = 0.0;
+
     /** True when any fault rate is non-zero. */
     bool anyEnabled() const
     {
         return shardCrashMeanCycles > 0.0 || requestDropProb > 0.0 ||
             requestDelayProb > 0.0 || responseCorruptProb > 0.0 ||
-            cacheCorruptProb > 0.0 || serverPauseProb > 0.0;
+            cacheCorruptProb > 0.0 || serverPauseProb > 0.0 ||
+            miscompileProb > 0.0;
     }
 };
 
@@ -88,6 +97,33 @@ struct ShardOutage
 {
     uint64_t at = 0;
     uint64_t until = 0;
+};
+
+/** The classes of compiler bug the miscompile stream injects. Each
+ *  mutates the produced instruction stream in a way a byte checksum
+ *  is blind to (the bytes are self-consistent — just wrong). */
+enum class MiscompileKind : uint8_t {
+    /** A store silently becomes a no-op (dead-store elimination gone
+     *  wrong). */
+    DroppedStore,
+    /** A load's non-temporal bit disagrees with the requested mask
+     *  (the NT transform itself misapplied). */
+    FlippedNtBit,
+    /** A non-commutative operation's sources swapped (operand-order
+     *  bug). */
+    SwappedOperand,
+};
+
+constexpr uint32_t kNumMiscompileKinds = 3;
+
+const char *miscompileKindName(MiscompileKind k);
+
+/** One injected miscompile: what kind of mutation, and a seed that
+ *  picks the mutation site among the eligible instructions. */
+struct MiscompileSpec
+{
+    MiscompileKind kind = MiscompileKind::DroppedStore;
+    uint64_t siteSeed = 0;
 };
 
 /**
@@ -118,6 +154,14 @@ class FaultPlan
      * only if the crash stream is disabled (shardCrashMeanCycles 0).
      */
     void addShardOutage(uint32_t shard, uint64_t at, uint64_t until);
+
+    /**
+     * Script a miscompile for one (content key, compile attempt)
+     * pair (tests, targeted experiments). Scripted entries win over
+     * the probabilistic stream for their exact pair.
+     */
+    void addMiscompile(uint64_t key, uint32_t attempt,
+                       const MiscompileSpec &spec);
 
     // ----- coordinator-only schedule access -----
 
@@ -151,6 +195,18 @@ class FaultPlan
     uint64_t serverPauseCycles(uint32_t server,
                                uint64_t quantum_start) const;
 
+    /**
+     * Does the compile of `key` on `attempt` (0 = the first try;
+     * validate-gate recompiles bump it) come out miscompiled? When
+     * true and `out` is non-null, *out receives the seeded mutation
+     * to apply. Scripted pairs (addMiscompile) take precedence; the
+     * probabilistic stream draws kind and site purely from
+     * (seed, key, attempt), so serial and parallel runs inject the
+     * identical bug in the identical build.
+     */
+    bool miscompile(uint64_t key, uint32_t attempt,
+                    MiscompileSpec *out = nullptr) const;
+
   private:
     struct ShardSchedule
     {
@@ -168,11 +224,16 @@ class FaultPlan
     FaultConfig cfg_;
     bool enabled_ = false;
     std::map<uint32_t, ShardSchedule> shards_;
+    /** Scripted miscompiles keyed by (content key, attempt). */
+    std::map<std::pair<uint64_t, uint32_t>, MiscompileSpec>
+        scriptedMiscompiles_;
 
     ShardSchedule &sched(uint32_t shard);
     void extend(ShardSchedule &s, uint64_t up_to);
     /** Uniform [0,1) from a pure hash of (seed, tag, a, b). */
     double hash01(uint64_t tag, uint64_t a, uint64_t b) const;
+    /** Raw 64-bit pure hash of (seed, tag, a, b). */
+    uint64_t hashBits(uint64_t tag, uint64_t a, uint64_t b) const;
 };
 
 } // namespace faults

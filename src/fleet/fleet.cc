@@ -37,6 +37,16 @@ FleetSim::FleetSim(const FleetConfig &cfg)
         cluster_.setFaultPlan(plan_.get());
     }
     buildCatalog();
+    if (cfg_.validate.mode != validate::Mode::Off &&
+        cfg_.remoteBackend) {
+        // The install gate. It re-derives candidates under the same
+        // module/image/slots every server lowers with, so the
+        // structural tier's reference is exactly what a correct
+        // backend must produce.
+        validator_ = std::make_unique<validate::Validator>(
+            module_, image_, slots_, cfg_.validate);
+        svc_.setValidator(validator_.get());
+    }
 
     // One seed stream forked per server, in server order, so every
     // server's arrival process is independent yet the whole fleet is
@@ -103,8 +113,9 @@ FleetSim::buildCatalog()
     // (running the same binary) would derive the same one — which is
     // why requests collide fleet-wide and the service's content
     // addressing pays off.
-    codegen::VirtualizationMap slots = pcc::chooseVirtualizedCallees(
+    slots_ = pcc::chooseVirtualizedCallees(
         module_, pcc::EdgePolicy::MultiBlockCallees);
+    const codegen::VirtualizationMap &slots = slots_;
     std::vector<ir::FuncId> funcs;
     funcs.reserve(slots.size());
     for (const auto &[f, slot] : slots) {

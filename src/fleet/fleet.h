@@ -32,6 +32,7 @@
 #include "runtime/runtime.h"
 #include "sim/machine.h"
 #include "support/random.h"
+#include "validate/validator.h"
 
 namespace protean {
 namespace fleet {
@@ -70,6 +71,10 @@ struct FleetConfig
     RetryPolicy retry;
     /** Telemetry plane (enabled=false: no hub, no scrape cost). */
     TelemetryConfig telemetry;
+    /** Translation-validation install gate (DESIGN.md §12). The
+     *  default Ir mode keeps the cheap structural tier always on;
+     *  mode=Off builds no validator (the pre-§12 service). */
+    validate::ValidateConfig validate;
     sim::MachineConfig machine;
 };
 
@@ -139,6 +144,12 @@ class FleetSim
     /** The attached fault plan (nullptr when cfg.faults is benign). */
     faults::FaultPlan *faultPlan() { return plan_.get(); }
 
+    /** The install gate (nullptr when cfg.validate.mode is Off). */
+    const validate::Validator *validator() const
+    {
+        return validator_.get();
+    }
+
     /** The telemetry hub (nullptr when cfg.telemetry.enabled is
      *  false). Non-const so callers can addSlo() before run() and
      *  flush()/export after. */
@@ -187,6 +198,11 @@ class FleetSim
     std::unique_ptr<faults::FaultPlan> plan_;
     CompileService svc_;
     Cluster cluster_;
+    /** Virtualization map the whole fleet lowers under (also what
+     *  the validator re-derives candidates with). */
+    codegen::VirtualizationMap slots_;
+    /** Owned install gate; must outlive svc_. */
+    std::unique_ptr<validate::Validator> validator_;
     std::unique_ptr<TelemetryHub> hub_;
     std::vector<Directive> catalog_;
     std::vector<std::unique_ptr<Server>> servers_;

@@ -5,6 +5,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/logging.h"
+#include "validate/validator.h"
 
 namespace protean {
 namespace fleet {
@@ -22,6 +23,12 @@ void
 CompileService::setFaultPlan(faults::FaultPlan *plan)
 {
     plan_ = plan;
+}
+
+void
+CompileService::setValidator(const validate::Validator *v)
+{
+    validator_ = v;
 }
 
 uint32_t
@@ -344,28 +351,141 @@ CompileService::installCompletions(uint32_t s, Shard &sh,
         sh.completions.erase(it);
         for (uint64_t key : keys) {
             auto inflight = sh.inflight.find(key);
-            uint64_t bytes = inflight == sh.inflight.end() ?
-                0 : inflight->second.second;
+            bool known = inflight != sh.inflight.end();
+            uint64_t bytes = known ? inflight->second.bytes : 0;
+            runtime::CompileJob job;
+            uint32_t attempt = 0;
+            if (known) {
+                job = std::move(inflight->second.job);
+                attempt = inflight->second.attempt;
+            }
             sh.inflight.erase(key);
-            installKey(s, sh, key, bytes, done);
+
+            // Translation-validation install gate (DESIGN.md §12):
+            // the finished build must be *proved* equivalent to its
+            // request before any shard caches it or any waiter gets
+            // it. The fault plan decides — purely from
+            // (seed, key, attempt) — whether this build emerged
+            // miscompiled; the validator re-derives the candidate,
+            // applies that mutation, and judges it. Validation
+            // cycles extend the shard backend like compile cycles.
+            uint64_t install_at = done;
+            if (validator_ && known) {
+                faults::MiscompileSpec spec;
+                const faults::MiscompileSpec *inject =
+                    plan_ && plan_->miscompile(key, attempt, &spec) ?
+                    &spec : nullptr;
+                validate::Verdict v =
+                    validator_->validate(job, inject);
+                install_at = done + v.cycles;
+                sh.backendFree =
+                    std::max(sh.backendFree, install_at);
+                stats_.validateCycles += v.cycles;
+                obs::metrics().counter("fleet.validate.cycles")
+                    .inc(v.cycles);
+                if (v.escalated) {
+                    ++stats_.validateEscalations;
+                    obs::metrics()
+                        .counter("fleet.validate.escalate")
+                        .inc();
+                }
+                if (v.injectedApplied) {
+                    ++stats_.miscompilesInjected;
+                    obs::metrics()
+                        .counter("fleet.validate.miscompile_injected")
+                        .inc();
+                }
+                if (!v.pass) {
+                    ++stats_.validateFails;
+                    obs::metrics().counter("fleet.validate.fail")
+                        .inc();
+                    if (obs::tracer().enabled()) {
+                        obs::tracer().instant(
+                            strformat("fleet.shard%u", s),
+                            "validate reject",
+                            strformat(
+                                "\"key\":%llu,\"tier\":%u,"
+                                "\"reason\":\"%s\"",
+                                static_cast<unsigned long long>(key),
+                                v.tier, v.reason.c_str()));
+                    }
+                    if (attempt + 1 >= kMaxCompileAttempts) {
+                        // Give up on this key: answer the waiters
+                        // with explicit failures so clients retry
+                        // or fall back to a local compile.
+                        auto ws = sh.waiters.find(key);
+                        if (ws != sh.waiters.end()) {
+                            std::vector<Waiter> waiters =
+                                std::move(ws->second);
+                            sh.waiters.erase(ws);
+                            for (Waiter &w : waiters)
+                                failRequest(w.req, install_at,
+                                            "validate reject");
+                        }
+                    } else {
+                        // Reject-and-recompile: the bad build is
+                        // discarded, a fresh attempt queues on the
+                        // same serial backend, and the waiters stay
+                        // registered for its completion.
+                        ++stats_.validateRecompiles;
+                        uint64_t start =
+                            std::max(install_at, sh.backendFree);
+                        uint64_t redone = start + job.costCycles;
+                        sh.backendFree = redone;
+                        sh.compileCycles += job.costCycles;
+                        ++stats_.compiles;
+                        stats_.compileCycles += job.costCycles;
+                        obs::metrics()
+                            .counter("fleet.service.compiles")
+                            .inc();
+                        obs::metrics()
+                            .counter("fleet.service.compile_cycles")
+                            .inc(job.costCycles);
+                        obs::metrics()
+                            .histogram(
+                                "fleet.service.compile_cycles_hist")
+                            .observe(static_cast<double>(
+                                job.costCycles));
+                        sh.completions[redone].push_back(key);
+                        sh.inflight[key] = Shard::Inflight{
+                            redone, bytes, std::move(job),
+                            attempt + 1};
+                    }
+                    continue;
+                }
+                ++stats_.validatePasses;
+                obs::metrics().counter("fleet.validate.pass").inc();
+                if (v.injectedApplied) {
+                    // The gate passed a build the plan says was
+                    // miscompiled: a bad install. bench/fleet_faults
+                    // gates on this staying zero.
+                    ++stats_.miscompilesInstalled;
+                    obs::metrics()
+                        .counter(
+                            "fleet.validate.miscompile_installed")
+                        .inc();
+                }
+            }
+
+            installKey(s, sh, key, bytes, install_at);
 
             // Replication: mirror the fresh variant onto the other
             // live members of the key's replica set so a
             // single-shard crash loses no unique work. Skipped when
-            // the target is down at `done` or crashed after the
-            // install would have landed (the copy would have been
-            // wiped anyway — same final state, any processing
+            // the target is down at install time or crashed after
+            // the install would have landed (the copy would have
+            // been wiped anyway — same final state, any processing
             // order).
             for (uint32_t t : replicaSet(key)) {
                 if (t == s)
                     continue;
                 Shard &tsh = shards_[t];
-                if ((plan_ && plan_->shardDownAt(t, done)) ||
-                    tsh.downUntil > done)
+                if ((plan_ && plan_->shardDownAt(t, install_at)) ||
+                    tsh.downUntil > install_at)
                     continue;
                 if (tsh.index.count(key))
                     continue;
-                installKey(t, tsh, key, bytes, done);
+                installKey(t, tsh, key, bytes, install_at);
                 ++stats_.replicaInstalls;
                 obs::metrics()
                     .counter("fleet.service.replica_installs")
@@ -382,7 +502,7 @@ CompileService::installCompletions(uint32_t s, Shard &sh,
             sh.waiters.erase(ws);
             for (Waiter &w : waiters) {
                 uint64_t ship = w.req.job.codeBytes;
-                uint64_t ready = done +
+                uint64_t ready = install_at +
                     cfg_.net.responseLatencyCycles +
                     cfg_.net.transferCycles(ship);
                 runtime::CompileOutcome out;
@@ -509,6 +629,7 @@ CompileService::resolveBatch(uint32_t s, Shard &sh, uint64_t close)
                               r.job.traceId)));
         }
 
+        bool corrupt_reject = false;
         auto hit = sh.index.find(key);
         if (hit != sh.index.end() && hit->second->corrupt) {
             // Checksum verification: the cached variant is
@@ -528,6 +649,7 @@ CompileService::resolveBatch(uint32_t s, Shard &sh, uint64_t close)
             sh.lru.erase(hit->second);
             sh.index.erase(hit);
             hit = sh.index.end();
+            corrupt_reject = true;
         }
         auto inflight = sh.inflight.find(key);
         if (hit != sh.index.end()) {
@@ -560,13 +682,24 @@ CompileService::resolveBatch(uint32_t s, Shard &sh, uint64_t close)
                                       sh.backendFree);
             uint64_t done = start + r.job.costCycles;
             sh.backendFree = done;
-            sh.inflight[key] = {done, r.job.codeBytes};
+            sh.inflight[key] =
+                Shard::Inflight{done, r.job.codeBytes, r.job, 0};
             sh.completions[done].push_back(key);
             sh.compileCycles += r.job.costCycles;
-            ++stats_.misses;
             ++stats_.compiles;
             stats_.compileCycles += r.job.costCycles;
-            obs::metrics().counter("fleet.service.misses").inc();
+            if (corrupt_reject) {
+                // Not a miss: the key *was* cached, its payload was
+                // just corrupt at rest. Accounted separately so the
+                // hit rate reflects cache coverage, not disk rot.
+                ++stats_.corruptRecompiles;
+                obs::metrics()
+                    .counter("fleet.cache.corrupt_reject")
+                    .inc();
+            } else {
+                ++stats_.misses;
+                obs::metrics().counter("fleet.service.misses").inc();
+            }
             obs::metrics().counter("fleet.service.compiles").inc();
             obs::metrics().counter("fleet.service.compile_cycles")
                 .inc(r.job.costCycles);

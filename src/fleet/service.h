@@ -47,6 +47,10 @@
 #include "runtime/compiler.h"
 
 namespace protean {
+namespace validate {
+class Validator;
+} // namespace validate
+
 namespace fleet {
 
 /** Client <-> service network cost model, in cycles. */
@@ -128,12 +132,34 @@ struct ServiceStats
     uint64_t crashes = 0;
     /** Cached variants wiped by crashes. */
     uint64_t lostEntries = 0;
+    /** Recompiles started because a checksum-rejected cache entry
+     *  had to be replaced (split out of `misses`: the key *was*
+     *  known, the payload was just bad at rest). */
+    uint64_t corruptRecompiles = 0;
+    // ----- translation-validation install gate (DESIGN.md §12) ----
+    /** Variants the gate proved equivalent and installed. */
+    uint64_t validatePasses = 0;
+    /** Variants the gate refuted (never installed anywhere). */
+    uint64_t validateFails = 0;
+    /** Verdicts that needed tier-2 differential execution. */
+    uint64_t validateEscalations = 0;
+    /** Modeled validation cycles, charged to shard backends. */
+    uint64_t validateCycles = 0;
+    /** Recompiles started after a validate reject. */
+    uint64_t validateRecompiles = 0;
+    /** Injected miscompiles that actually mutated a build. */
+    uint64_t miscompilesInjected = 0;
+    /** Injected miscompiles the gate *missed* (bad installs — the
+     *  number bench/fleet_faults requires to be zero). */
+    uint64_t miscompilesInstalled = 0;
 
     /** Hit fraction of classified requests (hits + coalesced count
-     *  as served-without-compile). */
+     *  as served-without-compile; corrupt-rejected hits count as
+     *  classified non-hits). */
     double hitRateOf() const
     {
-        uint64_t classified = hits + misses + coalesced;
+        uint64_t classified = hits + misses + coalesced +
+            corruptRejects;
         if (classified == 0)
             return 0.0;
         return static_cast<double>(hits + coalesced) /
@@ -172,6 +198,18 @@ class CompileService
      * (clusters share the plan's pure decisions only).
      */
     void setFaultPlan(faults::FaultPlan *plan);
+
+    /**
+     * Attach the translation-validation install gate (nullptr =
+     * ungated, the pre-§12 behavior). When set, every completed
+     * compile is validated *before* it installs or answers waiters:
+     * a refuted variant is discarded and recompiled (bounded
+     * attempts), and validation cycles extend the shard backend like
+     * compile cycles. The validator must outlive the service; it is
+     * only consulted inside advance() on the coordinator, and its
+     * verdicts are pure, so parallel stepping stays byte-identical.
+     */
+    void setValidator(const validate::Validator *v);
 
     /**
      * Submit a compile request.
@@ -280,9 +318,19 @@ class CompileService
             index;
         /** Arrival-ordered requests not yet in a closed batch. */
         std::deque<Request> queue;
-        /** In-flight compiles: key -> (completion cycle, bytes). */
-        std::unordered_map<uint64_t, std::pair<uint64_t, uint64_t>>
-            inflight;
+        /** One in-flight compile: when it finishes, what it ships,
+         *  and what was asked for (the job is what the install gate
+         *  validates; attempt feeds the miscompile stream and bounds
+         *  reject-and-recompile loops). */
+        struct Inflight
+        {
+            uint64_t done = 0;
+            uint64_t bytes = 0;
+            runtime::CompileJob job;
+            uint32_t attempt = 0;
+        };
+        /** In-flight compiles by content key. */
+        std::unordered_map<uint64_t, Inflight> inflight;
         /** Completion cycle -> keys finishing then (install order). */
         std::map<uint64_t, std::vector<uint64_t>> completions;
         /** Requests answered when their key's compile completes. */
@@ -302,6 +350,10 @@ class CompileService
     uint64_t seq_ = 0;
     ServiceStats stats_;
     faults::FaultPlan *plan_ = nullptr;
+    const validate::Validator *validator_ = nullptr;
+    /** Compile attempts per key before the gate gives up and fails
+     *  the waiters (clients retry or fall back locally). */
+    static constexpr uint32_t kMaxCompileAttempts = 4;
     /** Deferred-submission staging (parallel quanta). */
     bool defer_ = false;
     std::mutex deferMu_;

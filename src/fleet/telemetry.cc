@@ -45,6 +45,11 @@ FleetWindow::fields() const
     f["server_pauses"] = static_cast<double>(serverPauses);
     f["stranded"] = static_cast<double>(stranded);
     f["timeouts"] = static_cast<double>(timeouts);
+    f["validate_cycles"] = static_cast<double>(validateCycles);
+    f["validate_escalate"] =
+        static_cast<double>(validateEscalations);
+    f["validate_fail"] = static_cast<double>(validateFails);
+    f["validate_pass"] = static_cast<double>(validatePasses);
     return f;
 }
 
@@ -107,7 +112,17 @@ TelemetryHub::closeWindow(uint64_t cycle)
         s.corruptRejects - prevService_.corruptRejects;
     w.corruptResponses =
         s.corruptResponses - prevService_.corruptResponses;
-    uint64_t classified = w.hits + w.misses + w.coalesced;
+    w.validatePasses =
+        s.validatePasses - prevService_.validatePasses;
+    w.validateFails = s.validateFails - prevService_.validateFails;
+    w.validateEscalations =
+        s.validateEscalations - prevService_.validateEscalations;
+    w.validateCycles =
+        s.validateCycles - prevService_.validateCycles;
+    // Corrupt-rejected hits are classified non-hits: the key was
+    // known but its payload could not be served.
+    uint64_t classified =
+        w.hits + w.misses + w.coalesced + w.corruptRejects;
     w.hitRate = classified == 0 ?
         0.0 :
         static_cast<double>(w.hits + w.coalesced) /

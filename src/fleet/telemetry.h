@@ -95,6 +95,11 @@ struct FleetWindow
     uint64_t replicaRoutes = 0;
     uint64_t corruptRejects = 0;
     uint64_t corruptResponses = 0;
+    // ----- install-gate deltas (DESIGN.md §12) -----
+    uint64_t validatePasses = 0;
+    uint64_t validateFails = 0;
+    uint64_t validateEscalations = 0;
+    uint64_t validateCycles = 0;
 
     // ----- client deltas (summed over servers) -----
     uint64_t timeouts = 0;

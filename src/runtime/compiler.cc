@@ -167,6 +167,7 @@ RuntimeCompiler::requestVariant(ir::FuncId func, const BitVector &mask,
     job.costCycles = cost_.cost(fn);
     job.codeBytes = fn.instructionCount() * sizeof(isa::MInst);
     job.name = fn.name();
+    job.ntMask = mask;
 
     backend_->compile(
         job,

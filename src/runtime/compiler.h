@@ -70,6 +70,13 @@ struct CompileJob
     uint64_t traceId = 0;
     /** Function name (spans and debugging). */
     std::string name;
+    /**
+     * The module-wide NT mask the variant was requested under.
+     * Carried so a service-side install gate (validate::Validator)
+     * can re-derive what a correct backend must have produced for
+     * this contentKey.
+     */
+    BitVector ntMask;
 };
 
 /** What a backend resolved a job to. */
