@@ -33,11 +33,18 @@
  * rather than overwriting, so the file accumulates a perf history
  * that bench/trajectory gates on. `--min-speedup=<x>` still exits
  * nonzero when the single-proc ALU batch/step ratio falls below x,
- * which is how CI keeps the fast path honest.
+ * which is how CI keeps the fast path honest. The multi-proc and
+ * fleet gates (`--min-speedup-2proc`, `--min-fleet-speedup`) only
+ * bind when the host reports >= 2 hardware threads — on a 1-thread
+ * container the parallel fleet legitimately clamps to serial, so
+ * those gates print a skip notice instead. `hw_threads` rides along
+ * as a metric (and per case in detail) so the trajectory checker can
+ * compare host-dependent metrics like-for-like (--match=hw_threads).
  *
  * Flags (beyond the common set): --ms=<x> (simulated run length,
  * single machine), --fleet-ms=<x>, --servers=<n>, --out=<path>,
- * --min-speedup=<x> and --quick.
+ * --min-speedup=<x>, --min-speedup-2proc=<x>, --min-fleet-speedup=<x>
+ * and --quick.
  */
 
 #include "common.h"
@@ -90,6 +97,11 @@ struct SingleResult
     double wallSec = 0.0;
     uint64_t instructions = 0;
     uint64_t branches = 0;
+    /** Decoded-superblock dispatch totals over all cores. Zero for
+     *  the Step engine (which never dispatches superblocks); a pure
+     *  function of the simulation, so host-independent. */
+    uint64_t sbHits = 0;
+    uint64_t sbMisses = 0;
 
     double ips() const
     {
@@ -115,6 +127,8 @@ runSingle(sim::Engine engine, const isa::Image &image, uint32_t procs,
     for (uint32_t c = 0; c < machine.numCores(); ++c) {
         r.instructions += machine.core(c).hpm().instructions;
         r.branches += machine.core(c).hpm().branches;
+        r.sbHits += machine.core(c).superblockStats().hits;
+        r.sbMisses += machine.core(c).superblockStats().misses;
     }
     return r;
 }
@@ -251,6 +265,8 @@ main(int argc, char **argv)
     uint64_t servers = 8;
     std::string out = "BENCH_engine.json";
     double min_speedup = 0.0;
+    double min_speedup_2proc = 0.0;
+    double min_fleet_speedup = 0.0;
     bool quick = false;
     bench::ArgParser parser;
     parser.addFlag("ms", &ms, "simulated ms, single machine");
@@ -259,6 +275,12 @@ main(int argc, char **argv)
     parser.addFlag("out", &out, "JSON results path");
     parser.addFlag("min-speedup", &min_speedup,
                    "fail unless ALU batch/step >= x (0 = report only)");
+    parser.addFlag("min-speedup-2proc", &min_speedup_2proc,
+                   "fail unless 2-proc ALU batch/step >= x; skipped "
+                   "with a notice on a <2-hw-thread host");
+    parser.addFlag("min-fleet-speedup", &min_fleet_speedup,
+                   "fail unless the --parallel=2 fleet speedup >= x; "
+                   "skipped with a notice on a <2-hw-thread host");
     parser.addSwitch("quick", &quick, "small configuration for CI");
     bench::ObsConfig obs_cfg = parser.parse(argc, argv);
     if (quick) {
@@ -283,9 +305,11 @@ main(int argc, char **argv)
     {
         const char *name;
         const isa::Image *image;
-    } workloads_tbl[] = {{"alu", &alu}, {"soplex", &soplex}};
+        std::vector<uint32_t> procCounts;
+    } workloads_tbl[] = {{"alu", &alu, {1u, 2u, 4u}},
+                         {"soplex", &soplex, {1u, 2u}}};
     for (const auto &w : workloads_tbl) {
-        for (uint32_t procs : {1u, 2u}) {
+        for (uint32_t procs : w.procCounts) {
             CaseResult c;
             c.workload = w.name;
             c.procs = procs;
@@ -437,12 +461,28 @@ main(int argc, char **argv)
             profiler_gate_failed = true;
     }
 
-    double alu_speedup = cases.front().speedup();
+    auto case_speedup = [&cases](const char *workload,
+                                 uint32_t procs) {
+        for (const CaseResult &c : cases) {
+            if (c.workload == workload && c.procs == procs)
+                return c.speedup();
+        }
+        return 0.0;
+    };
+    double alu_speedup = case_speedup("alu", 1);
+    double alu_speedup_2p = case_speedup("alu", 2);
+    double fleet2_speedup = 0.0;
+    for (size_t i = 1; i < fleet_runs.size(); ++i) {
+        if (worker_counts[i] == 2 && fleet_runs[i].wallSec > 0.0)
+            fleet2_speedup =
+                fleet_runs.front().wallSec / fleet_runs[i].wallSec;
+    }
     std::printf("\nbatch engine: %sx on the ALU kernel (1 proc), "
-                "%sx on soplex; exports byte-identical across all "
-                "modes\n",
+                "%sx at 2 procs, %sx on soplex; exports "
+                "byte-identical across all modes\n",
                 bench::fmtRatio(alu_speedup).c_str(),
-                bench::fmtRatio(cases[2].speedup()).c_str());
+                bench::fmtRatio(alu_speedup_2p).c_str(),
+                bench::fmtRatio(case_speedup("soplex", 1)).c_str());
 
     if (!out.empty()) {
         // Comparable ratio series (host-speed independent); wall
@@ -462,6 +502,27 @@ main(int argc, char **argv)
         metrics["obs_off_overhead_fraction"] = obs_overhead;
         metrics["profiler_off_overhead_fraction"] =
             profiler_overhead;
+        // Host shape as a first-class metric so the trajectory
+        // checker can restrict host-dependent comparisons (the
+        // fleet_parallel* speedups) to like-for-like runs with
+        // --match=hw_threads.
+        metrics["hw_threads"] =
+            static_cast<double>(std::max<unsigned>(
+                std::thread::hardware_concurrency(), 1));
+        // Decoded-superblock dispatch hit rate over every batch
+        // case: a pure simulation ratio, identical on any host.
+        {
+            uint64_t hits = 0;
+            uint64_t misses = 0;
+            for (const CaseResult &c : cases) {
+                hits += c.batch.sbHits;
+                misses += c.batch.sbMisses;
+            }
+            metrics["superblock_hit_rate"] = hits + misses == 0
+                ? 0.0
+                : static_cast<double>(hits) /
+                    static_cast<double>(hits + misses);
+        }
         // Install-gate cost of the serial fleet run, as a ratio of
         // simulated cycles: host-speed independent, so the
         // trajectory checker can flag a validator that gets
@@ -484,12 +545,18 @@ main(int argc, char **argv)
             const CaseResult &c = cases[i];
             detail += strformat(
                 "%s{\"workload\": \"%s\", \"procs\": %u, "
+                "\"hw_threads\": %u, "
                 "\"step_wall_sec\": %.6f, \"batch_wall_sec\": %.6f, "
-                "\"instructions\": %llu}",
+                "\"instructions\": %llu, "
+                "\"superblock_hits\": %llu, "
+                "\"superblock_misses\": %llu}",
                 i ? ", " : "", c.workload.c_str(), c.procs,
+                std::thread::hardware_concurrency(),
                 c.step.wallSec, c.batch.wallSec,
                 static_cast<unsigned long long>(
-                    c.step.instructions));
+                    c.step.instructions),
+                static_cast<unsigned long long>(c.batch.sbHits),
+                static_cast<unsigned long long>(c.batch.sbMisses));
         }
         detail += "], \"fleet_runs\": [";
         for (size_t i = 0; i < fleet_runs.size(); ++i) {
@@ -527,6 +594,37 @@ main(int argc, char **argv)
                      "required %.3f\n",
                      alu_speedup, min_speedup);
         return 1;
+    }
+    unsigned hw_threads = std::thread::hardware_concurrency();
+    if (min_speedup_2proc > 0.0) {
+        // The 2-proc joint window is a simulation-side win, but a
+        // 1-thread host's wall clocks are too noisy under the OS
+        // scheduler to gate on; require a real multi-thread host.
+        if (hw_threads < 2) {
+            std::printf("SKIP: --min-speedup-2proc gate needs >= 2 "
+                        "hardware threads (host reports %u)\n",
+                        hw_threads);
+        } else if (alu_speedup_2p < min_speedup_2proc) {
+            std::fprintf(stderr,
+                         "FAIL: 2-proc ALU batch/step speedup %.3f "
+                         "below required %.3f\n",
+                         alu_speedup_2p, min_speedup_2proc);
+            return 1;
+        }
+    }
+    if (min_fleet_speedup > 0.0) {
+        if (hw_threads < 2) {
+            std::printf("SKIP: --min-fleet-speedup gate needs >= 2 "
+                        "hardware threads (host reports %u; "
+                        "setParallel clamps to serial here)\n",
+                        hw_threads);
+        } else if (fleet2_speedup < min_fleet_speedup) {
+            std::fprintf(stderr,
+                         "FAIL: --parallel=2 fleet speedup %.3f "
+                         "below required %.3f\n",
+                         fleet2_speedup, min_fleet_speedup);
+            return 1;
+        }
     }
     if (obs_gate_failed) {
         std::fprintf(stderr,

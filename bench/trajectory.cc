@@ -23,6 +23,14 @@
  * with a single run passes trivially — there is no prior to regress
  * against. Exits nonzero on a regression, a missing or unparsable
  * file, or a newest run lacking the gated metric.
+ *
+ * Some metrics are only comparable across like hosts: a fleet
+ * --parallel speedup depends on how many hardware threads the runner
+ * has, even though it is a ratio. --match=<metric> restricts the
+ * best-prior search to runs whose value of that metric equals the
+ * newest run's value (runs lacking it are excluded), so e.g.
+ * --metric=fleet_parallel2_speedup --match=hw_threads gates a
+ * 2-thread runner only against prior 2-thread runs.
  */
 
 #include <cstdio>
@@ -42,6 +50,8 @@ struct Run
     std::string label;
     double value = 0.0;
     bool hasMetric = false;
+    double matchValue = 0.0;
+    bool hasMatch = false;
 };
 
 } // namespace
@@ -51,6 +61,7 @@ main(int argc, char **argv)
 {
     std::string file = "BENCH_engine.json";
     std::string metric = "alu_speedup_1proc";
+    std::string match;
     double tolerance = 0.35;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -58,6 +69,8 @@ main(int argc, char **argv)
             file = a.substr(7);
         else if (a.rfind("--metric=", 0) == 0)
             metric = a.substr(9);
+        else if (a.rfind("--match=", 0) == 0)
+            match = a.substr(8);
         else if (a.rfind("--tolerance=", 0) == 0)
             tolerance = std::strtod(a.substr(12).c_str(), nullptr);
         else if (a == "-v")
@@ -66,6 +79,9 @@ main(int argc, char **argv)
             fatal("unknown argument %s\nsupported flags:\n"
                   "  --file=<path>      trajectory file\n"
                   "  --metric=<name>    metric to gate on\n"
+                  "  --match=<name>     only compare against runs "
+                  "whose value of this metric equals the newest "
+                  "run's\n"
                   "  --tolerance=<x>    allowed fractional drop\n"
                   "  -v                 debug logging",
                   a.c_str());
@@ -120,14 +136,28 @@ main(int argc, char **argv)
             r.hasMetric = true;
             r.value = v->asNumber();
         }
+        if (!match.empty()) {
+            const JsonValue *mv = m ? m->find(match) : nullptr;
+            if (mv && mv->isNumber()) {
+                r.hasMatch = true;
+                r.matchValue = mv->asNumber();
+            }
+        }
         runs.push_back(std::move(r));
     }
 
-    // Best prior = max over all runs except the newest.
+    // Best prior = max over all runs except the newest; with --match,
+    // only runs recorded on a like host (equal match-metric value)
+    // are eligible. Runs lacking the match metric predate it being
+    // recorded, so their host is unknown — exclude them.
     const Run &newest = runs.back();
     const Run *best = nullptr;
     for (size_t i = 0; i + 1 < runs.size(); ++i) {
         if (!runs[i].hasMetric)
+            continue;
+        if (!match.empty() &&
+            (!runs[i].hasMatch || !newest.hasMatch ||
+             runs[i].matchValue != newest.matchValue))
             continue;
         if (!best || runs[i].value > best->value)
             best = &runs[i];
@@ -158,9 +188,15 @@ main(int argc, char **argv)
         return 1;
     }
     if (!best) {
-        std::printf("single run with %s: nothing prior to regress "
-                    "against, pass\n",
-                    metric.c_str());
+        if (!match.empty())
+            std::printf("no prior run with %s matches the newest "
+                        "run's %s: nothing to regress against, "
+                        "pass\n",
+                        metric.c_str(), match.c_str());
+        else
+            std::printf("single run with %s: nothing prior to "
+                        "regress against, pass\n",
+                        metric.c_str());
         return 0;
     }
 

@@ -37,9 +37,25 @@ Cluster::addMachine(sim::Machine &m)
 void
 Cluster::setParallel(uint32_t workers)
 {
-    workers_ = std::max<uint32_t>(workers, 1);
-    if (workers_ == 1)
+    uint32_t requested = std::max<uint32_t>(workers, 1);
+    uint32_t lanes =
+        std::min(requested, WorkerPool::recommendedLanes());
+    if (lanes < requested) {
+        // Lanes beyond the host's hardware threads only spin against
+        // each other (a 1-hw-thread container at --parallel=4 used
+        // to run 5x slower than serial). The clamp count is host-
+        // scoped: it describes this host, so it stays out of the
+        // deterministic metric exports.
+        obs::MetricsRegistry &reg = obs::metrics();
+        reg.setHostScoped("fleet.pool.clamped");
+        reg.counter("fleet.pool.clamped").inc();
+        warn("Cluster: clamping %u workers to %u (host has %u "
+             "hardware threads)",
+             requested, lanes, WorkerPool::recommendedLanes());
+    }
+    if (workers_ != lanes)
         pool_.reset();
+    workers_ = lanes;
 }
 
 void

@@ -51,11 +51,17 @@ class Cluster
 
     /**
      * Advance machines on up to `workers` threads per quantum
-     * (0 or 1 = serial). Exports stay byte-identical to serial runs;
-     * when the tracer is enabled, quanta silently run serially so
-     * trace event order is preserved too.
+     * (0 or 1 = serial). The count is clamped to
+     * WorkerPool::recommendedLanes() — oversubscribed lanes only
+     * spin against each other — with a warning and a host-scoped
+     * `fleet.pool.clamped` counter when the clamp bites, so a
+     * 1-hw-thread host degrades to serial instead of a 0.2x cliff.
+     * Exports stay byte-identical to serial runs; when the tracer is
+     * enabled, quanta silently run serially so trace event order is
+     * preserved too.
      */
     void setParallel(uint32_t workers);
+    /** Effective (post-clamp) worker count. */
     uint32_t parallel() const { return workers_; }
 
     /**

@@ -153,6 +153,20 @@ MetricsRegistry::histogram(const std::string &name)
     return *slot;
 }
 
+void
+MetricsRegistry::setHostScoped(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    hostScoped_.insert(name);
+}
+
+bool
+MetricsRegistry::isHostScoped(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return hostScoped_.count(name) != 0;
+}
+
 std::string
 MetricsRegistry::toJson() const
 {
@@ -160,9 +174,17 @@ MetricsRegistry::toJson() const
     using detail::jsonNumber;
 
     std::lock_guard<std::mutex> lock(mu_);
+    // Host-scoped metrics describe the execution host, not the run;
+    // leaving them out keeps snapshots byte-identical across hosts
+    // and serial/parallel modes.
+    auto skip = [this](const std::string &name) {
+        return hostScoped_.count(name) != 0;
+    };
     std::string out = "{\n  \"counters\": {";
     bool first = true;
     for (const auto &[name, c] : counters_) {
+        if (skip(name))
+            continue;
         out += strformat("%s\n    \"%s\": %llu", first ? "" : ",",
                          jsonEscape(name).c_str(),
                          static_cast<unsigned long long>(c->value()));
@@ -173,6 +195,8 @@ MetricsRegistry::toJson() const
     out += "  \"gauges\": {";
     first = true;
     for (const auto &[name, g] : gauges_) {
+        if (skip(name))
+            continue;
         out += strformat("%s\n    \"%s\": %s", first ? "" : ",",
                          jsonEscape(name).c_str(),
                          jsonNumber(g->value()).c_str());
@@ -183,6 +207,8 @@ MetricsRegistry::toJson() const
     out += "  \"histograms\": {";
     first = true;
     for (const auto &[name, h] : histograms_) {
+        if (skip(name))
+            continue;
         out += strformat("%s\n    \"%s\": %s", first ? "" : ",",
                          jsonEscape(name).c_str(),
                          detail::hdrJson(h->snapshot()).c_str());
@@ -212,6 +238,7 @@ MetricsRegistry::reset()
     counters_.clear();
     gauges_.clear();
     histograms_.clear();
+    hostScoped_.clear();
 }
 
 MetricsRegistry &

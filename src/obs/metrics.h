@@ -21,6 +21,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -110,7 +111,20 @@ class MetricsRegistry
     /** Find-or-create; HDR layout needs no per-metric bounds. */
     Histogram &histogram(const std::string &name);
 
-    /** Snapshot as a JSON object with sorted keys. */
+    /**
+     * Mark a metric name host-scoped: it describes the machine the
+     * simulation happens to run on (clamped worker pools, hardware
+     * thread counts), not the simulation itself, so it legitimately
+     * differs across hosts and serial/parallel modes. Host-scoped
+     * metrics stay queryable through their handles but are excluded
+     * from toJson()/writeJson() — deterministic exports must be
+     * byte-identical wherever a run executes.
+     */
+    void setHostScoped(const std::string &name);
+    bool isHostScoped(const std::string &name) const;
+
+    /** Snapshot as a JSON object with sorted keys (host-scoped
+     *  metrics omitted; see setHostScoped). */
     std::string toJson() const;
 
     /** Write the snapshot; fatal on I/O failure. */
@@ -132,6 +146,7 @@ class MetricsRegistry
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    std::set<std::string> hostScoped_;
 };
 
 /** The process-wide registry used by all instrumentation. */

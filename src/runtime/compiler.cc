@@ -126,6 +126,11 @@ RuntimeCompiler::compileNow(ir::FuncId func, const BitVector &mask,
         codegen::lowerFunction(module_, fn, opts);
     codegen::relocate(lowered, proc_.codeSize());
 
+    // The append and every fixup below bump the process's
+    // codeVersion(), so the core's decoded superblock cache retires
+    // all stale blocks before the next dispatch — a flip can never
+    // execute pre-install code for the installed range (DESIGN.md
+    // §13).
     isa::CodeAddr entry = proc_.appendCode(lowered.code);
     // Direct calls inside the variant resolve to the original static
     // entries; virtualized callees already go through the EVT.

@@ -21,6 +21,8 @@ Core::bind(Process *proc)
     regs_.fill(0);
     stack_.clear();
     btBlocks_.clear();
+    sbCache_.clear();
+    sbVersion_ = proc ? proc->codeVersion() : 0;
     if (proc_) {
         proc_->setCoreId(id_);
         pc_ = proc_->image().entryPoint();
@@ -54,12 +56,14 @@ Core::setNapIntensity(double f)
     if (f < 0.0 || f > 1.0)
         panic("nap intensity %g out of [0, 1]", f);
     napIntensity_ = f;
+    refreshThrottleFlag();
 }
 
 void
 Core::stealCycles(uint64_t cycles)
 {
     stolenBacklog_ += cycles;
+    refreshThrottleFlag();
 }
 
 void
@@ -83,6 +87,7 @@ Core::consumeThrottles()
         hpm_.cycles += stolenBacklog_;
         hpm_.stolenCycles += stolenBacklog_;
         stolenBacklog_ = 0;
+        refreshThrottleFlag();
         return true;
     }
     // Nap: sleep for the first f of every period.
@@ -113,23 +118,105 @@ Core::step()
     execute(inst);
 }
 
+const Core::Superblock &
+Core::fetchSuperblock()
+{
+    uint64_t v = proc_->codeVersion();
+    if (v != sbVersion_) {
+        // Code moved under us (variant append or call-site patch):
+        // retire every decoded block before dispatching, so a flip
+        // can never execute a stale instruction.
+        sbStats_.invalidations += sbCache_.size();
+        sbCache_.clear();
+        sbVersion_ = v;
+    }
+    auto it = sbCache_.find(pc_);
+    if (it != sbCache_.end()) {
+        ++sbStats_.hits;
+        return it->second;
+    }
+    ++sbStats_.misses;
+    Superblock sb;
+    isa::CodeAddr end = proc_->codeSize();
+    for (isa::CodeAddr a = pc_; a < end; ++a) {
+        const MInst &in = proc_->inst(a);
+        sb.insts.push_back(in);
+        if (in.isControlFlow() || sb.insts.size() >= kMaxSuperblockLen)
+            break;
+    }
+    if (sb.insts.empty())
+        proc_->inst(pc_); // canonical wild-pc panic
+    sb.memFence = static_cast<uint32_t>(sb.insts.size());
+    for (uint32_t i = 0; i < sb.insts.size(); ++i) {
+        if (touchesMemsys(sb.insts[i].op)) {
+            sb.memFence = i;
+            break;
+        }
+    }
+    return sbCache_.emplace(pc_, std::move(sb)).first->second;
+}
+
 void
 Core::run(uint64_t horizon)
 {
     // The hot loop of the batched engine: no scheduler scan, no
-    // event-heap peek — just instructions until the horizon. Throttle
-    // checks are hoisted behind one cheap test (both are rare), and a
-    // single consumed throttle may overshoot the horizon, exactly as
-    // one step() can.
+    // event-heap peek — just decoded superblocks until the horizon.
+    // A block's instructions execute from a dense local array, so the
+    // per-instruction work is one bounds-free dispatch. A consumed
+    // throttle may overshoot the horizon, exactly as one step() can.
     while (cycle_ < horizon) {
-        if (stolenBacklog_ > 0 || napIntensity_ > 0.0) {
+        if (throttleActive_) {
+            // Nap windows are re-checked before every instruction in
+            // the reference engine, so an armed throttle keeps the
+            // core on the per-instruction path.
             if (consumeThrottles())
                 continue;
+            if (!proc_ || proc_->state() != ProcState::Running)
+                return;
+            execute(proc_->inst(pc_));
+            continue;
         }
         if (!proc_ || proc_->state() != ProcState::Running)
             return;
-        execute(proc_->inst(pc_));
+        const Superblock &sb = fetchSuperblock();
+        const MInst *insts = sb.insts.data();
+        const size_t n = sb.insts.size();
+        for (size_t i = 0; i < n && cycle_ < horizon; ++i)
+            execute(insts[i]);
     }
+}
+
+bool
+Core::runFenced(uint64_t horizon)
+{
+    // Superblocks make the fence check cheap: each block records the
+    // index of its first memsys-touching instruction, so proving a
+    // whole block interference-free is one comparison.
+    while (cycle_ < horizon) {
+        if (throttleActive_) {
+            if (consumeThrottles())
+                continue;
+            if (!proc_ || proc_->state() != ProcState::Running)
+                return false;
+            const MInst &in = proc_->inst(pc_);
+            if (touchesMemsys(in.op))
+                return true;
+            execute(in);
+            continue;
+        }
+        if (!proc_ || proc_->state() != ProcState::Running)
+            return false;
+        const Superblock &sb = fetchSuperblock();
+        const MInst *insts = sb.insts.data();
+        const size_t fence = sb.memFence;
+        for (size_t i = 0; i < fence && cycle_ < horizon; ++i)
+            execute(insts[i]);
+        if (cycle_ >= horizon)
+            return false;
+        if (fence < sb.insts.size())
+            return true; // parked at a shared-memsys access
+    }
+    return false;
 }
 
 uint64_t

@@ -22,6 +22,7 @@
 
 #include <array>
 #include <cstdint>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -34,6 +35,19 @@ namespace protean {
 namespace sim {
 
 class MemorySystem;
+
+/**
+ * Decoded superblock dispatch statistics. Core-local and engine-
+ * dependent (the Step engine never dispatches superblocks), so they
+ * are exposed through accessors only and must never be published to
+ * the metrics registry — exports stay byte-identical across engines.
+ */
+struct SuperblockStats
+{
+    uint64_t hits = 0;          ///< Dispatches served from the cache.
+    uint64_t misses = 0;        ///< Dispatches that decoded a block.
+    uint64_t invalidations = 0; ///< Blocks retired by version bumps.
+};
 
 /** One simulated core. */
 class Core
@@ -69,9 +83,31 @@ class Core
      * Execute instructions until cycle() >= horizon or the core stops
      * being runnable. Each iteration is exactly one step(), so the
      * observable state after run(h) equals stepping in a loop while
-     * cycle() < h — the horizon-batched engine relies on this.
+     * cycle() < h — the horizon-batched engine relies on this. The
+     * hot loop dispatches decoded superblocks: dense pre-resolved
+     * MInst runs cached per start address and keyed on the process's
+     * codeVersion() (stale blocks retire before the next dispatch).
      */
     void run(uint64_t horizon);
+
+    /**
+     * Fenced run for the joint multi-core window (DESIGN.md §13):
+     * like run(horizon), but stop *before* executing any instruction
+     * that touches the shared memory system (Load, Store, or the
+     * CallIndirect EVT read). Everything executed under the fence
+     * touches only core-local state and this core's private process
+     * memory, so fenced runs on different cores commute — the batch
+     * engine may run them in any order without changing a byte.
+     *
+     * @return true when the core parked at a memsys-touching
+     * instruction with cycle() < horizon (the caller must fall back
+     * to interleaved stepping for the rest of the window); false when
+     * the core reached the horizon or stopped being runnable.
+     */
+    bool runFenced(uint64_t horizon);
+
+    /** Superblock dispatch stats (never exported; see above). */
+    const SuperblockStats &superblockStats() const { return sbStats_; }
 
     /** Current program counter (PC-sampling interface). */
     isa::CodeAddr pc() const { return pc_; }
@@ -118,12 +154,56 @@ class Core
 
     double napIntensity_ = 0.0;
     uint64_t stolenBacklog_ = 0;
+    /** True iff stolenBacklog_ > 0 || napIntensity_ > 0. Maintained
+     *  by the throttle producers so the batched hot loop pays one
+     *  predictable branch instead of re-deriving the disjunction per
+     *  instruction. While set, run() stays on the per-instruction
+     *  path: nap windows must be re-checked before every step. */
+    bool throttleActive_ = false;
 
     BtConfig bt_;
     std::unordered_set<isa::CodeAddr> btBlocks_;
 
+    /** A straight-line run of pre-resolved instructions starting at
+     *  some code address: extends up to and including the first
+     *  control-flow instruction (or the decode cap). */
+    struct Superblock
+    {
+        std::vector<isa::MInst> insts;
+        /** Index of the first memsys-touching instruction (Load,
+         *  Store, CallIndirect); insts.size() when none. Fenced runs
+         *  stop here without executing it. */
+        uint32_t memFence = 0;
+    };
+
+    /** Bounds decode work and cache growth per dispatch miss. */
+    static constexpr size_t kMaxSuperblockLen = 128;
+
+    /** Decoded blocks by start address. unordered_map nodes are
+     *  stable, so references survive later insertions. */
+    std::unordered_map<isa::CodeAddr, Superblock> sbCache_;
+    /** Process codeVersion() the cache was decoded against. */
+    uint64_t sbVersion_ = 0;
+    SuperblockStats sbStats_;
+
     /** Returns true if the core consumed a nap/stolen interval. */
     bool consumeThrottles();
+
+    /** Recompute throttleActive_ after a producer-side change. */
+    void refreshThrottleFlag()
+    {
+        throttleActive_ = stolenBacklog_ > 0 || napIntensity_ > 0.0;
+    }
+
+    /** Find-or-decode the superblock starting at pc_, retiring the
+     *  whole cache first when the process's code version moved. */
+    const Superblock &fetchSuperblock();
+
+    static bool touchesMemsys(isa::MOp op)
+    {
+        return op == isa::MOp::Load || op == isa::MOp::Store ||
+            op == isa::MOp::CallIndirect;
+    }
 
     void execute(const isa::MInst &inst);
     uint64_t memAccess(uint64_t vaddr, bool nonTemporal);

@@ -176,20 +176,79 @@ Machine::runBatch(uint64_t until_cycle)
             continue;
         }
 
+        // The window ends at the next event or the until-cycle (both
+        // fire when the min core cycle reaches them: `t >= bound`).
+        uint64_t horizon = std::min(event_t, until_cycle);
+        now_ = core_t;
+        if (!other) {
+            // One runnable core owns the whole window.
+            best->run(horizon);
+            continue;
+        }
+
+        // Joint multi-core window. Cores interact only through the
+        // shared memory system (L3 state, the DRAM queue) — never
+        // through events (none fire inside the window) or throttles
+        // (core-local). So run every runnable core up to the fence:
+        // instructions that touch only core-local state and the
+        // core's private process memory commute across cores, and
+        // the per-core loop order is immaterial. Only when a core
+        // parks at a shared-memsys access does the rest of the
+        // window fall back to interleaved stepping — per window, not
+        // per instruction.
+        bool blocked = false;
+        for (auto &u : cores_) {
+            Core *k = u.get();
+            if (k->runnable() && k->cycle() < horizon &&
+                k->runFenced(horizon))
+                blocked = true;
+        }
+        if (blocked)
+            runWindowInterleaved(horizon);
+    }
+}
+
+void
+Machine::runWindowInterleaved(uint64_t horizon)
+{
+    // Pairwise-bounded batching: run the scheduler's choice until
+    // another core would be chosen, preserving the exact (cycle, id)
+    // step interleaving of shared-memsys accesses. This is the
+    // pre-joint-window engine, now scoped to the remainder of a
+    // window that a fenced core could not prove interference-free.
+    for (;;) {
+        // One scan finds both the scheduler's choice (min cycle,
+        // lowest index on ties — exactly nextCore()) and the core
+        // that would be chosen if `best` were absent, which bounds
+        // how far `best` may run without changing the interleaving.
+        Core *best = nullptr;
+        Core *other = nullptr;
+        for (auto &u : cores_) {
+            Core *k = u.get();
+            if (!k->runnable())
+                continue;
+            if (!best) {
+                best = k;
+            } else if (k->cycle() < best->cycle()) {
+                other = best;
+                best = k;
+            } else if (!other || k->cycle() < other->cycle()) {
+                other = k;
+            }
+        }
+        if (!best || best->cycle() >= horizon)
+            return;
         // best stays the scheduler's choice while its cycle is below
         // every other runnable core's — and, when it has the lower
-        // index, also on ties (nextCore keeps the first minimum). It
-        // must stop at the next event or the until-cycle (both fire
-        // when the min core cycle reaches them: `t >= bound`).
-        uint64_t horizon = std::min(event_t, until_cycle);
+        // index, also on ties (nextCore keeps the first minimum).
+        uint64_t bound = horizon;
         if (other) {
-            uint64_t bound = other->cycle();
+            uint64_t b = other->cycle();
             if (best->id() < other->id())
-                ++bound; // best also wins the tie at bound
-            horizon = std::min(horizon, bound);
+                ++b; // best also wins the tie at bound
+            bound = std::min(bound, b);
         }
-        now_ = core_t;
-        best->run(horizon);
+        best->run(bound);
     }
 }
 

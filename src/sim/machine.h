@@ -32,11 +32,13 @@ namespace sim {
  * Execution engine selection.
  *
  * Step is the reference semantics: one global scheduling decision
- * (min-cycle core scan + event peek) per instruction. Batch picks the
- * same core but lets it run a whole horizon of instructions —
- * until the next event, the until-cycle, or the point where another
- * core becomes the scheduler's choice — amortizing the scheduling
- * overhead without changing a single observable cycle (DESIGN.md §8).
+ * (min-cycle core scan + event peek) per instruction. Batch runs
+ * whole horizons of instructions — bounded by the next event and the
+ * until-cycle — as joint multi-core windows: every runnable core
+ * runs fenced at shared-memory accesses, falling back to interleaved
+ * stepping only for windows where cores actually interact. This
+ * amortizes the scheduling overhead without changing a single
+ * observable cycle (DESIGN.md §8, §13).
  */
 enum class Engine : uint8_t { Step, Batch };
 
@@ -146,8 +148,20 @@ class Machine
     /** Reference engine: one scheduling decision per instruction. */
     void runStep(uint64_t until_cycle);
 
-    /** Horizon-batched engine (same observable behavior). */
+    /**
+     * Horizon-batched engine (same observable behavior). Windows are
+     * joint across cores: every runnable core runs fenced (stopping
+     * before shared-memsys accesses, which commute-free instructions
+     * never reach); only a window where some core parks at a shared
+     * access falls back to runWindowInterleaved — per window, never
+     * per instruction (DESIGN.md §13).
+     */
     void runBatch(uint64_t until_cycle);
+
+    /** Fallback for a window with shared-memsys interaction: pairwise
+     *  (cycle, id)-bounded batching that reproduces the reference
+     *  step interleaving exactly. */
+    void runWindowInterleaved(uint64_t horizon);
 
     /** One observability sampling step (reschedules itself while the
      *  tracer stays enabled). */

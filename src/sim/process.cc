@@ -26,6 +26,7 @@ Process::appendCode(const std::vector<isa::MInst> &code)
 {
     auto entry = static_cast<isa::CodeAddr>(image_.code.size());
     image_.code.insert(image_.code.end(), code.begin(), code.end());
+    ++codeVersion_;
     return entry;
 }
 
@@ -35,6 +36,7 @@ Process::patchInst(isa::CodeAddr addr, const isa::MInst &inst)
     if (addr >= image_.code.size())
         panic("process %s: patch at wild pc %u", name().c_str(), addr);
     image_.code[addr] = inst;
+    ++codeVersion_;
 }
 
 } // namespace sim

@@ -58,6 +58,15 @@ class Process
     /** Patch one instruction in place (direct-call fixups). */
     void patchInst(isa::CodeAddr addr, const isa::MInst &inst);
 
+    /**
+     * Monotonic code-mutation epoch: bumped by every appendCode and
+     * patchInst. Cores key their decoded superblock caches on it, so
+     * a variant install (append + direct-call fixup) atomically
+     * retires every stale decoded block before the next dispatch —
+     * the OSR-style invalidation protocol (DESIGN.md §13).
+     */
+    uint64_t codeVersion() const { return codeVersion_; }
+
     /** Functional (untimed) word read — the ptrace analogue. */
     uint64_t readWord(uint64_t vaddr) const { return mem_.read(vaddr); }
 
@@ -83,6 +92,7 @@ class Process
     uint64_t physBase_;
     ProcState state_ = ProcState::Running;
     uint32_t coreId_ = 0xffffffffu;
+    uint64_t codeVersion_ = 0;
 };
 
 } // namespace sim

@@ -31,9 +31,16 @@ constexpr int kYieldIters = 64;
 
 } // namespace
 
+uint32_t
+WorkerPool::recommendedLanes()
+{
+    return std::max<uint32_t>(std::thread::hardware_concurrency(), 1);
+}
+
 WorkerPool::WorkerPool(uint32_t threads)
 {
     count_ = std::max<uint32_t>(threads, 1);
+    lanes_ = std::make_unique<Lane[]>(count_);
     threads_.reserve(count_ - 1);
     for (uint32_t lane = 1; lane < count_; ++lane)
         threads_.emplace_back([this, lane] { workerMain(lane); });
@@ -61,8 +68,19 @@ WorkerPool::parallelFor(size_t n,
             fn(i);
         return;
     }
+    // Carve [0, n) into one contiguous chunk per lane (the first
+    // n % count_ lanes take the extra item). Chunks and the job slot
+    // are published by the gen_ release bump below.
     fn_ = &fn;
-    n_ = n;
+    size_t base = n / count_;
+    size_t rem = n % count_;
+    size_t lo = 0;
+    for (uint32_t w = 0; w < count_; ++w) {
+        size_t len = base + (w < rem ? 1 : 0);
+        lanes_[w].next.store(lo, std::memory_order_relaxed);
+        lanes_[w].end = lo + len;
+        lo += len;
+    }
     pending_.store(count_ - 1, std::memory_order_relaxed);
     gen_.fetch_add(1, std::memory_order_release);
     // Pair with a sleeping worker's predicate check under the lock;
@@ -71,12 +89,12 @@ WorkerPool::parallelFor(size_t n,
         std::lock_guard<std::mutex> lock(mu_);
     }
     wake_.notify_all();
-    for (size_t i = 0; i < n; i += count_)
-        fn(i);
-    // Workers finish within microseconds of the caller's own lane;
-    // spin-then-yield here is cheaper than a done-condvar round
-    // trip, and the yield keeps one-core hosts from livelocking the
-    // very thread being waited on.
+    runLanes(0, fn);
+    // Workers finish within microseconds of the caller's own lane —
+    // stealing shrinks that tail further; spin-then-yield here is
+    // cheaper than a done-condvar round trip, and the yield keeps
+    // one-core hosts from livelocking the very thread being waited
+    // on.
     int spins = 0;
     while (pending_.load(std::memory_order_acquire) != 0) {
         if (++spins < kSpinIters)
@@ -85,6 +103,26 @@ WorkerPool::parallelFor(size_t n,
             std::this_thread::yield();
     }
     fn_ = nullptr;
+}
+
+void
+WorkerPool::runLanes(uint32_t home,
+                     const std::function<void(size_t)> &fn)
+{
+    // Drain the home chunk first (cursor stays core-local while no
+    // thief arrives), then sweep the other lanes in circular order
+    // and steal whatever their owners have not claimed yet. Every
+    // item is claimed by exactly one fetch_add winner.
+    for (uint32_t k = 0; k < count_; ++k) {
+        Lane &lane = lanes_[(home + k) % count_];
+        const size_t end = lane.end;
+        for (;;) {
+            size_t i = lane.next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= end)
+                break;
+            fn(i);
+        }
+    }
 }
 
 void
@@ -114,10 +152,7 @@ WorkerPool::workerMain(uint32_t lane)
         if (stop_.load(std::memory_order_acquire))
             return;
         seen = gen_.load(std::memory_order_acquire);
-        const std::function<void(size_t)> *fn = fn_;
-        size_t n = n_;
-        for (size_t i = lane; i < n; i += count_)
-            (*fn)(i);
+        runLanes(lane, *fn_);
         pending_.fetch_sub(1, std::memory_order_acq_rel);
     }
 }

@@ -3,18 +3,29 @@
  * A small persistent worker pool for deterministic fan-out.
  *
  * parallelFor(n, fn) runs fn(i) for i in [0, n) across the pool and
- * blocks until every call returns. Work is partitioned statically —
- * lane w takes indices w, w+W, w+2W, ... — so the assignment of
- * items to threads is itself reproducible. The pool exists because
- * fleet::Cluster advances machines every quantum: quanta are short
- * (a network round trip, microseconds of host work), so both thread
- * spawning and mutex/condvar wakeups per quantum would cost more
- * than the parallelism saves. Dispatch is therefore a spin-then-
- * sleep generation counter: workers burn a short spin window
- * between back-to-back quanta and only fall back to a condition
- * variable when the pool goes idle. The calling thread executes
- * lane 0 itself, so a pool of W lanes spawns W-1 threads and the
- * caller never pays a wakeup for its own share.
+ * blocks until every call returns. Work is carved into one contiguous
+ * chunk per lane; each lane drains its own chunk through a per-lane
+ * atomic cursor and then steals the remainder of other lanes' chunks
+ * through the same cursor — lock-free, no per-item allocation. Which
+ * thread runs an item is therefore racy, but callers (fleet::Cluster)
+ * only hand the pool commutative work: per-machine stepping whose
+ * shared side effects are deferred and replayed in machine order at
+ * the quantum barrier, so results stay byte-identical to serial runs
+ * regardless of the stealing schedule.
+ *
+ * The pool exists because fleet::Cluster advances machines every
+ * quantum: quanta are short (a network round trip, microseconds of
+ * host work), so both thread spawning and mutex/condvar wakeups per
+ * quantum would cost more than the parallelism saves. Dispatch is
+ * therefore a spin-then-sleep generation counter: workers burn a
+ * short spin window between back-to-back quanta and only fall back
+ * to a condition variable when the pool goes idle. The calling
+ * thread executes lane 0 itself, so a pool of W lanes spawns W-1
+ * threads and the caller never pays a wakeup for its own share.
+ *
+ * Lanes beyond the host's hardware threads only spin against each
+ * other; recommendedLanes() reports the useful ceiling so callers
+ * can clamp (fleet::Cluster::setParallel does).
  */
 
 #ifndef PROTEAN_SUPPORT_THREADPOOL_H
@@ -24,13 +35,14 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace protean {
 
-/** Fixed-size pool of worker lanes with a fork-join API. */
+/** Fixed-size pool of work-stealing lanes with a fork-join API. */
 class WorkerPool
 {
   public:
@@ -44,21 +56,38 @@ class WorkerPool
 
     uint32_t numThreads() const { return count_; }
 
+    /** Largest lane count that can make progress in parallel on this
+     *  host: hardware_concurrency, or 1 when the host cannot report
+     *  it (degrade to serial rather than oversubscribe). */
+    static uint32_t recommendedLanes();
+
     /**
-     * Run fn(i) for every i in [0, n), statically partitioned across
-     * the pool; returns when all calls have completed. The caller
-     * runs lane 0. Not reentrant: fn must not call parallelFor on
-     * the same pool, and only one thread may drive the pool.
+     * Run fn(i) for every i in [0, n), partitioned into contiguous
+     * per-lane chunks with work stealing; returns when all calls
+     * have completed. The caller runs lane 0. fn must be safe to
+     * call from any lane's thread for any index. Not reentrant: fn
+     * must not call parallelFor on the same pool, and only one
+     * thread may drive the pool.
      */
     void parallelFor(size_t n, const std::function<void(size_t)> &fn);
 
   private:
+    /** One lane's chunk of the current job: [next, end). Thieves
+     *  claim items through the same cursor the owner drains, so a
+     *  chunk never runs an item twice. Padded to a cache line to
+     *  keep cursor traffic from false-sharing across lanes. */
+    struct alignas(64) Lane
+    {
+        std::atomic<size_t> next{0};
+        size_t end = 0;
+    };
+
     uint32_t count_ = 0;
     std::vector<std::thread> threads_;
+    std::unique_ptr<Lane[]> lanes_;
     /** Job slot, published before the gen_ bump (release) and read
      *  by workers after observing it (acquire). */
     const std::function<void(size_t)> *fn_ = nullptr;
-    size_t n_ = 0;
     std::atomic<uint64_t> gen_{0};
     std::atomic<uint32_t> pending_{0};
     std::atomic<bool> stop_{false};
@@ -68,6 +97,9 @@ class WorkerPool
     std::condition_variable wake_;
 
     void workerMain(uint32_t lane);
+
+    /** Drain the home lane's chunk, then steal from the others. */
+    void runLanes(uint32_t home, const std::function<void(size_t)> &fn);
 };
 
 } // namespace protean

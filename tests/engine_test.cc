@@ -27,6 +27,7 @@
 #include "sim/cache.h"
 #include "sim/event_heap.h"
 #include "sim/machine.h"
+#include "support/threadpool.h"
 #include "workloads/registry.h"
 
 namespace protean {
@@ -314,6 +315,159 @@ TEST_F(EngineTest, StepVsBatchProteanBinary)
     expectRunsEq(step, batch);
 }
 
+TEST_F(EngineTest, StepVsBatchTwoComputeProcs)
+{
+    // Two pure-ALU spinners keep their clocks in near-lockstep: the
+    // worst case for pairwise bounding (per-instruction ping-pong)
+    // and the best case for the joint fenced window, which should
+    // run each core's whole window in one call. Byte-identity of the
+    // HPM files and metric exports is the contract either way.
+    ir::Module am = spinModule("spin_a");
+    isa::Image a = pcc::compilePlain(am);
+    ir::Module bm = spinModule("spin_b");
+    isa::Image b = pcc::compilePlain(bm);
+    RunRecord step = runEngine(Engine::Step, {&a, &b}, 500'000);
+    RunRecord batch = runEngine(Engine::Batch, {&a, &b}, 500'000);
+    expectRunsEq(step, batch);
+}
+
+TEST_F(EngineTest, StepVsBatchFourProcMixed)
+{
+    // All four cores busy: compute, a cache-resident walker, a
+    // streaming walker, and a protean batch app contending in the
+    // shared L3, with mid-run events throttling cores 0 and 1 —
+    // every joint window here has at least one fenced fallback.
+    ir::Module sm = spinModule();
+    isa::Image spin = pcc::compilePlain(sm);
+    ir::Module rm = walkerModule(64 * 1024, "reuse", 320);
+    isa::Image reuse = pcc::compilePlain(rm);
+    ir::Module tm = walkerModule(4 << 20, "stream");
+    isa::Image stream = pcc::compilePlain(tm);
+    workloads::BatchSpec spec = workloads::batchSpec("soplex");
+    ir::Module bm = workloads::buildBatch(spec);
+    isa::Image app = pcc::compile(bm);
+    RunRecord step = runEngine(Engine::Step,
+                               {&spin, &reuse, &stream, &app},
+                               700'000);
+    RunRecord batch = runEngine(Engine::Batch,
+                                {&spin, &reuse, &stream, &app},
+                                700'000);
+    expectRunsEq(step, batch);
+}
+
+/** A hot loop whose body re-materializes a distinctive constant
+ *  every iteration and stores the accumulator to a global — the
+ *  superblock cache decodes the Const, so patching it mid-run must
+ *  retire the stale block before the next dispatch. */
+ir::Module
+patchableModule()
+{
+    ir::Module m("patchable");
+    ir::IRBuilder b(m);
+    ir::GlobalId g = m.addGlobal("acc", 64);
+    b.startFunction("main", 0);
+    ir::Reg base = b.globalAddr(g);
+    ir::Reg acc = b.constInt(0);
+    ir::BlockId loop = b.newBlock();
+    b.br(loop);
+    b.setBlock(loop);
+    ir::Reg k = b.constInt(7777);
+    b.binaryInto(acc, ir::Opcode::Add, acc, k);
+    b.store(base, acc);
+    b.br(loop);
+    return m;
+}
+
+TEST_F(EngineTest, SuperblockCacheRetiresPatchedCode)
+{
+    ir::Module m = patchableModule();
+    isa::Image image = pcc::compilePlain(m);
+    // The loop-body constant this test patches mid-hot-loop.
+    isa::CodeAddr patch_addr = isa::kInvalidCodeAddr;
+    for (isa::CodeAddr a = 0;
+         a < static_cast<isa::CodeAddr>(image.code.size()); ++a) {
+        if (image.code[a].op == isa::MOp::Const &&
+            image.code[a].imm == 7777)
+            patch_addr = a;
+    }
+    ASSERT_NE(patch_addr, isa::kInvalidCodeAddr);
+
+    struct Out
+    {
+        uint64_t acc;
+        uint64_t invalidations;
+    };
+    auto run = [&](Engine e, bool patch) {
+        Machine machine;
+        machine.setEngine(e);
+        Process &p = machine.load(image, 0);
+        if (patch) {
+            machine.schedule(50'000, [&p, patch_addr] {
+                isa::MInst inst = p.inst(patch_addr);
+                inst.imm = 1111;
+                p.patchInst(patch_addr, inst);
+            });
+        }
+        machine.runFor(200'000);
+        return Out{p.readWord(image.layout.base(0)),
+                   machine.core(0).superblockStats().invalidations};
+    };
+    Out step_plain = run(Engine::Step, false);
+    Out step_patch = run(Engine::Step, true);
+    Out batch_patch = run(Engine::Batch, true);
+    // The patch changed the reference run (it landed mid-hot-loop)...
+    EXPECT_NE(step_plain.acc, step_patch.acc);
+    // ...and the batch engine executed zero stale instructions: its
+    // accumulator matches the always-fresh Step engine exactly.
+    EXPECT_EQ(batch_patch.acc, step_patch.acc);
+    // The version bump retired the decoded blocks, not a lucky miss.
+    EXPECT_GT(batch_patch.invalidations, 0u);
+}
+
+TEST_F(EngineTest, SuperblockCacheRetiresFlippedVariantMidHotLoop)
+{
+    // RuntimeCompiler's install path, emulated mid-hot-loop: append
+    // a variant to the code-cache region, then flip EVT slot 0 to
+    // it. The append bumps codeVersion(), so decoded blocks from
+    // before the install can never serve a post-flip dispatch.
+    workloads::BatchSpec spec = workloads::batchSpec("soplex");
+    ir::Module m = workloads::buildBatch(spec);
+    isa::Image image = pcc::compile(m);
+    ASSERT_TRUE(image.isProtean());
+
+    struct Out
+    {
+        HpmCounters hpm;
+        uint64_t flipped_to;
+        uint64_t invalidations;
+    };
+    auto run = [&](Engine e) {
+        obs::metrics().reset();
+        Machine machine;
+        machine.setEngine(e);
+        Process &p = machine.load(image, 0);
+        machine.schedule(60'000, [&p] {
+            std::vector<isa::MInst> stub(2);
+            stub[0].op = isa::MOp::Const;
+            stub[0].rd = 0;
+            stub[0].imm = 42;
+            stub[1].op = isa::MOp::Ret;
+            isa::CodeAddr entry = p.appendCode(stub);
+            p.writeWord(p.image().evtBase, entry);
+        });
+        machine.runFor(300'000);
+        return Out{machine.core(0).hpm(),
+                   p.readWord(image.evtBase),
+                   machine.core(0).superblockStats().invalidations};
+    };
+    Out step = run(Engine::Step);
+    Out batch = run(Engine::Batch);
+    EXPECT_EQ(step.flipped_to, batch.flipped_to);
+    EXPECT_EQ(step.flipped_to, image.code.size()); // stub entry
+    expectHpmEq(step.hpm, batch.hpm, 0);
+    EXPECT_GT(batch.invalidations, 0u);
+}
+
 TEST_F(EngineTest, SameCycleEventsFireInScheduleOrderBothEngines)
 {
     for (Engine e : {Engine::Step, Engine::Batch}) {
@@ -439,7 +593,13 @@ runFleet(uint32_t servers, uint32_t workers, double ms)
     cfg.numServers = servers;
     cfg.parallelWorkers = workers;
     FleetSim sim(cfg);
-    EXPECT_EQ(sim.cluster().parallel(), std::max(workers, 1u));
+    // setParallel clamps to the host's useful lane ceiling: requests
+    // beyond hardware_concurrency degrade to fewer lanes (serial on
+    // a 1-hw-thread container) instead of spinning against each
+    // other.
+    EXPECT_EQ(sim.cluster().parallel(),
+              std::min(std::max(workers, 1u),
+                       WorkerPool::recommendedLanes()));
     sim.run(ms);
     FleetRecord rec;
     rec.stats = sim.stats();
@@ -472,6 +632,67 @@ expectFleetEq(const FleetRecord &serial, const FleetRecord &par)
               par.stats.service.compileCycles);
     EXPECT_EQ(serial.stats.service.bytesOut, par.stats.service.bytesOut);
     EXPECT_EQ(serial.metricsJson, par.metricsJson);
+}
+
+TEST(WorkerPoolTest, RecommendedLanesIsPositive)
+{
+    EXPECT_GE(WorkerPool::recommendedLanes(), 1u);
+}
+
+TEST(WorkerPoolTest, StealingRunsEachIndexExactlyOnce)
+{
+    // The per-lane cursors hand every index to exactly one claimant
+    // no matter how the stealing races resolve (TSan runs this).
+    for (uint32_t lanes : {2u, 4u, 8u}) {
+        SCOPED_TRACE("lanes " + std::to_string(lanes));
+        WorkerPool pool(lanes);
+        constexpr size_t kN = 1024;
+        std::vector<std::atomic<uint32_t>> counts(kN);
+        for (int round = 0; round < 3; ++round) {
+            for (auto &c : counts)
+                c.store(0, std::memory_order_relaxed);
+            pool.parallelFor(kN, [&counts](size_t i) {
+                counts[i].fetch_add(1, std::memory_order_relaxed);
+            });
+            for (size_t i = 0; i < kN; ++i)
+                ASSERT_EQ(counts[i].load(), 1u) << "index " << i;
+        }
+    }
+}
+
+TEST(WorkerPoolTest, UnevenChunksGetStolenAndComplete)
+{
+    // Front-loads the first chunk with almost all the work: the
+    // other lanes drain early and must steal for the job to finish
+    // in one pass.
+    WorkerPool pool(4);
+    std::atomic<uint64_t> sum{0};
+    pool.parallelFor(64, [&sum](size_t i) {
+        volatile uint64_t x = 0;
+        uint64_t iters = i < 8 ? 50'000 : 1;
+        for (uint64_t k = 0; k < iters; ++k)
+            x = x + k;
+        sum.fetch_add(i + 1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 64u * 65u / 2u);
+}
+
+TEST(WorkerPoolTest, ResultsIdenticalAcrossRepeatedJobs)
+{
+    // Which lane runs an item is racy; what the item computes is
+    // not. Every repeat must produce the same per-index values.
+    WorkerPool pool(8);
+    std::vector<uint64_t> first(512);
+    for (int round = 0; round < 4; ++round) {
+        std::vector<uint64_t> out(512);
+        pool.parallelFor(out.size(), [&out](size_t i) {
+            out[i] = i * 2654435761ull + 17;
+        });
+        if (round == 0)
+            first = out;
+        else
+            EXPECT_EQ(out, first);
+    }
 }
 
 TEST_F(ParallelFleetTest, SerialVsParallelByteIdentical)

@@ -337,6 +337,36 @@ TEST_F(ObsTest, RegistryResetDropsEverything)
     EXPECT_EQ(metrics().counter("x").value(), 0u);
 }
 
+TEST_F(ObsTest, HostScopedMetricsStayOutOfSnapshots)
+{
+    // Host-scoped metrics (clamped worker pools, hardware thread
+    // counts) describe the execution host: they stay queryable but
+    // must not leak into the deterministic JSON exports, which are
+    // byte-compared across hosts and serial/parallel modes.
+    metrics().counter("run.value").inc(3);
+    std::string before = metrics().toJson();
+
+    metrics().setHostScoped("fleet.pool.clamped");
+    metrics().counter("fleet.pool.clamped").inc(2);
+    metrics().setHostScoped("host.gauge");
+    metrics().gauge("host.gauge").set(8.0);
+    metrics().setHostScoped("host.hist");
+    metrics().histogram("host.hist").observe(1.0);
+
+    EXPECT_TRUE(metrics().isHostScoped("fleet.pool.clamped"));
+    EXPECT_FALSE(metrics().isHostScoped("run.value"));
+    EXPECT_EQ(metrics().counter("fleet.pool.clamped").value(), 2u);
+    EXPECT_EQ(metrics().toJson(), before);
+}
+
+TEST_F(ObsTest, RegistryResetClearsHostScoping)
+{
+    metrics().setHostScoped("h");
+    EXPECT_TRUE(metrics().isHostScoped("h"));
+    metrics().reset();
+    EXPECT_FALSE(metrics().isHostScoped("h"));
+}
+
 TEST_F(ObsTest, TracerDisabledRecordsNothing)
 {
     tracer().setEnabled(false);
