@@ -55,6 +55,11 @@ struct ObsConfig
      *  default). Kept as a string so common.h stays independent of
      *  src/validate; benches parse it with validate::parseMode. */
     std::string validateMode;
+    /** On-stack replacement mode for fleet benches
+     *  (--osr=on|off|both; empty keeps each bench's default).
+     *  "both" is only meaningful to comparison studies such as
+     *  fleet_faults --hotloop. */
+    std::string osr;
 };
 
 /**
@@ -147,6 +152,13 @@ class ArgParser
             } else if (a.rfind("--validate=", 0) == 0) {
                 markSeen("validate", seen);
                 cfg.validateMode = a.substr(11);
+            } else if (a.rfind("--osr=", 0) == 0) {
+                markSeen("osr", seen);
+                cfg.osr = a.substr(6);
+                if (cfg.osr != "on" && cfg.osr != "off" &&
+                    cfg.osr != "both")
+                    fatal("unknown --osr mode '%s' (on|off|both)",
+                          cfg.osr.c_str());
             } else if (a == "-v") {
                 setLogLevel(LogLevel::Debug);
             } else if (!parseExtra(a, seen)) {
@@ -172,6 +184,8 @@ class ArgParser
             "  --seed=<n>        root seed for stochastic models\n"
             "  --validate=<mode> install-gate mode for fleet benches "
             "(off|ir|diff|paranoid)\n"
+            "  --osr=<mode>      on-stack replacement for fleet "
+            "benches (on|off|both)\n"
             "  -v                debug logging";
         for (const Flag &f : flags_) {
             std::string spec = "--" + f.name +

@@ -41,9 +41,21 @@
  * the common `--validate=<mode>` flag picks the exported
  * configuration's gate mode.
  *
+ * `--hotloop` runs the on-stack-replacement acceptance study
+ * (DESIGN.md §14) instead: every server executes the "hotloop" batch
+ * whose single hot call spans the entire run, so entry-only flips
+ * never take effect and the flip-*effect* tail is censored at the
+ * run length. The study runs an entry-only control and an OSR run
+ * under identical traffic (restrict with the common --osr=on|off)
+ * and fails unless OSR cuts the worst-case flip-effect latency at
+ * least 10x with zero validation rejects;
+ * `--hotloop-out=<path>` writes the stable-key JSON summary CI
+ * archives and byte-diffs.
+ *
  * Flags (beyond the common set): --servers=<n>, --ms=<x> (simulated
  * run length), --mean-ms=<x> (request interarrival mean), --quick,
- * --telemetry=<path>, --validate-out=<path> and --slo.
+ * --telemetry=<path>, --validate-out=<path>, --slo, --hotloop and
+ * --hotloop-out=<path>.
  */
 
 #include "common.h"
@@ -346,6 +358,165 @@ runValidationGate(uint32_t servers, double ms, double mean_ms,
     return ok;
 }
 
+// ------------------------------------------------------------------ //
+//        Hot-loop OSR flip-latency tail study (DESIGN.md §14)        //
+// ------------------------------------------------------------------ //
+
+/**
+ * One hot-loop fleet run: every server executes the "hotloop" batch,
+ * whose single hot call from main spans the entire run, and the
+ * directive catalog is restricted to the hot kernels. With OSR off
+ * this is the worst case for entry-only flips — every dispatched
+ * variant stays pending forever, so the flip-effect tail is censored
+ * at the whole run length. With OSR on the same flips land at the
+ * next loop back-edge.
+ */
+fleet::FleetStats
+runHotloop(uint32_t servers, double ms, double mean_ms, uint64_t seed,
+           uint32_t workers, validate::Mode mode, bool osr)
+{
+    fleet::FleetConfig cfg;
+    cfg.numServers = servers;
+    cfg.batch = "hotloop";
+    cfg.hotFuncsOnly = true;
+    cfg.remoteBackend = true;
+    cfg.meanRequestMs = mean_ms;
+    cfg.seed = seed;
+    cfg.retry = ladder(true);
+    cfg.service.replication = 2;
+    cfg.validate.mode = mode;
+    cfg.parallelWorkers = workers;
+    cfg.osr = osr;
+    fleet::FleetSim sim(cfg);
+    sim.run(ms);
+    return sim.stats();
+}
+
+/**
+ * The §14 acceptance study: entry-only control vs OSR under
+ * identical traffic. `osr_mode` restricts which runs happen
+ * ("on"/"off" for CI export fixtures, "both"/"" for the comparison);
+ * when both run, OSR must cut the worst-case flip-effect latency by
+ * at least 10x, with zero validation rejects in either run. Returns
+ * false when any gate condition fails.
+ */
+bool
+runHotloopStudy(uint32_t servers, double ms, double mean_ms,
+                uint64_t seed, uint32_t workers, validate::Mode mode,
+                const std::string &osr_mode,
+                const std::string &out_path)
+{
+    struct Row
+    {
+        const char *name;
+        fleet::FleetStats st;
+    };
+    std::vector<Row> rows;
+    if (osr_mode != "on")
+        rows.push_back({"entry-only",
+                        runHotloop(servers, ms, mean_ms, seed,
+                                   workers, mode, false)});
+    if (osr_mode != "off")
+        rows.push_back({"osr",
+                        runHotloop(servers, ms, mean_ms, seed,
+                                   workers, mode, true)});
+
+    bool ok = true;
+    TextTable t("Hot-loop flip-effect latency: entry-only vs "
+                "on-stack replacement (DESIGN.md §14)");
+    t.setHeader({"Mode", "Deploys", "Entry flips", "OSR flips",
+                 "Pending", "Worst effect (cyc)", "Redirects",
+                 "Patches", "Rejects"});
+    for (const Row &r : rows) {
+        t.addRow({r.name, fmtU64(r.st.deployRequests),
+                  fmtU64(r.st.entryFlips), fmtU64(r.st.osrFlips),
+                  fmtU64(r.st.pendingFlips),
+                  fmtU64(r.st.worstFlipEffect()),
+                  fmtU64(r.st.osrRedirects),
+                  fmtU64(r.st.osrPatches),
+                  fmtU64(r.st.service.validateFails)});
+        // Both runs carry the install gate; a hot-loop variant is the
+        // restricted transform like any other and must never reject.
+        if (r.st.service.validateFails != 0)
+            ok = false;
+    }
+    t.print();
+
+    double reduction = 0.0;
+    if (rows.size() == 2) {
+        uint64_t worst_off = rows[0].st.worstFlipEffect();
+        uint64_t worst_on =
+            std::max<uint64_t>(1, rows[1].st.worstFlipEffect());
+        reduction = static_cast<double>(worst_off) /
+            static_cast<double>(worst_on);
+        std::printf("\nworst-case flip effect: %llu cycles "
+                    "(entry-only, censored at run end) -> %llu "
+                    "cycles (OSR) = %.1fx reduction\n",
+                    static_cast<unsigned long long>(worst_off),
+                    static_cast<unsigned long long>(
+                        rows[1].st.worstFlipEffect()),
+                    reduction);
+        if (rows[1].st.osrFlips == 0) {
+            std::printf("FAIL: no flip took effect mid-loop with "
+                        "OSR on\n");
+            ok = false;
+        }
+        if (reduction < 10.0) {
+            std::printf("FAIL: OSR must cut the worst-case flip "
+                        "latency at least 10x (got %.1fx)\n",
+                        reduction);
+            ok = false;
+        }
+    }
+
+    if (!out_path.empty()) {
+        // Stable-key JSON for CI archiving and determinism
+        // byte-diffs: rows in run order, keys alphabetical, no git
+        // stamp or host data.
+        std::string json = "{\n\"schema\": 1,\n\"runs\": [\n";
+        for (size_t i = 0; i < rows.size(); ++i) {
+            const fleet::FleetStats &st = rows[i].st;
+            json += strformat(
+                "  {\"deploys\": %llu, \"entry_flips\": %llu, "
+                "\"mode\": \"%s\", \"osr_flips\": %llu, "
+                "\"osr_patches\": %llu, \"osr_redirects\": %llu, "
+                "\"pending\": %llu, \"validate_fails\": %llu, "
+                "\"worst\": %llu, \"worst_entry\": %llu, "
+                "\"worst_osr\": %llu, \"worst_pending\": %llu}%s\n",
+                static_cast<unsigned long long>(st.deployRequests),
+                static_cast<unsigned long long>(st.entryFlips),
+                rows[i].name,
+                static_cast<unsigned long long>(st.osrFlips),
+                static_cast<unsigned long long>(st.osrPatches),
+                static_cast<unsigned long long>(st.osrRedirects),
+                static_cast<unsigned long long>(st.pendingFlips),
+                static_cast<unsigned long long>(
+                    st.service.validateFails),
+                static_cast<unsigned long long>(
+                    st.worstFlipEffect()),
+                static_cast<unsigned long long>(st.worstEntryFlip),
+                static_cast<unsigned long long>(st.worstOsrFlip),
+                static_cast<unsigned long long>(st.worstPendingFlip),
+                i + 1 < rows.size() ? "," : "");
+        }
+        json += "]";
+        if (rows.size() == 2) {
+            json += strformat(
+                ",\n\"tail_reduction\": %s",
+                obs::detail::jsonNumber(reduction).c_str());
+        }
+        json += "\n}\n";
+        std::FILE *f = std::fopen(out_path.c_str(), "w");
+        if (!f)
+            fatal("cannot open %s for writing", out_path.c_str());
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("wrote hot-loop summary to %s\n",
+                    out_path.c_str());
+    }
+    return ok;
+}
+
 /** Alerts must raise within this many windows of the first bad one. */
 constexpr uint64_t kAlertWindows = 4;
 
@@ -531,9 +702,11 @@ main(int argc, char **argv)
     double mean_ms = 4.0;
     bool quick = false;
     bool slo_mode = false;
+    bool hotloop_mode = false;
     std::string telemetry_path;
     std::string bench_out;
     std::string validate_out;
+    std::string hotloop_out;
     bench::ArgParser parser;
     parser.addFlag("servers", &servers, "fleet size (default 8)");
     parser.addFlag("ms", &ms, "simulated run length per config");
@@ -548,6 +721,10 @@ main(int argc, char **argv)
                    "write the validation-gate summary as stable JSON");
     parser.addSwitch("slo", &slo_mode,
                      "run the SLO alerting acceptance harness");
+    parser.addSwitch("hotloop", &hotloop_mode,
+                     "run the hot-loop OSR flip-latency study");
+    parser.addFlag("hotloop-out", &hotloop_out,
+                   "write the hot-loop summary as stable JSON");
     bench::ObsConfig obs_cfg = parser.parse(argc, argv);
     if (quick) {
         servers = 4;
@@ -559,6 +736,21 @@ main(int argc, char **argv)
     validate::Mode export_mode = fleet::FleetConfig{}.validate.mode;
     if (!obs_cfg.validateMode.empty())
         export_mode = validate::parseMode(obs_cfg.validateMode);
+
+    if (hotloop_mode) {
+        bool ok = runHotloopStudy(static_cast<uint32_t>(servers), ms,
+                                  mean_ms, obs_cfg.seed, workers,
+                                  export_mode, obs_cfg.osr,
+                                  hotloop_out);
+        bench::exportObs(obs_cfg);
+        if (!ok) {
+            std::fprintf(stderr,
+                         "FAIL: hot-loop OSR study — see table "
+                         "above\n");
+            return 1;
+        }
+        return 0;
+    }
 
     if (slo_mode) {
         bool ok = runSloAcceptance(static_cast<uint32_t>(servers), ms,
@@ -676,6 +868,9 @@ main(int argc, char **argv)
         static_cast<uint32_t>(servers), mean_ms, obs_cfg.seed,
         faultsAt(1.0), ladder(true), 2, workers);
     ecfg.validate.mode = export_mode;
+    // The shared --osr flag turns on-stack replacement on for the
+    // exported config ("both" is only meaningful to --hotloop).
+    ecfg.osr = obs_cfg.osr == "on";
     ecfg.telemetry.profiling = true;
     fleet::FleetSim esim(ecfg);
     esim.run(ms);

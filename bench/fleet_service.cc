@@ -38,6 +38,10 @@ namespace {
  *  from --validate; the FleetConfig default otherwise). */
 validate::Mode g_validate = fleet::FleetConfig{}.validate.mode;
 
+/** On-stack replacement for every fleet run in this bench (set once
+ *  from the shared --osr flag; off by default). */
+bool g_osr = false;
+
 fleet::FleetStats
 runFleet(uint32_t servers, bool remote, double ms, double mean_ms,
          uint64_t seed, const fleet::ServiceConfig &svc,
@@ -51,6 +55,7 @@ runFleet(uint32_t servers, bool remote, double ms, double mean_ms,
     cfg.service = svc;
     cfg.parallelWorkers = workers;
     cfg.validate.mode = g_validate;
+    cfg.osr = g_osr;
     fleet::FleetSim sim(cfg);
     sim.run(ms);
     if (export_obs)
@@ -80,6 +85,7 @@ main(int argc, char **argv)
     }
     if (!obs_cfg.validateMode.empty())
         g_validate = validate::parseMode(obs_cfg.validateMode);
+    g_osr = obs_cfg.osr == "on";
 
     fleet::ServiceConfig svc;
 
@@ -197,6 +203,7 @@ main(int argc, char **argv)
         cfg.service = svc;
         cfg.parallelWorkers = static_cast<uint32_t>(obs_cfg.parallel);
         cfg.validate.mode = g_validate;
+        cfg.osr = g_osr;
         cfg.telemetry.enabled = true;
         cfg.telemetry.profiling = true;
         fleet::FleetSim sim(cfg);

@@ -156,6 +156,29 @@ runFleetTimed(uint32_t servers, uint32_t workers, double ms,
     return r;
 }
 
+/** Hot-loop flip-latency study (DESIGN.md §14): one run of the
+ *  "hotloop" fleet scenario, whose single hot call per server spans
+ *  the whole run, with mid-loop OSR redirection either off (flips
+ *  wait at function entry forever — the tail censors at run end) or
+ *  on (flips land at the next loop back-edge). The worst flip-effect
+ *  latency of each run is a pure simulated-cycle count, so the
+ *  OSR/entry ratio is host-speed independent and safe to gate on. */
+fleet::FleetStats
+runHotloop(uint32_t servers, double ms, uint64_t seed, bool osr)
+{
+    fleet::FleetConfig cfg;
+    cfg.numServers = servers;
+    cfg.batch = "hotloop";
+    cfg.hotFuncsOnly = true;
+    cfg.remoteBackend = true;
+    cfg.seed = seed;
+    cfg.service.replication = 2;
+    cfg.osr = osr;
+    fleet::FleetSim sim(cfg);
+    sim.run(ms);
+    return sim.stats();
+}
+
 void
 checkSingleEquivalent(const SingleResult &step,
                       const SingleResult &batch, const char *what)
@@ -385,6 +408,55 @@ main(int argc, char **argv)
                         hw ? hw : 1, hw == 1 ? "" : "s");
     }
 
+    // ---- hot-loop OSR flip-latency tail (DESIGN.md §14) ----
+    // Entry-only control vs OSR under identical traffic; the worst
+    // flip-effect latencies feed the trajectory as host-independent
+    // simulated-cycle ratios. Run length must exceed the deploy
+    // pipeline's latency or no flip ever lands; 150 simulated ms is
+    // enough at the default service timings.
+    double hl_ms = std::max(fleet_ms, 150.0);
+    fleet::FleetStats hl_off =
+        runHotloop(4, hl_ms, obs_cfg.seed, false);
+    fleet::FleetStats hl_on = runHotloop(4, hl_ms, obs_cfg.seed, true);
+    uint64_t hl_worst_off = hl_off.worstFlipEffect();
+    uint64_t hl_worst_on = hl_on.worstFlipEffect();
+    double osr_ratio = hl_worst_off == 0 ? 0.0 :
+        static_cast<double>(hl_worst_on) /
+        static_cast<double>(hl_worst_off);
+    double osr_reduction =
+        static_cast<double>(hl_worst_off) /
+        static_cast<double>(hl_worst_on ? hl_worst_on : 1);
+    {
+        std::printf("\n");
+        TextTable t("Hot-loop scenario: worst flip-effect latency "
+                    "(cycles)");
+        t.setHeader({"Mode", "Worst", "Entry flips", "OSR flips",
+                     "Pending"});
+        t.addRow({"entry-only",
+                  strformat("%llu", static_cast<unsigned long long>(
+                                        hl_worst_off)),
+                  strformat("%llu", static_cast<unsigned long long>(
+                                        hl_off.entryFlips)),
+                  strformat("%llu", static_cast<unsigned long long>(
+                                        hl_off.osrFlips)),
+                  strformat("%llu", static_cast<unsigned long long>(
+                                        hl_off.pendingFlips))});
+        t.addRow({"osr",
+                  strformat("%llu", static_cast<unsigned long long>(
+                                        hl_worst_on)),
+                  strformat("%llu", static_cast<unsigned long long>(
+                                        hl_on.entryFlips)),
+                  strformat("%llu", static_cast<unsigned long long>(
+                                        hl_on.osrFlips)),
+                  strformat("%llu", static_cast<unsigned long long>(
+                                        hl_on.pendingFlips))});
+        t.print();
+        std::printf("OSR cuts the worst flip-effect latency %sx "
+                    "(ratio %.6f)\n",
+                    bench::fmtRatio(osr_reduction).c_str(),
+                    osr_ratio);
+    }
+
     // ---- observability + profiler off-path overhead ----
     double guard_sec = 0.0;
     uint64_t traced_events = 0;
@@ -535,6 +607,13 @@ main(int argc, char **argv)
                 static_cast<double>(fsvc.validateCycles) /
                 static_cast<double>(fsvc.compileCycles);
         }
+        // Hot-loop OSR tail, both directions: the ratio the ISSUE
+        // tracks (OSR/entry worst flip — lower is better, so it is
+        // recorded but not gated by the higher-is-better trajectory
+        // checker) and its reciprocal (entry/OSR — higher is
+        // better), which perf-smoke gates on.
+        metrics["osr_flip_latency_ratio"] = osr_ratio;
+        metrics["osr_tail_reduction"] = osr_reduction;
 
         std::string detail = strformat(
             "{\"sim_ms\": %g, \"fleet_ms\": %g, \"servers\": %llu, "
@@ -569,7 +648,21 @@ main(int argc, char **argv)
                     fleet_runs[i].stats.hostBranches));
         }
         detail += strformat(
-            "], \"obs_off\": {\"guard_ns\": %.3f, "
+            "], \"osr_hotloop\": {\"sim_ms\": %g, "
+            "\"worst_entry_only\": %llu, \"worst_osr\": %llu, "
+            "\"entry_flips\": %llu, \"osr_flips\": %llu, "
+            "\"pending_flips\": %llu, \"osr_redirects\": %llu, "
+            "\"osr_patches\": %llu}",
+            hl_ms,
+            static_cast<unsigned long long>(hl_worst_off),
+            static_cast<unsigned long long>(hl_worst_on),
+            static_cast<unsigned long long>(hl_on.entryFlips),
+            static_cast<unsigned long long>(hl_on.osrFlips),
+            static_cast<unsigned long long>(hl_on.pendingFlips),
+            static_cast<unsigned long long>(hl_on.osrRedirects),
+            static_cast<unsigned long long>(hl_on.osrPatches));
+        detail += strformat(
+            ", \"obs_off\": {\"guard_ns\": %.3f, "
             "\"traced_events\": %llu}, "
             "\"profiler_off\": {\"check_ns\": %.3f, "
             "\"checks\": %llu}}",

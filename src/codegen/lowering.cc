@@ -1,5 +1,6 @@
 #include "codegen/lowering.h"
 
+#include "ir/dominators.h"
 #include "support/logging.h"
 
 namespace protean {
@@ -63,6 +64,9 @@ class FunctionLowering
             lowerBlock(bb);
         }
         patchBranches();
+        markOsrSites();
+        out_.blockStarts.assign(blockStart_.begin(),
+                                blockStart_.end());
         return std::move(out_);
     }
 
@@ -72,8 +76,15 @@ class FunctionLowering
     const LowerOptions &opts_;
     LoweredFunction out_;
     std::vector<isa::CodeAddr> blockStart_;
-    /** (code offset, block id) pairs awaiting block placement. */
-    std::vector<std::pair<uint32_t, ir::BlockId>> branchFixups_;
+    /** Branch awaiting block placement; `src` is the block the
+     *  branch was emitted from (for back-edge classification). */
+    struct BranchFixup
+    {
+        uint32_t offset;
+        ir::BlockId target;
+        ir::BlockId src;
+    };
+    std::vector<BranchFixup> branchFixups_;
 
     MInst &
     emit(MInst inst)
@@ -183,9 +194,9 @@ class FunctionLowering
             if (inst.targets[0] != bb + 1) {
                 MInst m;
                 m.op = MOp::Jmp;
-                branchFixups_.emplace_back(
-                    static_cast<uint32_t>(out_.code.size()),
-                    inst.targets[0]);
+                branchFixups_.push_back(
+                    {static_cast<uint32_t>(out_.code.size()),
+                     inst.targets[0], bb});
                 emit(m);
             }
             break;
@@ -193,16 +204,16 @@ class FunctionLowering
             MInst m;
             m.op = MOp::Bnz;
             m.rs1 = machineReg(inst.srcs[0]);
-            branchFixups_.emplace_back(
-                static_cast<uint32_t>(out_.code.size()),
-                inst.targets[0]);
+            branchFixups_.push_back(
+                {static_cast<uint32_t>(out_.code.size()),
+                 inst.targets[0], bb});
             emit(m);
             if (inst.targets[1] != bb + 1) {
                 MInst j;
                 j.op = MOp::Jmp;
-                branchFixups_.emplace_back(
-                    static_cast<uint32_t>(out_.code.size()),
-                    inst.targets[1]);
+                branchFixups_.push_back(
+                    {static_cast<uint32_t>(out_.code.size()),
+                     inst.targets[1], bb});
                 emit(j);
             }
             break;
@@ -284,12 +295,31 @@ class FunctionLowering
     void
     patchBranches()
     {
-        for (auto [offset, block] : branchFixups_) {
-            if (block >= blockStart_.size() ||
-                blockStart_[block] == isa::kInvalidCodeAddr) {
-                panic("lowerFunction: unplaced block %u", block);
+        for (const BranchFixup &f : branchFixups_) {
+            if (f.target >= blockStart_.size() ||
+                blockStart_[f.target] == isa::kInvalidCodeAddr) {
+                panic("lowerFunction: unplaced block %u", f.target);
             }
-            out_.code[offset].target = blockStart_[block];
+            out_.code[f.offset].target = blockStart_[f.target];
+        }
+    }
+
+    /**
+     * Classify every recorded branch whose target dominates its
+     * source block as a loop back-edge: each such branch is an OSR
+     * point. A fallthrough Br never qualifies (a branch to bb+1 is
+     * forward), so every back-edge has an emitted, patchable Jmp or
+     * Bnz — the emitted code is not changed here.
+     */
+    void
+    markOsrSites()
+    {
+        if (branchFixups_.empty())
+            return;
+        ir::DominatorTree dom(fn_);
+        for (const BranchFixup &f : branchFixups_) {
+            if (dom.dominates(f.target, f.src))
+                out_.osrSites.push_back({f.offset, f.target});
         }
     }
 };

@@ -49,12 +49,37 @@ struct LowerOptions
     const BitVector *ntMask = nullptr;
 };
 
+/**
+ * One OSR point: a loop back-edge branch instruction. `offset` is the
+ * function-relative code offset of the Jmp/Bnz whose (taken) target
+ * is the loop header's first instruction; `header` is the IR block it
+ * jumps to. Because the restricted NT-mask transform preserves block
+ * structure, the same `header` id names the corresponding loop entry
+ * in every variant of the function, so redirecting the branch to
+ * another variant's `blockStarts[header]` transfers a mid-loop
+ * execution with identity compensation (same machineReg assignment).
+ */
+struct OsrSite
+{
+    uint32_t offset = 0;
+    ir::BlockId header = 0;
+};
+
 /** Result of lowering one function. */
 struct LoweredFunction
 {
     std::vector<isa::MInst> code;
     /** (offset in code, callee) pairs needing a direct-call target. */
     std::vector<std::pair<uint32_t, ir::FuncId>> directCallFixups;
+    /**
+     * Function-relative code offset of each IR block's first emitted
+     * instruction, indexed by BlockId. Stays function-relative across
+     * relocate(); add the placement entry to get absolute addresses.
+     */
+    std::vector<uint32_t> blockStarts;
+    /** Loop back-edges (branch target dominates its source block),
+     *  in emission order. Offsets stay function-relative too. */
+    std::vector<OsrSite> osrSites;
 };
 
 /**
@@ -71,7 +96,8 @@ LoweredFunction lowerFunction(const ir::Module &module,
                               const ir::Function &fn,
                               const LowerOptions &opts);
 
-/** Rebase internal branch targets to an absolute placement. */
+/** Rebase internal branch targets to an absolute placement.
+ *  `blockStarts`/`osrSites` are left function-relative. */
 void relocate(LoweredFunction &fn, isa::CodeAddr base);
 
 /** Machine register assigned to a virtual register. */

@@ -60,6 +60,7 @@ FleetSim::FleetSim(const FleetConfig &cfg)
         sim::Process &proc = s->machine->load(image_, 0);
         runtime::RuntimeOptions opts;
         opts.runtimeCore = cfg_.runtimeCore;
+        opts.osr = cfg_.osr;
         if (cfg_.remoteBackend) {
             s->backend = std::make_unique<RemoteBackend>(
                 svc_, *s->machine, i, cfg_.runtimeCore,
@@ -96,7 +97,7 @@ FleetSim::FleetSim(const FleetConfig &cfg)
                 s->rt->start();
             }
             hub_->addServer(s->backend.get(), s->machine.get(),
-                            s->rt->profiler());
+                            s->rt->profiler(), s->rt.get());
         }
         hub_->setStallBound(ladderBoundCycles());
         cluster_.setBarrierHook(
@@ -125,6 +126,9 @@ FleetSim::buildCatalog()
     std::sort(funcs.begin(), funcs.end());
 
     for (ir::FuncId f : funcs) {
+        if (cfg_.hotFuncsOnly &&
+            module_.function(f).name().rfind("hot_", 0) != 0)
+            continue;
         std::vector<ir::LoadId> loads;
         for (const auto &bb : module_.function(f).blocks()) {
             for (const auto &inst : bb.insts) {
@@ -229,6 +233,20 @@ FleetSim::stats() const
         st.serverCompileCycles += rc.compileCycles();
         st.remoteHits += rc.remoteHits();
         st.hostBranches += s->machine->core(0).hpm().branches;
+        // Pending flips are censored at the cluster barrier clock,
+        // which serial and parallel runs agree on byte-for-byte.
+        runtime::FlipEffectStats fe =
+            s->rt->flipEffectStats(cluster_.now());
+        st.entryFlips += fe.entryFlips;
+        st.osrFlips += fe.osrFlips;
+        st.pendingFlips += fe.pending;
+        st.worstEntryFlip = std::max(st.worstEntryFlip,
+                                     fe.worstEntry);
+        st.worstOsrFlip = std::max(st.worstOsrFlip, fe.worstOsr);
+        st.worstPendingFlip = std::max(st.worstPendingFlip,
+                                       fe.worstPending);
+        st.osrRedirects += s->rt->osrRedirects();
+        st.osrPatches += s->rt->osrPatchesWritten();
         if (s->backend) {
             const ClientStats &cs = s->backend->clientStats();
             st.client.remoteRequests += cs.remoteRequests;
@@ -284,6 +302,18 @@ FleetSim::exportObsMetrics() const
         static_cast<double>(st.client.timeouts));
     m.gauge("fleet.sim.max_resolve_cycles").set(
         static_cast<double>(st.client.maxResolveCycles));
+    m.gauge("fleet.sim.entry_flips").set(
+        static_cast<double>(st.entryFlips));
+    m.gauge("fleet.sim.osr_flips").set(
+        static_cast<double>(st.osrFlips));
+    m.gauge("fleet.sim.pending_flips").set(
+        static_cast<double>(st.pendingFlips));
+    m.gauge("fleet.sim.worst_flip_effect").set(
+        static_cast<double>(st.worstFlipEffect()));
+    m.gauge("fleet.sim.osr_redirects").set(
+        static_cast<double>(st.osrRedirects));
+    m.gauge("fleet.sim.osr_patches").set(
+        static_cast<double>(st.osrPatches));
     if (hub_)
         hub_->exportObsMetrics();
 }

@@ -69,6 +69,17 @@ struct FleetConfig
     /** Client-side degradation ladder (retry.enabled=false keeps the
      *  pre-fault fire-and-wait client). */
     RetryPolicy retry;
+    /** On-stack replacement: dispatched flips also redirect loop
+     *  back-edges, so executing loops flip at their next back-edge
+     *  instead of waiting for function re-entry (DESIGN.md §14). */
+    bool osr = false;
+    /** Restrict the directive catalog to the generated hot kernels
+     *  ("hot_*"). The hot-loop scenario sets this: `main` sits
+     *  suspended on the call stack for the whole run (its hot call
+     *  never returns), so a directive against it can never take
+     *  effect in either flip mode and would only pollute the
+     *  pending-flip census. */
+    bool hotFuncsOnly = false;
     /** Telemetry plane (enabled=false: no hub, no scrape cost). */
     TelemetryConfig telemetry;
     /** Translation-validation install gate (DESIGN.md §12). The
@@ -99,9 +110,32 @@ struct FleetStats
     uint64_t stalledRequests = 0;
     /** Whole-server pauses the cluster injected. */
     uint64_t serverPauses = 0;
+    // ----- flip-*effect* latency census (summed over servers) -----
+    /** Flips that took effect at function re-entry. */
+    uint64_t entryFlips = 0;
+    /** Flips that took effect mid-loop via OSR. */
+    uint64_t osrFlips = 0;
+    /** Dispatched flips not yet executing (censored). */
+    uint64_t pendingFlips = 0;
+    /** Worst request→effect latencies, in cycles. */
+    uint64_t worstEntryFlip = 0;
+    uint64_t worstOsrFlip = 0;
+    uint64_t worstPendingFlip = 0;
+    /** OSR redirect passes / back-edge branches patched. */
+    uint64_t osrRedirects = 0;
+    uint64_t osrPatches = 0;
     ServiceStats service;
     /** Degradation-ladder activity summed over all clients. */
     ClientStats client;
+
+    /** Worst-case flip-effect latency anywhere in the fleet, fired
+     *  or still pending — the tail OSR is built to collapse. */
+    uint64_t worstFlipEffect() const
+    {
+        uint64_t w = worstEntryFlip > worstOsrFlip ? worstEntryFlip :
+            worstOsrFlip;
+        return w > worstPendingFlip ? w : worstPendingFlip;
+    }
 
     /** Fleet-wide compile cycles: servers + service. */
     uint64_t totalCompileCycles() const

@@ -5,6 +5,7 @@
 #include "fleet/cluster.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/runtime.h"
 #include "support/logging.h"
 
 namespace protean {
@@ -26,6 +27,18 @@ FleetWindow::fields() const
     f["dropped"] = static_cast<double>(dropped);
     f["failed"] = static_cast<double>(failed);
     f["flip_count"] = static_cast<double>(flip.total());
+    f["flip_effect_entry_count"] =
+        static_cast<double>(flipEffectEntry.total());
+    f["flip_effect_entry_max"] =
+        static_cast<double>(flipEffectEntry.maxValue());
+    f["flip_effect_entry_p99"] =
+        static_cast<double>(flipEffectEntry.quantile(0.99));
+    f["flip_effect_osr_count"] =
+        static_cast<double>(flipEffectOsr.total());
+    f["flip_effect_osr_max"] =
+        static_cast<double>(flipEffectOsr.maxValue());
+    f["flip_effect_osr_p99"] =
+        static_cast<double>(flipEffectOsr.quantile(0.99));
     f["flip_max"] = static_cast<double>(flip.maxValue());
     f["flip_p50"] = static_cast<double>(flip.quantile(0.50));
     f["flip_p95"] = static_cast<double>(flip.quantile(0.95));
@@ -63,12 +76,14 @@ TelemetryHub::TelemetryHub(const TelemetryConfig &cfg,
 
 void
 TelemetryHub::addServer(RemoteBackend *backend, sim::Machine *machine,
-                        runtime::VariantProfiler *profiler)
+                        runtime::VariantProfiler *profiler,
+                        runtime::ProteanRuntime *rt)
 {
     ServerSlot slot;
     slot.backend = backend;
     slot.machine = machine;
     slot.profiler = profiler;
+    slot.rt = rt;
     servers_.push_back(std::move(slot));
 }
 
@@ -168,6 +183,18 @@ TelemetryHub::closeWindow(uint64_t cycle)
                 server_flip.nonZeroBuckets().size();
             w.flip.merge(server_flip);
         }
+        if (slot.rt) {
+            // Flip-*effect* latencies (request → new code executing)
+            // drained per server and fleet-merged, split entry/OSR —
+            // the series the hot-loop scenario's tail lives in.
+            obs::HdrHistogram fe_entry, fe_osr;
+            slot.rt->drainFlipEffectWindow(fe_entry, fe_osr);
+            payload += cfg_.scrapeBucketBytes *
+                (fe_entry.nonZeroBuckets().size() +
+                 fe_osr.nonZeroBuckets().size());
+            w.flipEffectEntry.merge(fe_entry);
+            w.flipEffectOsr.merge(fe_osr);
+        }
         if (cfg_.profiling && slot.profiler) {
             // Drain the server's continuous profile and flip
             // ledger; both are payload like any other scrape data.
@@ -237,6 +264,24 @@ TelemetryHub::fleetFlip() const
     return all;
 }
 
+obs::HdrHistogram
+TelemetryHub::fleetFlipEffectEntry() const
+{
+    obs::HdrHistogram all;
+    for (const FleetWindow &w : windows_)
+        all.merge(w.flipEffectEntry);
+    return all;
+}
+
+obs::HdrHistogram
+TelemetryHub::fleetFlipEffectOsr() const
+{
+    obs::HdrHistogram all;
+    for (const FleetWindow &w : windows_)
+        all.merge(w.flipEffectOsr);
+    return all;
+}
+
 std::string
 TelemetryHub::toJson() const
 {
@@ -260,6 +305,10 @@ TelemetryHub::toJson() const
         static_cast<unsigned long long>(cfg_.windowCycles));
     out += strformat("\"fleet_flip\": %s,\n",
                      hdrJson(fleetFlip()).c_str());
+    out += strformat("\"fleet_flip_effect_entry\": %s,\n",
+                     hdrJson(fleetFlipEffectEntry()).c_str());
+    out += strformat("\"fleet_flip_effect_osr\": %s,\n",
+                     hdrJson(fleetFlipEffectOsr()).c_str());
     if (cfg_.profiling) {
         out += "\"profile\": " + profile_.toJson() + ",\n";
         out += "\"scoreboard\": " + scoreboard_.toJson() + ",\n";
@@ -286,6 +335,9 @@ TelemetryHub::toJson() const
                              jsonNumber(value).c_str());
         }
         out += ", \"flip\": " + hdrJson(w.flip);
+        out += ", \"flip_effect_entry\": " +
+            hdrJson(w.flipEffectEntry);
+        out += ", \"flip_effect_osr\": " + hdrJson(w.flipEffectOsr);
         out += ", \"shards\": [";
         for (size_t sh = 0; sh < w.shardUp.size(); ++sh) {
             out += strformat(
@@ -325,6 +377,16 @@ TelemetryHub::exportObsMetrics() const
         .set(static_cast<double>(flip.quantile(0.99)));
     m.gauge("fleet.telemetry.flip_p999")
         .set(static_cast<double>(flip.quantile(0.999)));
+    obs::HdrHistogram fe_entry = fleetFlipEffectEntry();
+    obs::HdrHistogram fe_osr = fleetFlipEffectOsr();
+    m.gauge("fleet.telemetry.flip_effect_entry_count")
+        .set(static_cast<double>(fe_entry.total()));
+    m.gauge("fleet.telemetry.flip_effect_entry_max")
+        .set(static_cast<double>(fe_entry.maxValue()));
+    m.gauge("fleet.telemetry.flip_effect_osr_count")
+        .set(static_cast<double>(fe_osr.total()));
+    m.gauge("fleet.telemetry.flip_effect_osr_max")
+        .set(static_cast<double>(fe_osr.maxValue()));
     m.gauge("fleet.telemetry.scrape_bytes")
         .set(static_cast<double>(scrapeBytes_));
     m.gauge("fleet.telemetry.scrape_network_cycles")

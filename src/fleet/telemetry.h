@@ -43,6 +43,11 @@
 #include "runtime/profiler.h"
 
 namespace protean {
+
+namespace runtime {
+class ProteanRuntime;
+}
+
 namespace fleet {
 
 class Cluster;
@@ -126,6 +131,14 @@ struct FleetWindow
     /** Fleet-merged flip latencies recorded this window. */
     obs::HdrHistogram flip;
 
+    /** Fleet-merged flip-*effect* latencies (request → new code
+     *  executing) recorded this window, split by how the flip took
+     *  effect: at function re-entry vs mid-loop via OSR
+     *  (DESIGN.md §14). Empty when servers were registered without
+     *  their runtimes. */
+    obs::HdrHistogram flipEffectEntry;
+    obs::HdrHistogram flipEffectOsr;
+
     // ----- continuous-profiling deltas (0 when profiling off) -----
     /** PC samples scraped from server profilers this window. */
     uint64_t profileSamples = 0;
@@ -154,9 +167,11 @@ class TelemetryHub
 
     /** Register a server in id order. `backend` may be null (local
      *  compile config: only service-side series then); `profiler`
-     *  may be null (no continuous profiling on that server). */
+     *  may be null (no continuous profiling on that server); `rt`
+     *  may be null (no flip-effect series for that server). */
     void addServer(RemoteBackend *backend, sim::Machine *machine,
-                   runtime::VariantProfiler *profiler = nullptr);
+                   runtime::VariantProfiler *profiler = nullptr,
+                   runtime::ProteanRuntime *rt = nullptr);
 
     /** Age bound for the stranded-request count (the degradation
      *  ladder's worst-case budget). */
@@ -182,6 +197,10 @@ class TelemetryHub
 
     /** All windows' flip latencies merged (whole-run fleet tail). */
     obs::HdrHistogram fleetFlip() const;
+
+    /** All windows' flip-effect latencies merged, by kind. */
+    obs::HdrHistogram fleetFlipEffectEntry() const;
+    obs::HdrHistogram fleetFlipEffectOsr() const;
 
     /** Fleet-merged continuous profile (all servers, all windows).
      *  Empty when profiling is off. */
@@ -219,6 +238,7 @@ class TelemetryHub
         RemoteBackend *backend = nullptr;
         sim::Machine *machine = nullptr;
         runtime::VariantProfiler *profiler = nullptr;
+        runtime::ProteanRuntime *rt = nullptr;
         ClientStats prev;
         uint64_t prevOpens = 0;
     };

@@ -145,9 +145,101 @@ RuntimeCompiler::compileNow(ir::FuncId func, const BitVector &mask,
     rec.entry = entry;
     rec.end = proc_.codeSize();
     rec.key = key;
-    variants_.push_back(rec);
+    rec.osr.entry = entry;
+    rec.osr.headerPc.reserve(lowered.blockStarts.size());
+    for (uint32_t off : lowered.blockStarts)
+        rec.osr.headerPc.push_back(entry + off);
+    rec.osr.sites.reserve(lowered.osrSites.size());
+    for (const codegen::OsrSite &s : lowered.osrSites)
+        rec.osr.sites.push_back({entry + s.offset, s.header});
+    variants_.push_back(std::move(rec));
     cache_[key] = entry;
     return entry;
+}
+
+const OsrLowering &
+RuntimeCompiler::staticOsr(ir::FuncId func)
+{
+    auto it = staticOsr_.find(func);
+    if (it != staticOsr_.end())
+        return it->second;
+
+    // Re-lower with the image's own options (layout, virtualization,
+    // no NT mask) to reproduce pcc's placement. Only the block/
+    // back-edge structure is consumed; unpatched direct-call targets
+    // are irrelevant here.
+    const isa::FunctionInfo &fi = proc_.image().function(func);
+    codegen::LowerOptions opts;
+    opts.layout = &proc_.image().layout;
+    opts.virtualized = slots_.empty() ? nullptr : &slots_;
+    codegen::LoweredFunction lowered =
+        codegen::lowerFunction(module_, module_.function(func), opts);
+    if (fi.entry + lowered.code.size() != fi.end)
+        panic("staticOsr: re-lowering %s produced %zu instructions; "
+              "the image holds %u",
+              module_.function(func).name().c_str(),
+              lowered.code.size(), fi.end - fi.entry);
+
+    OsrLowering tbl;
+    tbl.entry = fi.entry;
+    tbl.headerPc.reserve(lowered.blockStarts.size());
+    for (uint32_t off : lowered.blockStarts)
+        tbl.headerPc.push_back(fi.entry + off);
+    tbl.sites.reserve(lowered.osrSites.size());
+    for (const codegen::OsrSite &s : lowered.osrSites)
+        tbl.sites.push_back({fi.entry + s.offset, s.header});
+    return staticOsr_.emplace(func, std::move(tbl)).first->second;
+}
+
+size_t
+RuntimeCompiler::osrSiteCount(ir::FuncId func)
+{
+    return staticOsr(func).sites.size();
+}
+
+uint32_t
+RuntimeCompiler::osrRedirect(ir::FuncId func,
+                             isa::CodeAddr target_entry)
+{
+    const OsrLowering *target = nullptr;
+    if (target_entry == proc_.image().function(func).entry) {
+        target = &staticOsr(func);
+    } else {
+        for (const VariantRecord &v : variants_) {
+            if (v.func == func && v.entry == target_entry) {
+                target = &v.osr;
+                break;
+            }
+        }
+    }
+    if (!target)
+        panic("osrRedirect: %u has no lowering at entry %u", func,
+              target_entry);
+
+    uint32_t patched = 0;
+    auto redirect = [&](const OsrLowering &from) {
+        for (const OsrLowering::Site &s : from.sites) {
+            if (s.header >= target->headerPc.size())
+                panic("osrRedirect: variant of %u lost block %u",
+                      func, s.header);
+            isa::CodeAddr dest = target->headerPc[s.header];
+            isa::MInst inst = proc_.inst(s.pc);
+            if (inst.op != isa::MOp::Jmp && inst.op != isa::MOp::Bnz)
+                panic("osrRedirect: site %u of %u is not a branch",
+                      s.pc, func);
+            if (inst.target == dest)
+                continue; // already points at the target lowering
+            inst.target = dest;
+            proc_.patchInst(s.pc, inst);
+            ++patched;
+        }
+    };
+    redirect(staticOsr(func));
+    for (const VariantRecord &v : variants_) {
+        if (v.func == func)
+            redirect(v.osr);
+    }
+    return patched;
 }
 
 void

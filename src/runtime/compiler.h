@@ -35,6 +35,29 @@
 namespace protean {
 namespace runtime {
 
+/**
+ * OSR geometry of one lowering of a function (the static image copy
+ * or a cached variant), in absolute code addresses. Because the
+ * restricted NT-mask transform preserves block structure, the same
+ * BlockId indexes the corresponding loop header in every lowering,
+ * so a back-edge in lowering A can be retargeted to
+ * `B.headerPc[site.header]` with register/stack-identity
+ * compensation (DESIGN.md §14).
+ */
+struct OsrLowering
+{
+    isa::CodeAddr entry = isa::kInvalidCodeAddr;
+    /** Absolute address of each IR block's first instruction. */
+    std::vector<isa::CodeAddr> headerPc;
+    /** One loop back-edge branch (absolute pc of the Jmp/Bnz). */
+    struct Site
+    {
+        isa::CodeAddr pc = isa::kInvalidCodeAddr;
+        ir::BlockId header = 0;
+    };
+    std::vector<Site> sites;
+};
+
 /** A compiled variant's bookkeeping record. */
 struct VariantRecord
 {
@@ -43,6 +66,8 @@ struct VariantRecord
     isa::CodeAddr end = isa::kInvalidCodeAddr;
     /** Restricted mask key (the function's own load bits). */
     std::string key;
+    /** Back-edge table for on-stack replacement. */
+    OsrLowering osr;
 };
 
 /** One compile request as a backend sees it. */
@@ -213,6 +238,34 @@ class RuntimeCompiler
 
     CompileBackend &backend() { return *backend_; }
 
+    /**
+     * OSR geometry of the function's *static* lowering, derived
+     * lazily by re-lowering the embedded IR with the image's own
+     * options (no NT mask) — only the structural metadata is used,
+     * so direct-call targets need no patching. Panics if the
+     * re-lowering disagrees with the image's code placement.
+     */
+    const OsrLowering &staticOsr(ir::FuncId func);
+
+    /** Loop back-edges in the function (0 = no loops: a flip of
+     *  this function can only take effect at re-entry). */
+    size_t osrSiteCount(ir::FuncId func);
+
+    /**
+     * On-stack replacement redirect: patch the back-edge branches of
+     * *every* lowering of `func` — the static code and each cached
+     * variant, including the target's own (restoring a previously
+     * redirected variant when flipping back) — to the corresponding
+     * loop-header pcs of the lowering at `target_entry` (a variant
+     * entry or the static entry). Writes go through
+     * `Process::patchInst`, so the decoded superblock caches retire
+     * via the codeVersion bump; branches already pointing at the
+     * desired header are skipped.
+     *
+     * @return Number of branch instructions actually patched.
+     */
+    uint32_t osrRedirect(ir::FuncId func, isa::CodeAddr target_entry);
+
   private:
     sim::Machine &machine_;
     sim::Process &proc_;
@@ -230,6 +283,8 @@ class RuntimeCompiler
 
     std::unordered_map<std::string, isa::CodeAddr> cache_;
     std::vector<VariantRecord> variants_;
+    /** Lazily derived static-lowering OSR tables, by function. */
+    std::unordered_map<ir::FuncId, OsrLowering> staticOsr_;
     uint64_t compiles_ = 0;
     uint64_t compileCycles_ = 0;
     uint64_t remoteHits_ = 0;

@@ -28,6 +28,14 @@ ProteanRuntime::ProteanRuntime(sim::Machine &machine,
     governor_ = std::make_unique<NapGovernor>(machine_,
                                               host_.coreId());
     attachCycle_ = machine_.now();
+    // Flip-effect watches fire from the host core's transferTo; the
+    // alive guard covers watches outliving this runtime.
+    machine_.core(host_.coreId())
+        .setFlipHook([this, alive = alive_](uint64_t id, bool osr,
+                                            uint64_t cycle) {
+            if (*alive)
+                onFlipEffect(id, osr, cycle);
+        });
     obs::metrics().counter("runtime.attach.count").inc();
     if (obs::tracer().enabled()) {
         obs::tracer().instant(
@@ -98,9 +106,10 @@ ProteanRuntime::deployVariant(ir::FuncId func, const BitVector &mask,
                       mask.count()));
     }
     uint64_t before = compiler_->compileCycles();
+    uint64_t request_cycle = machine_.now();
     compiler_->requestVariant(
         func, mask,
-        [this, func, alive = alive_,
+        [this, func, request_cycle, alive = alive_,
          on_dispatched = std::move(on_dispatched)](isa::CodeAddr e) {
             if (!*alive)
                 return;
@@ -111,20 +120,51 @@ ProteanRuntime::deployVariant(ir::FuncId func, const BitVector &mask,
             }
             // Teach the PC sampler the new range, then dispatch by
             // retargeting the EVT slot.
+            const VariantRecord *rec = nullptr;
             for (const auto &v : compiler_->variants()) {
                 if (v.entry == e) {
                     sampler_->registerVariantRange(v.entry, v.end,
                                                    v.func, v.key);
                     if (profiler_)
                         profiler_->onFlipDispatched(v.func, v.key);
+                    rec = &v;
                     break;
                 }
             }
-            if (evt_->virtualized(func))
+            if (evt_->virtualized(func)) {
                 evt_->retarget(func, e);
-            else
+                if (rec) {
+                    // Watch for the flip taking *effect*: any pending
+                    // watch for this function now waits for the newer
+                    // variant (its flip is subsumed), and the fresh
+                    // dispatch gets its own watch. Pure observation —
+                    // zero modeled cycles.
+                    sim::Core &hc = machine_.core(host_.coreId());
+                    hc.retargetFlipWatches(func, rec->entry, rec->end,
+                                           rec->entry);
+                    uint64_t id = nextFlipId_++;
+                    hc.armFlipWatch(
+                        {id, func, rec->entry, rec->end, rec->entry});
+                    pendingFlips_.push_back({id, request_cycle});
+                    if (opts_.osr &&
+                        compiler_->osrSiteCount(func) > 0) {
+                        uint32_t patches =
+                            compiler_->osrRedirect(func, rec->entry);
+                        ++osrRedirects_;
+                        osrPatches_ += patches;
+                        obs::metrics()
+                            .counter("runtime.osr.redirects").inc();
+                        obs::metrics()
+                            .counter("runtime.osr.patches")
+                            .inc(patches);
+                        chargeWork(opts_.osrBaseCycles +
+                                   opts_.osrPatchCycles * patches);
+                    }
+                }
+            } else {
                 warn("deployVariant: %u is not virtualized; variant "
                      "compiled but not dispatched", func);
+            }
             if (on_dispatched)
                 on_dispatched();
         });
@@ -146,6 +186,73 @@ void
 ProteanRuntime::revertAll()
 {
     evt_->revertAll();
+    if (opts_.osr) {
+        // Undo OSR redirects too: every flipped function's back-edges
+        // return to the static lowering's loop headers, so a running
+        // loop falls back to original code at its next back-edge.
+        std::vector<bool> done(att_.module->numFunctions(), false);
+        for (const auto &v : compiler_->variants()) {
+            if (done[v.func])
+                continue;
+            done[v.func] = true;
+            compiler_->osrRedirect(
+                v.func, host_.image().function(v.func).entry);
+        }
+    }
+}
+
+void
+ProteanRuntime::onFlipEffect(uint64_t id, bool osr, uint64_t cycle)
+{
+    for (size_t i = 0; i < pendingFlips_.size(); ++i) {
+        if (pendingFlips_[i].id != id)
+            continue;
+        uint64_t req = pendingFlips_[i].requestCycle;
+        uint64_t lat = cycle > req ? cycle - req : 0;
+        if (osr) {
+            flipOsrHist_.record(lat);
+            flipOsrWindow_.record(lat);
+            if (lat > worstOsrFlip_)
+                worstOsrFlip_ = lat;
+            obs::metrics().counter("runtime.flip.effect_osr").inc();
+        } else {
+            flipEntryHist_.record(lat);
+            flipEntryWindow_.record(lat);
+            if (lat > worstEntryFlip_)
+                worstEntryFlip_ = lat;
+            obs::metrics().counter("runtime.flip.effect_entry").inc();
+        }
+        pendingFlips_.erase(pendingFlips_.begin() +
+                            static_cast<ptrdiff_t>(i));
+        return;
+    }
+}
+
+FlipEffectStats
+ProteanRuntime::flipEffectStats(uint64_t now) const
+{
+    FlipEffectStats s;
+    s.entryFlips = flipEntryHist_.total();
+    s.osrFlips = flipOsrHist_.total();
+    s.worstEntry = worstEntryFlip_;
+    s.worstOsr = worstOsrFlip_;
+    s.pending = pendingFlips_.size();
+    for (const PendingFlip &p : pendingFlips_) {
+        uint64_t lat = now > p.requestCycle ? now - p.requestCycle : 0;
+        if (lat > s.worstPending)
+            s.worstPending = lat;
+    }
+    return s;
+}
+
+void
+ProteanRuntime::drainFlipEffectWindow(obs::HdrHistogram &entry_h,
+                                      obs::HdrHistogram &osr_h)
+{
+    entry_h.merge(flipEntryWindow_);
+    osr_h.merge(flipOsrWindow_);
+    flipEntryWindow_.clear();
+    flipOsrWindow_.clear();
 }
 
 void

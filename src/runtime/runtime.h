@@ -14,7 +14,9 @@
 #define PROTEAN_RUNTIME_RUNTIME_H
 
 #include <memory>
+#include <vector>
 
+#include "obs/hdr.h"
 #include "runtime/attach.h"
 #include "runtime/compiler.h"
 #include "runtime/evt_manager.h"
@@ -57,6 +59,45 @@ struct RuntimeOptions
      * behavior); a fleet::RemoteBackend shares compiles fleet-wide.
      */
     CompileBackend *compileBackend = nullptr;
+    /**
+     * On-stack replacement: when a variant is dispatched, also
+     * redirect the loop back-edges of every other lowering of the
+     * function at its OSR points, so an *executing* long-running
+     * loop flips at its next back-edge instead of waiting for
+     * function re-entry (DESIGN.md §14). Compensation is
+     * register/stack identity for the restricted NT-mask transform.
+     * Off by default: entry-flip-only, the pre-OSR behavior.
+     */
+    bool osr = false;
+    /** Cycles charged per OSR redirect (table walk/bookkeeping). */
+    uint64_t osrBaseCycles = 40;
+    /** Cycles charged per back-edge branch actually patched. */
+    uint64_t osrPatchCycles = 4;
+};
+
+/**
+ * Point-in-time flip-*effect* latency accounting: request →
+ * new-variant code first executing on the host core. Distinct from
+ * resolve latency (request → variant installed): a dispatched flip
+ * whose function never re-enters has resolved but taken no effect —
+ * exactly the hot-loop tail OSR collapses. Pending flips are
+ * censored at `now` without mutating state.
+ */
+struct FlipEffectStats
+{
+    uint64_t entryFlips = 0;   ///< Took effect at function re-entry.
+    uint64_t osrFlips = 0;     ///< Took effect mid-loop via OSR.
+    uint64_t pending = 0;      ///< Dispatched, not yet in effect.
+    uint64_t worstEntry = 0;   ///< Worst entry-flip latency (cycles).
+    uint64_t worstOsr = 0;     ///< Worst OSR-flip latency (cycles).
+    uint64_t worstPending = 0; ///< Oldest pending flip, censored.
+
+    /** Worst-case effect latency across fired and pending flips. */
+    uint64_t worst() const
+    {
+        uint64_t w = worstEntry > worstOsr ? worstEntry : worstOsr;
+        return w > worstPending ? w : worstPending;
+    }
 };
 
 /** The runtime process attached to one host. */
@@ -120,6 +161,29 @@ class ProteanRuntime
     /** Charge ad-hoc runtime work (engines' own analysis). */
     void chargeWork(uint64_t cycles);
 
+    /** Flip-effect latency snapshot; pending flips censored at
+     *  `now` (non-mutating — repeatable at barriers). */
+    FlipEffectStats flipEffectStats(uint64_t now) const;
+
+    /** Cumulative flip-effect latency histograms (cycles). */
+    const obs::HdrHistogram &flipEffectEntry() const
+    {
+        return flipEntryHist_;
+    }
+    const obs::HdrHistogram &flipEffectOsr() const
+    {
+        return flipOsrHist_;
+    }
+
+    /** Merge-and-clear the since-last-drain flip-effect windows into
+     *  the given histograms (telemetry scrape). */
+    void drainFlipEffectWindow(obs::HdrHistogram &entry_h,
+                               obs::HdrHistogram &osr_h);
+
+    /** OSR redirects performed / back-edge branches patched. */
+    uint64_t osrRedirects() const { return osrRedirects_; }
+    uint64_t osrPatchesWritten() const { return osrPatches_; }
+
     /** Total cycles the runtime has consumed so far. */
     uint64_t runtimeCycles() const { return runtimeCycles_; }
 
@@ -148,7 +212,28 @@ class ProteanRuntime
     uint64_t runtimeCycles_ = 0;
     uint64_t attachCycle_ = 0;
 
+    /** A dispatched flip whose effect has not been observed yet. */
+    struct PendingFlip
+    {
+        uint64_t id;
+        uint64_t requestCycle;
+    };
+    std::vector<PendingFlip> pendingFlips_;
+    obs::HdrHistogram flipEntryHist_;
+    obs::HdrHistogram flipOsrHist_;
+    /** Since-last-drain windows for the telemetry scrape. */
+    obs::HdrHistogram flipEntryWindow_;
+    obs::HdrHistogram flipOsrWindow_;
+    uint64_t worstEntryFlip_ = 0;
+    uint64_t worstOsrFlip_ = 0;
+    uint64_t nextFlipId_ = 1;
+    uint64_t osrRedirects_ = 0;
+    uint64_t osrPatches_ = 0;
+
     void tick();
+
+    /** Flip-watch fire callback (installed on the host core). */
+    void onFlipEffect(uint64_t id, bool osr, uint64_t cycle);
 };
 
 } // namespace runtime

@@ -22,6 +22,7 @@ Core::bind(Process *proc)
     stack_.clear();
     btBlocks_.clear();
     sbCache_.clear();
+    flipWatches_.clear();
     sbVersion_ = proc ? proc->codeVersion() : 0;
     if (proc_) {
         proc_->setCoreId(id_);
@@ -256,6 +257,8 @@ void
 Core::transferTo(isa::CodeAddr target, bool indirect)
 {
     pc_ = target;
+    if (!flipWatches_.empty())
+        fireFlipWatches(target);
     if (bt_.enabled) {
         uint64_t extra = indirect ? bt_.indirectCycles
             : bt_.takenExtraCycles;
@@ -263,6 +266,39 @@ Core::transferTo(isa::CodeAddr target, bool indirect)
             extra += bt_.translateCycles;
         cycle_ += extra;
         hpm_.cycles += extra;
+    }
+}
+
+void
+Core::fireFlipWatches(isa::CodeAddr target)
+{
+    // Kept out of the transferTo fast path: watches exist only while
+    // a dispatched flip has not yet taken effect. Watches fire in
+    // arming order, deterministically, before the transfer's cycle
+    // cost is charged — and cost nothing themselves.
+    size_t kept = 0;
+    for (size_t i = 0; i < flipWatches_.size(); ++i) {
+        const FlipWatch &w = flipWatches_[i];
+        if (target >= w.lo && target < w.hi) {
+            if (flipHook_)
+                flipHook_(w.id, target != w.entry, cycle_);
+        } else {
+            flipWatches_[kept++] = flipWatches_[i];
+        }
+    }
+    flipWatches_.resize(kept);
+}
+
+void
+Core::retargetFlipWatches(uint32_t func, isa::CodeAddr lo,
+                          isa::CodeAddr hi, isa::CodeAddr entry)
+{
+    for (FlipWatch &w : flipWatches_) {
+        if (w.func == func) {
+            w.lo = lo;
+            w.hi = hi;
+            w.entry = entry;
+        }
     }
 }
 

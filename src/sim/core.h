@@ -22,6 +22,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -49,10 +50,33 @@ struct SuperblockStats
     uint64_t invalidations = 0; ///< Blocks retired by version bumps.
 };
 
+/**
+ * A pending flip-effect watch: the runtime armed it when a variant
+ * was dispatched for `func`, and it fires the first time control
+ * transfers into the variant's code range [lo, hi). Firing at
+ * `target == entry` is an entry flip (the function was re-entered
+ * through the EVT); any other landing point means an OSR redirect
+ * moved a mid-loop execution. Watches are pure observation: firing
+ * costs zero modeled cycles, so arming them never perturbs the
+ * simulation (byte-identical exports with watches on or off).
+ */
+struct FlipWatch
+{
+    uint64_t id = 0;        ///< Runtime-side correlation key.
+    uint32_t func = 0;      ///< ir::FuncId being flipped.
+    isa::CodeAddr lo = 0;   ///< Variant code range start (inclusive).
+    isa::CodeAddr hi = 0;   ///< Variant code range end (exclusive).
+    isa::CodeAddr entry = 0; ///< Variant entry point.
+};
+
 /** One simulated core. */
 class Core
 {
   public:
+    /** Flip-watch fire callback: (watch id, was an OSR landing,
+     *  core-local cycle at the transfer). */
+    using FlipHook = std::function<void(uint64_t, bool, uint64_t)>;
+
     Core(uint32_t id, const MachineConfig &cfg, MemorySystem &memsys);
 
     uint32_t id() const { return id_; }
@@ -130,6 +154,25 @@ class Core
     /** Call-stack depth (tests). */
     size_t stackDepth() const { return stack_.size(); }
 
+    /** Install the flip-watch fire callback (the protean runtime). */
+    void setFlipHook(FlipHook hook) { flipHook_ = std::move(hook); }
+
+    /** Arm a flip-effect watch; fires (and is removed) at the first
+     *  control transfer into [lo, hi). */
+    void armFlipWatch(const FlipWatch &w) { flipWatches_.push_back(w); }
+
+    /**
+     * Supersede every pending watch for `func` with a newer dispatch:
+     * each keeps its identity (and the runtime its request cycle) but
+     * now fires when execution first reaches code at least as new as
+     * the latest variant — the flip it was waiting for is subsumed.
+     */
+    void retargetFlipWatches(uint32_t func, isa::CodeAddr lo,
+                             isa::CodeAddr hi, isa::CodeAddr entry);
+
+    /** Pending (unfired) flip watches on this core. */
+    size_t flipWatchCount() const { return flipWatches_.size(); }
+
   private:
     static constexpr uint32_t kSavedRegs =
         isa::kNumMachineRegs - isa::kFirstGeneralReg;
@@ -186,6 +229,11 @@ class Core
     uint64_t sbVersion_ = 0;
     SuperblockStats sbStats_;
 
+    /** Armed flip-effect watches (usually none — one emptiness test
+     *  per control transfer is the entire off-path cost). */
+    std::vector<FlipWatch> flipWatches_;
+    FlipHook flipHook_;
+
     /** Returns true if the core consumed a nap/stolen interval. */
     bool consumeThrottles();
 
@@ -210,6 +258,8 @@ class Core
     void doCall(isa::CodeAddr target);
     void doRet();
     void transferTo(isa::CodeAddr target, bool indirect);
+    /** Fire-and-remove every watch covering `target` (cold path). */
+    void fireFlipWatches(isa::CodeAddr target);
     void halt();
 };
 

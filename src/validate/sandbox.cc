@@ -63,10 +63,13 @@ Sandbox::readWord(uint64_t addr) const
 SandboxResult
 Sandbox::run(const std::vector<MInst> &code, isa::CodeAddr entry,
              const std::array<uint64_t, 4> &args,
-             uint64_t step_budget)
+             uint64_t step_budget, const OsrFlip *flip)
 {
     SandboxResult res;
     mem_.clear();
+    // Taken transfers of the OSR-flipped branch seen so far; once it
+    // reaches flip->afterExecutions, the branch is "patched".
+    uint64_t flip_taken = 0;
 
     std::array<uint64_t, isa::kNumMachineRegs> &r = res.regs;
     r.fill(0);
@@ -197,12 +200,18 @@ Sandbox::run(const std::vector<MInst> &code, isa::CodeAddr entry,
           case MOp::Jmp:
             ++res.branches;
             next = inst.target;
+            if (flip && pc == flip->pc &&
+                flip_taken++ >= flip->afterExecutions)
+                next = flip->dest;
             transferred = true;
             break;
           case MOp::Bnz:
             ++res.branches;
             if (r[inst.rs1] != 0) {
                 next = inst.target;
+                if (flip && pc == flip->pc &&
+                    flip_taken++ >= flip->afterExecutions)
+                    next = flip->dest;
                 transferred = true;
             }
             break;

@@ -52,6 +52,24 @@ enum class Trap : uint8_t {
 
 const char *trapName(Trap t);
 
+/**
+ * Functional model of an on-stack-replacement redirect for
+ * differential validation (DESIGN.md §14): from its
+ * `afterExecutions`-th *taken* transfer onward, the branch at `pc`
+ * targets `dest` instead of its encoded target — exactly the visible
+ * effect of runtime::RuntimeCompiler::osrRedirect patching a loop
+ * back-edge while the loop is running. The sandbox applies no other
+ * compensation, because the restricted NT-mask transform needs none:
+ * a flipped run must fingerprint-match an uninterrupted one.
+ */
+struct OsrFlip
+{
+    isa::CodeAddr pc = isa::kInvalidCodeAddr;
+    isa::CodeAddr dest = isa::kInvalidCodeAddr;
+    /** Taken transfers of the branch before the redirect lands. */
+    uint64_t afterExecutions = 0;
+};
+
 /** Architectural summary of one sandboxed run. */
 struct SandboxResult
 {
@@ -105,11 +123,15 @@ class Sandbox
      * `code` is typically image.code with candidate variant code
      * appended; the EVT is read from the (overlaid) data segment, so
      * indirect calls dispatch exactly as on the real machine.
+     *
+     * `flip`, when non-null, models one OSR back-edge redirect
+     * landing mid-run (see OsrFlip).
      */
     SandboxResult run(const std::vector<isa::MInst> &code,
                       isa::CodeAddr entry,
                       const std::array<uint64_t, 4> &args,
-                      uint64_t step_budget);
+                      uint64_t step_budget,
+                      const OsrFlip *flip = nullptr);
 
   private:
     const isa::Image &image_;

@@ -321,6 +321,82 @@ Validator::differentialCheck(ir::FuncId func, const BitVector &mask,
     return true;
 }
 
+bool
+Validator::osrCheck(ir::FuncId func, const BitVector &mask,
+                    uint64_t *steps, std::string *reason) const
+{
+    codegen::LoweredFunction orig = lowerVariant(func, BitVector(0));
+    codegen::LoweredFunction var = lowerVariant(func, mask);
+    if (orig.osrSites.empty()) {
+        if (reason)
+            *reason = "no loops";
+        return true;
+    }
+
+    // One composed program: the static image with the original and
+    // the variant both appended, so a flipped run crosses from one
+    // lowering into the other mid-loop — the same address geometry
+    // the runtime's osrRedirect creates in the live process.
+    std::vector<MInst> prog = image_.code;
+    auto append = [this, &prog](const codegen::LoweredFunction &fn) {
+        auto entry = static_cast<isa::CodeAddr>(prog.size());
+        codegen::LoweredFunction placed = fn;
+        codegen::relocate(placed, entry);
+        prog.insert(prog.end(), placed.code.begin(),
+                    placed.code.end());
+        for (auto [offset, callee] : placed.directCallFixups)
+            prog[entry + offset].target =
+                image_.function(callee).entry;
+        return entry;
+    };
+    isa::CodeAddr orig_entry = append(orig);
+    isa::CodeAddr var_entry = append(var);
+
+    Sandbox box(image_);
+    static const uint64_t kFlipAfter[] = {0, 1, 3};
+    for (uint32_t k = 0; k < cfg_.diffInputs; ++k) {
+        std::array<uint64_t, 4> args = diffArgs(func, k);
+        SandboxResult ref = box.run(prog, orig_entry, args,
+                                    cfg_.diffStepLimit);
+        if (steps)
+            *steps += ref.steps;
+        for (size_t si = 0; si < orig.osrSites.size(); ++si) {
+            const codegen::OsrSite &s = orig.osrSites[si];
+            if (s.header >= var.blockStarts.size()) {
+                if (reason)
+                    *reason = strformat(
+                        "variant lost block %u", s.header);
+                return false;
+            }
+            OsrFlip flip;
+            flip.pc = orig_entry + s.offset;
+            flip.dest = var_entry + var.blockStarts[s.header];
+            for (uint64_t after : kFlipAfter) {
+                flip.afterExecutions = after;
+                SandboxResult got =
+                    box.run(prog, orig_entry, args,
+                            cfg_.diffStepLimit, &flip);
+                if (steps)
+                    *steps += got.steps;
+                if (!got.equivalentTo(ref)) {
+                    if (reason)
+                        *reason = strformat(
+                            "input %u site %zu after %llu "
+                            "diverged: want [%s] got [%s]",
+                            k, si,
+                            static_cast<unsigned long long>(after),
+                            ref.fingerprint().c_str(),
+                            got.fingerprint().c_str());
+                    return false;
+                }
+            }
+        }
+    }
+    if (reason)
+        *reason = "ok";
+    return true;
+}
+
 Verdict
 Validator::validate(const runtime::CompileJob &job,
                     const faults::MiscompileSpec *inject) const

@@ -180,6 +180,22 @@ class Validator
                            uint64_t *steps,
                            std::string *reason = nullptr) const;
 
+    /**
+     * OSR state-equivalence check (DESIGN.md §14): for every loop
+     * back-edge of `func` and several flip timings, run the original
+     * lowering with a sandboxed OsrFlip that redirects that back-edge
+     * into the variant's corresponding loop header mid-run, and
+     * require the architectural fingerprint to match an uninterrupted
+     * reference run. Passing means the register/stack-identity
+     * compensation claim holds at every OSR point of this
+     * (func, mask) pair: crossing lowerings at a back-edge is
+     * architecturally invisible. Accumulates sandboxed steps into
+     * *steps when non-null. Trivially true for loop-free functions.
+     */
+    bool osrCheck(ir::FuncId func, const BitVector &mask,
+                  uint64_t *steps = nullptr,
+                  std::string *reason = nullptr) const;
+
   private:
     const ir::Module &module_;
     const isa::Image &image_;

@@ -41,6 +41,18 @@ makeBatchTable()
          .aluPerLoad = 1, .innerIters = 160, .outerLoads = 2,
          .targetStaticLoads = 35, .coldLoadsPerFunc = 8, .seed = 14});
 
+    // --- Hot-loop OSR scenario (DESIGN.md §14): one hot function
+    //     whose single call from main spans the entire run
+    //     (outerIters is effectively unbounded), so an entry-only
+    //     flip dispatched mid-run can never take effect — the
+    //     worst-case flip-latency tail on-stack replacement exists
+    //     to collapse.
+    add({.name = "hotloop", .streamBytes = 256 * KiB,
+         .reuseBytes = 16 * KiB, .streamLoadsPerIter = 4,
+         .reuseLoadsPerIter = 2, .aluPerLoad = 2, .innerIters = 64,
+         .outerIters = 1u << 30, .outerLoads = 2,
+         .targetStaticLoads = 64, .callsPerPhase = 1, .seed = 41});
+
     // --- SPEC CPU2006 (Figures 4-6 use all 18; the contentious set
     //     of Figures 7-15 reuses six of them).
     add({.name = "bzip2", .streamBytes = 512 * KiB,
